@@ -1,0 +1,79 @@
+"""Ablation — runtime reconfiguration vs conventional chip-wide DTM.
+
+The paper's introduction motivates migration by noting that commercial
+thermal management ("dynamic clock disabling and dynamic frequency scaling")
+stops or slows the *entire* chip.  This benchmark quantifies that argument on
+our platform: for each chip configuration, how much throughput does each
+technique give up to reach the peak temperature that X-Y shift migration
+achieves at the 109 us period?
+"""
+
+import pytest
+
+from conftest import print_rows
+
+from repro.core.dtm import DvfsThrottling, StopGoThrottling, compare_with_migration
+
+
+def test_equal_peak_throughput_cost(benchmark, configurations):
+    """Throughput cost of equal peak temperature: migration vs stop-go vs DVFS."""
+
+    def run_all():
+        return {
+            config.name: compare_with_migration(config, scheme="xy-shift", num_epochs=41)
+            for config in configurations
+        }
+
+    comparisons = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for name, comparison in comparisons.items():
+        rows.append(
+            {
+                "configuration": name,
+                "target_peak_c": round(comparison.target_peak_celsius, 2),
+                "migration_penalty_pct": round(100 * comparison.migration_penalty, 2),
+                "stop_go_penalty_pct": round(100 * comparison.stop_go_penalty, 2),
+                "dvfs_penalty_pct": round(100 * comparison.dvfs_penalty, 2),
+            }
+        )
+    print_rows("Throughput cost of reaching the migrated peak temperature", rows)
+
+    for comparison in comparisons.values():
+        # Migration reaches the same peak for a small fraction of the cost of
+        # slowing the whole chip down.
+        assert comparison.migration_penalty < 0.05
+        assert comparison.stop_go_penalty > comparison.migration_penalty
+        assert comparison.dvfs_penalty > comparison.migration_penalty
+
+
+def test_dtm_operating_curves(benchmark, chip_a):
+    """Peak temperature vs throughput for the two global DTM mechanisms."""
+    stop_go = StopGoThrottling(chip_a)
+    dvfs = DvfsThrottling(chip_a)
+    levels = (1.0, 0.9, 0.8, 0.7, 0.6, 0.5)
+
+    def curves():
+        return (
+            [stop_go.operating_point(level) for level in levels],
+            [dvfs.operating_point(level) for level in levels],
+        )
+
+    stop_points, dvfs_points = benchmark(curves)
+    rows = []
+    for sp, dp in zip(stop_points, dvfs_points):
+        rows.append(
+            {
+                "throughput_fraction": sp.throughput_fraction,
+                "stop_go_peak_c": round(sp.peak_celsius, 2),
+                "dvfs_peak_c": round(dp.peak_celsius, 2),
+            }
+        )
+    print_rows("Global DTM operating curves (configuration A)", rows)
+
+    # Both curves are monotone: less throughput, lower peak; DVFS (with
+    # voltage scaling) cools faster per unit of throughput given up.
+    stop_peaks = [p.peak_celsius for p in stop_points]
+    dvfs_peaks = [p.peak_celsius for p in dvfs_points]
+    assert all(a >= b for a, b in zip(stop_peaks, stop_peaks[1:]))
+    assert all(a >= b for a, b in zip(dvfs_peaks, dvfs_peaks[1:]))
+    assert dvfs_peaks[-1] <= stop_peaks[-1]

@@ -1,0 +1,86 @@
+"""Experiment E2 — Figure 1: reduction in peak temperature.
+
+Regenerates the paper's Figure 1: for each chip configuration (A-E, with
+their baseline peak temperatures 85.44 / 84.05 / 75.17 / 72.8 / 75.98 C) and
+each migration scheme (rotation, X mirror, X-Y mirror, right shift, X-Y
+shift) at the 109 us migration period, the reduction in steady peak
+temperature relative to the thermally-optimised static mapping.
+
+Expected shape (matching the paper): X-Y shift wins on average, rotation and
+X-Y mirroring do well on the 4x4 chips but poorly on the 5x5 chips (centre
+fixed point), rotation is slightly negative on configuration E, and right
+shift is weak wherever the warm band dominates.
+"""
+
+import pytest
+
+from conftest import print_rows
+
+from repro.analysis.report import FIGURE1_SETTINGS, generate_figure1
+from repro.chips.configurations import PAPER_AVERAGE_REDUCTIONS
+
+
+@pytest.fixture(scope="module")
+def figure1(configurations):
+    return generate_figure1(configurations=configurations, settings=FIGURE1_SETTINGS)
+
+
+def test_figure1_full_grid(benchmark, configurations):
+    """Benchmark the full Figure 1 sweep (25 experiments) and print the rows."""
+    report = benchmark.pedantic(
+        generate_figure1,
+        kwargs={"configurations": configurations, "settings": FIGURE1_SETTINGS},
+        rounds=1,
+        iterations=1,
+    )
+    print_rows("Figure 1: reduction in peak temperature (deg C)", report.to_rows())
+    print()
+    print(report.format_table())
+
+    # Shape assertions, mirroring the paper's Section 3 narrative.
+    assert report.best_scheme() == "xy-shift"
+    assert 3.0 < report.max_reduction() < 12.0
+    assert report.reduction("E", "rotation") < 0.5
+    for config in ("A", "B", "C", "D"):
+        assert report.reduction(config, "right-shift") < report.reduction(config, "xy-shift")
+
+
+def test_figure1_averages_vs_paper(figure1):
+    """Compare average reductions against the numbers quoted in the text."""
+    rows = [
+        {
+            "scheme": scheme,
+            "avg_reduction_c": round(figure1.average_reduction(scheme), 2),
+            "paper_avg_c": PAPER_AVERAGE_REDUCTIONS.get(scheme, "-"),
+        }
+        for scheme in figure1.schemes()
+    ]
+    print_rows("Average peak-temperature reduction per scheme", rows)
+    # The paper's ordering: X-Y shift first, rotation second among the five.
+    averages = {scheme: figure1.average_reduction(scheme) for scheme in figure1.schemes()}
+    assert averages["xy-shift"] == max(averages.values())
+    assert averages["rotation"] > averages["x-mirror"]
+    assert averages["rotation"] > averages["right-shift"]
+
+
+def test_figure1_even_vs_odd_dimensionality(figure1):
+    """Rotation/mirroring lose their edge on the odd (5x5) configurations."""
+    rows = []
+    for scheme in ("rotation", "xy-mirror", "xy-shift"):
+        even = (figure1.reduction("A", scheme) + figure1.reduction("B", scheme)) / 2
+        odd = (
+            figure1.reduction("C", scheme)
+            + figure1.reduction("D", scheme)
+            + figure1.reduction("E", scheme)
+        ) / 3
+        rows.append(
+            {
+                "scheme": scheme,
+                "avg_on_4x4_c": round(even, 2),
+                "avg_on_5x5_c": round(odd, 2),
+            }
+        )
+    print_rows("Even (4x4) vs odd (5x5) dimensionality", rows)
+    for row in rows:
+        if row["scheme"] in ("rotation", "xy-mirror"):
+            assert row["avg_on_4x4_c"] > row["avg_on_5x5_c"]

@@ -1,0 +1,122 @@
+"""Experiment E6 — NoC substrate characterisation.
+
+The paper's platform is "a modified cycle-accurate NoC simulator".  This
+benchmark characterises ours: latency/throughput of the 4x4 and 5x5 meshes
+under uniform and hotspot traffic at increasing injection rates, which is the
+standard sanity curve for any wormhole NoC model (latency flat at low load,
+rising sharply near saturation).
+"""
+
+import pytest
+
+from conftest import print_rows
+
+from repro.noc import MeshTopology, NocSimulator, make_traffic
+
+
+INJECTION_RATES = (0.02, 0.08, 0.2)
+
+
+@pytest.mark.parametrize("size", [4, 5])
+def test_uniform_traffic_latency_curve(benchmark, size):
+    topology = MeshTopology(size, size)
+
+    def run_curve():
+        points = []
+        for rate in INJECTION_RATES:
+            simulator = NocSimulator(topology, buffer_depth=4)
+            traffic = make_traffic("uniform", topology, injection_rate=rate, seed=11)
+            result = simulator.run_traffic(traffic, cycles=600, warmup_cycles=100)
+            points.append((rate, result))
+        return points
+
+    points = benchmark.pedantic(run_curve, rounds=1, iterations=1)
+    rows = [
+        {
+            "mesh": f"{size}x{size}",
+            "injection_rate": rate,
+            "avg_latency_cycles": round(result.average_latency, 2),
+            "throughput_flits_per_cycle": round(result.throughput_flits_per_cycle, 3),
+            "packets_delivered": result.stats.packets_ejected,
+        }
+        for rate, result in points
+    ]
+    print_rows(f"Uniform traffic characterisation, {size}x{size} mesh", rows)
+
+    latencies = [result.average_latency for _rate, result in points]
+    throughputs = [result.throughput_flits_per_cycle for _rate, result in points]
+    # Latency is non-decreasing and throughput increasing with offered load
+    # below saturation.
+    assert latencies[0] <= latencies[-1] + 1.0
+    assert throughputs[0] < throughputs[-1]
+
+
+def test_hotspot_traffic_congests_more_than_uniform(benchmark):
+    """Hotspot traffic at the same injection rate has higher latency, which is
+    exactly why a thermal hotspot forms around the hot node's router."""
+    topology = MeshTopology(4, 4)
+
+    def run_pair():
+        uniform_sim = NocSimulator(topology, buffer_depth=4)
+        uniform = uniform_sim.run_traffic(
+            make_traffic("uniform", topology, injection_rate=0.12, seed=3),
+            cycles=600,
+            warmup_cycles=100,
+        )
+        hotspot_sim = NocSimulator(topology, buffer_depth=4)
+        hotspot = hotspot_sim.run_traffic(
+            make_traffic(
+                "hotspot",
+                topology,
+                injection_rate=0.12,
+                seed=3,
+                hotspots=[(2, 2)],
+                hotspot_fraction=0.6,
+            ),
+            cycles=600,
+            warmup_cycles=100,
+        )
+        return uniform, hotspot
+
+    uniform, hotspot = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    rows = [
+        {
+            "pattern": "uniform",
+            "avg_latency_cycles": round(uniform.average_latency, 2),
+            "max_router_flits": max(uniform.activity_per_node().values()),
+        },
+        {
+            "pattern": "hotspot (node (2,2))",
+            "avg_latency_cycles": round(hotspot.average_latency, 2),
+            "max_router_flits": max(hotspot.activity_per_node().values()),
+        },
+    ]
+    print_rows("Uniform vs hotspot traffic (4x4, rate 0.12)", rows)
+    assert hotspot.average_latency >= uniform.average_latency
+    # The hotspot router sees disproportionately more switching activity.
+    assert max(hotspot.activity_per_node().values()) > max(uniform.activity_per_node().values())
+
+
+def test_routing_algorithm_comparison(benchmark):
+    """Deterministic XY against the partially adaptive algorithms."""
+    topology = MeshTopology(5, 5)
+
+    def run_algorithms():
+        results = {}
+        for name in ("xy", "yx", "west-first", "odd-even"):
+            simulator = NocSimulator(topology, routing=name, buffer_depth=4)
+            traffic = make_traffic("transpose", topology, injection_rate=0.1, seed=5)
+            results[name] = simulator.run_traffic(traffic, cycles=500, warmup_cycles=100)
+        return results
+
+    results = benchmark.pedantic(run_algorithms, rounds=1, iterations=1)
+    rows = [
+        {
+            "routing": name,
+            "avg_latency_cycles": round(result.average_latency, 2),
+            "packets_delivered": result.stats.packets_ejected,
+        }
+        for name, result in results.items()
+    ]
+    print_rows("Routing algorithm comparison (5x5, transpose traffic)", rows)
+    assert all(result.stats.packets_ejected > 0 for result in results.values())

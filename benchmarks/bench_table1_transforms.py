@@ -1,0 +1,56 @@
+"""Experiment E1 — Table 1: the migration transformation functions.
+
+Regenerates Table 1 (the coordinate algebra of rotation, X mirroring and X
+translation), verifies each function against its closed form on the paper's
+4x4 and 5x5 meshes, and benchmarks how fast the migration unit can evaluate a
+full-chip remap (the paper stresses that 3-bit operand arithmetic makes this
+"small, fast, and low power").
+"""
+
+import pytest
+
+from conftest import print_rows
+
+from repro.analysis.report import table1_rows
+from repro.migration.transforms import FIGURE1_SCHEMES, make_transform
+from repro.noc.topology import MeshTopology
+
+
+def test_table1_symbolic_rows(benchmark):
+    """Print Table 1 and check the symbolic entries."""
+    rows = benchmark(table1_rows, 4)
+    print_rows("Table 1: transformation functions (N = 4)", rows)
+    by_op = {row["operation"]: row for row in rows}
+    assert by_op["Rotation"] == {"operation": "Rotation", "new_x": "4-1-Y", "new_y": "X"}
+    assert by_op["X Mirroring"]["new_x"] == "4-1-X"
+    assert by_op["X Translation"]["new_x"] == "X + Offset"
+
+
+@pytest.mark.parametrize("size", [4, 5])
+def test_transform_evaluation_speed(benchmark, size):
+    """Benchmark a full-chip coordinate remap for every Figure 1 scheme."""
+    topology = MeshTopology(size, size)
+    transforms = [make_transform(name, topology) for name in FIGURE1_SCHEMES]
+    coordinates = list(topology.coordinates())
+
+    def remap_all():
+        result = {}
+        for transform in transforms:
+            result[transform.name] = [transform(coord) for coord in coordinates]
+        return result
+
+    remapped = benchmark(remap_all)
+    rows = []
+    for name, images in remapped.items():
+        transform = make_transform(name, topology)
+        rows.append(
+            {
+                "scheme": name,
+                "mesh": f"{size}x{size}",
+                "bijection": len(set(images)) == topology.num_nodes,
+                "fixed_points": len(transform.fixed_points()),
+                "order": transform.order(),
+            }
+        )
+    print_rows(f"Transform properties on the {size}x{size} mesh", rows)
+    assert all(row["bijection"] for row in rows)

@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures (see DESIGN.md's
+experiment index) and prints the rows it produces, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the evaluation section end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chips import all_configurations, get_configuration
+
+
+@pytest.fixture(scope="session")
+def configurations():
+    """All five chip configurations, built once per benchmark session."""
+    return all_configurations()
+
+
+@pytest.fixture(scope="session")
+def chip_a():
+    return get_configuration("A")
+
+
+@pytest.fixture(scope="session")
+def chip_e():
+    return get_configuration("E")
+
+
+def print_rows(title, rows):
+    """Uniform row printer used by every benchmark."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    keys = list(rows[0].keys())
+    header = " | ".join(f"{key:>18}" for key in keys)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(" | ".join(f"{str(row[key]):>18}" for key in keys))

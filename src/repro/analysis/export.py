@@ -1,0 +1,107 @@
+"""Export of experiment results to JSON and CSV.
+
+Downstream users (and the paper-reproduction record in EXPERIMENTS.md) need
+results in machine-readable form; these helpers flatten the result objects
+into plain dictionaries and write them out without losing the per-epoch
+detail.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..core.metrics import ExperimentResult
+from .report import Figure1Report
+from .sweep import PeriodSweepResult
+
+PathLike = Union[str, Path]
+
+
+def experiment_result_to_dict(result: ExperimentResult, include_epochs: bool = True) -> Dict:
+    """Flatten an :class:`ExperimentResult` into JSON-serialisable data."""
+    data = dict(result.summary())
+    data["baseline_mean_c"] = round(result.baseline_mean_celsius, 3)
+    data["settled_mean_c"] = round(result.settled_mean_celsius, 3)
+    if include_epochs:
+        data["epochs"] = [
+            {
+                "epoch": epoch.epoch_index,
+                "transform": epoch.transform_applied,
+                "migration_cycles": epoch.migration_cycles,
+                "migration_energy_j": epoch.migration_energy_j,
+                "peak_c": round(epoch.thermal.peak_celsius, 3),
+                "mean_c": round(epoch.thermal.mean_celsius, 3),
+                "spread_c": round(epoch.thermal.spread_celsius, 3),
+            }
+            for epoch in result.epochs
+        ]
+    return data
+
+
+def experiment_result_to_json(
+    result: ExperimentResult,
+    path: Optional[PathLike] = None,
+    include_epochs: bool = True,
+) -> str:
+    """Serialise a result to JSON; optionally write it to ``path``."""
+    text = json.dumps(experiment_result_to_dict(result, include_epochs), indent=2)
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def figure1_to_csv(report: Figure1Report, path: Optional[PathLike] = None) -> str:
+    """Figure 1 as CSV (one row per configuration/scheme cell)."""
+    rows = report.to_rows()
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    writer.writerows(rows)
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def figure1_to_json(report: Figure1Report, path: Optional[PathLike] = None) -> str:
+    """Figure 1 as JSON, including the per-scheme averages."""
+    data = {
+        "period_us": report.period_us,
+        "cells": report.to_rows(),
+        "average_reduction_c": {
+            scheme: round(report.average_reduction(scheme), 3) for scheme in report.schemes()
+        },
+        "max_reduction_c": round(report.max_reduction(), 3),
+        "best_scheme": report.best_scheme(),
+    }
+    text = json.dumps(data, indent=2)
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def period_sweep_to_csv(sweep: PeriodSweepResult, path: Optional[PathLike] = None) -> str:
+    """Period sweep as CSV (one row per period)."""
+    rows = [
+        {
+            "configuration": sweep.configuration,
+            "scheme": sweep.scheme,
+            "period_us": point.period_us,
+            "throughput_penalty": round(point.throughput_penalty, 6),
+            "settled_peak_c": round(point.settled_peak_celsius, 3),
+            "peak_reduction_c": round(point.peak_reduction_celsius, 3),
+        }
+        for point in sorted(sweep.points, key=lambda p: p.period_us)
+    ]
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    writer.writerows(rows)
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text

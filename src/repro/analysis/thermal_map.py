@@ -1,0 +1,82 @@
+"""ASCII rendering of spatial maps (temperature, power) over the mesh.
+
+Keeps the examples and reports dependency-free: no matplotlib is available in
+the reproduction environment, so figures are emitted as aligned text grids
+and CSV files instead.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Optional, Tuple
+
+from ..noc.topology import Coordinate, MeshTopology
+
+
+def render_grid(
+    topology: MeshTopology,
+    values: Dict[Coordinate, float],
+    title: str = "",
+    unit: str = "",
+    cell_format: str = "{:7.2f}",
+) -> str:
+    """Render a per-coordinate value map as an aligned text grid.
+
+    Row ``y = height - 1`` is printed first so the output matches the usual
+    mathematical orientation (y grows upwards).
+    """
+    missing = [c for c in topology.coordinates() if c not in values]
+    if missing:
+        raise ValueError(f"missing values for {len(missing)} coordinates, e.g. {missing[0]}")
+    lines = []
+    if title:
+        suffix = f" ({unit})" if unit else ""
+        lines.append(f"{title}{suffix}")
+    for y in range(topology.height - 1, -1, -1):
+        row = [cell_format.format(values[(x, y)]) for x in range(topology.width)]
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def render_heat_bar(
+    topology: MeshTopology,
+    values: Dict[Coordinate, float],
+    levels: str = " .:-=+*#%@",
+) -> str:
+    """Coarse character heat map (one character per PE, hotter = denser)."""
+    lo = min(values.values())
+    hi = max(values.values())
+    span = hi - lo if hi > lo else 1.0
+    lines = []
+    for y in range(topology.height - 1, -1, -1):
+        row = []
+        for x in range(topology.width):
+            frac = (values[(x, y)] - lo) / span
+            idx = min(len(levels) - 1, int(frac * (len(levels) - 1) + 0.5))
+            row.append(levels[idx])
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def to_csv(
+    topology: MeshTopology,
+    values: Dict[Coordinate, float],
+    value_name: str = "value",
+) -> str:
+    """CSV text with columns x, y, <value_name>."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["x", "y", value_name])
+    for coord in topology.coordinates():
+        writer.writerow([coord[0], coord[1], values[coord]])
+    return buffer.getvalue()
+
+
+def difference_map(
+    a: Dict[Coordinate, float], b: Dict[Coordinate, float]
+) -> Dict[Coordinate, float]:
+    """Per-coordinate ``a - b`` (e.g. temperature reduction map)."""
+    if set(a) != set(b):
+        raise ValueError("maps cover different coordinates")
+    return {coord: a[coord] - b[coord] for coord in a}

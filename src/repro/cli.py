@@ -1,0 +1,232 @@
+"""Command-line interface for the reproduction.
+
+Gives downstream users a no-code path to every experiment::
+
+    python -m repro figure1                    # Figure 1 table
+    python -m repro experiment -c A -s xy-shift --period 109
+    python -m repro sweep -c A -s xy-shift     # migration period sweep
+    python -m repro ablation -c E -s rotation  # migration-energy ablation
+    python -m repro dtm -c A                   # compare against stop-go / DVFS
+    python -m repro chips                      # list configurations
+
+Every subcommand prints plain text (and optionally CSV via ``--csv``), so the
+output can be piped into further analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import io
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis.report import FIGURE1_SETTINGS, generate_figure1, run_figure1_cell
+from .analysis.sweep import PAPER_PERIODS_US, run_energy_ablation, run_period_sweep
+from .chips import all_configurations, get_configuration
+from .core.dtm import compare_with_migration
+from .core.experiment import ExperimentSettings, ThermalExperiment
+from .core.policy import make_policy
+from .migration.transforms import FIGURE1_SCHEMES
+
+
+def _rows_to_csv(rows: List[dict]) -> str:
+    if not rows:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def _print_rows(rows: List[dict], as_csv: bool) -> None:
+    if as_csv:
+        print(_rows_to_csv(rows), end="")
+        return
+    if not rows:
+        print("(no rows)")
+        return
+    keys = list(rows[0].keys())
+    widths = {key: max(len(str(key)), max(len(str(row[key])) for row in rows)) for key in keys}
+    header = "  ".join(str(key).ljust(widths[key]) for key in keys)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(str(row[key]).ljust(widths[key]) for key in keys))
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_chips(args: argparse.Namespace) -> int:
+    rows = []
+    for config in all_configurations():
+        rows.append(
+            {
+                "configuration": config.name,
+                "mesh": f"{config.topology.width}x{config.topology.height}",
+                "total_power_w": round(config.total_power_w, 1),
+                "baseline_peak_c": round(config.base_peak_temperature(), 2),
+                "description": config.description,
+            }
+        )
+    _print_rows(rows, args.csv)
+    return 0
+
+
+def cmd_figure1(args: argparse.Namespace) -> int:
+    configurations = None
+    if args.configurations:
+        configurations = [get_configuration(name) for name in args.configurations]
+    report = generate_figure1(
+        configurations=configurations,
+        period_us=args.period,
+        settings=FIGURE1_SETTINGS,
+    )
+    if args.csv:
+        _print_rows(report.to_rows(), True)
+    else:
+        print(report.format_table())
+        print()
+        print(f"max reduction: {report.max_reduction():.2f} C, "
+              f"best scheme: {report.best_scheme()}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    chip = get_configuration(args.configuration)
+    policy = make_policy(args.scheme, chip.topology, period_us=args.period)
+    settings = ExperimentSettings(
+        num_epochs=args.epochs,
+        mode=args.mode,
+        settle_epochs=args.epochs - 1,
+        include_migration_energy=not args.no_migration_energy,
+    )
+    result = ThermalExperiment(chip, policy, settings=settings).run()
+    rows = [
+        {"metric": "baseline peak (C)", "value": round(result.baseline_peak_celsius, 2)},
+        {"metric": "settled peak (C)", "value": round(result.settled_peak_celsius, 2)},
+        {"metric": "peak reduction (C)", "value": round(result.peak_reduction_celsius, 2)},
+        {"metric": "mean increase (C)", "value": round(result.mean_increase_celsius, 3)},
+        {"metric": "throughput penalty (%)", "value": round(100 * result.throughput_penalty, 3)},
+        {"metric": "migrations", "value": result.migrations_performed},
+    ]
+    _print_rows(rows, args.csv)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    chip = get_configuration(args.configuration)
+    periods = args.periods or list(PAPER_PERIODS_US)
+    sweep = run_period_sweep(
+        chip, scheme=args.scheme, periods_us=periods, mode=args.mode, num_epochs=args.epochs
+    )
+    rows = [
+        {
+            "period_us": point.period_us,
+            "throughput_penalty_pct": round(100 * point.throughput_penalty, 3),
+            "settled_peak_c": round(point.settled_peak_celsius, 2),
+            "reduction_c": round(point.peak_reduction_celsius, 2),
+        }
+        for point in sorted(sweep.points, key=lambda p: p.period_us)
+    ]
+    _print_rows(rows, args.csv)
+    return 0
+
+
+def cmd_ablation(args: argparse.Namespace) -> int:
+    chip = get_configuration(args.configuration)
+    ablation = run_energy_ablation(
+        chip, scheme=args.scheme, period_us=args.period, num_epochs=args.epochs
+    )
+    rows = [
+        {
+            "metric": "mean temperature increase from migration energy (C)",
+            "value": round(ablation.mean_temperature_penalty_celsius, 3),
+        },
+        {
+            "metric": "peak temperature increase from migration energy (C)",
+            "value": round(ablation.peak_temperature_penalty_celsius, 3),
+        },
+        {
+            "metric": "reduction with energy accounted (C)",
+            "value": round(ablation.with_energy.peak_reduction_celsius, 2),
+        },
+        {
+            "metric": "reduction without energy accounted (C)",
+            "value": round(ablation.without_energy.peak_reduction_celsius, 2),
+        },
+    ]
+    _print_rows(rows, args.csv)
+    return 0
+
+
+def cmd_dtm(args: argparse.Namespace) -> int:
+    chip = get_configuration(args.configuration)
+    comparison = compare_with_migration(
+        chip, scheme=args.scheme, period_us=args.period, num_epochs=args.epochs
+    )
+    _print_rows(comparison.to_rows(), args.csv)
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Hotspot Prevention Through Runtime "
+        "Reconfiguration in Network-on-Chip' (DATE 2005).",
+    )
+    parser.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sub = subparsers.add_parser("chips", help="list the chip configurations")
+    sub.set_defaults(func=cmd_chips)
+
+    sub = subparsers.add_parser("figure1", help="regenerate Figure 1")
+    sub.add_argument("-C", "--configurations", nargs="*", help="subset of configurations")
+    sub.add_argument("--period", type=float, default=109.0, help="migration period in us")
+    sub.set_defaults(func=cmd_figure1)
+
+    def add_common(sub_parser, default_scheme="xy-shift"):
+        sub_parser.add_argument("-c", "--configuration", default="A", help="chip configuration")
+        sub_parser.add_argument("-s", "--scheme", default=default_scheme,
+                                help=f"migration scheme ({', '.join(FIGURE1_SCHEMES)}, "
+                                     "static, adaptive)")
+        sub_parser.add_argument("--period", type=float, default=109.0,
+                                help="migration period in us")
+        sub_parser.add_argument("--epochs", type=int, default=41, help="number of epochs")
+
+    sub = subparsers.add_parser("experiment", help="run a single experiment")
+    add_common(sub)
+    sub.add_argument("--mode", choices=("steady", "transient"), default="steady")
+    sub.add_argument("--no-migration-energy", action="store_true",
+                     help="ignore migration energy in the power maps")
+    sub.set_defaults(func=cmd_experiment)
+
+    sub = subparsers.add_parser("sweep", help="migration period sweep")
+    add_common(sub)
+    sub.add_argument("--periods", type=float, nargs="*", help="periods in us")
+    sub.add_argument("--mode", choices=("steady", "transient"), default="steady")
+    sub.set_defaults(func=cmd_sweep)
+
+    sub = subparsers.add_parser("ablation", help="migration-energy ablation")
+    add_common(sub, default_scheme="rotation")
+    sub.set_defaults(func=cmd_ablation)
+
+    sub = subparsers.add_parser("dtm", help="compare against stop-go / DVFS throttling")
+    add_common(sub)
+    sub.set_defaults(func=cmd_dtm)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Core contribution: runtime reconfiguration policies, controller and experiments."""
+
+from .controller import MigrationEvent, RuntimeReconfigurationController
+from .dtm import (
+    DtmComparison,
+    DtmOperatingPoint,
+    DvfsThrottling,
+    StopGoThrottling,
+    compare_with_migration,
+)
+from .experiment import ExperimentSettings, ThermalExperiment
+from .metrics import (
+    EpochRecord,
+    ExperimentResult,
+    PerformanceMetrics,
+    ThermalMetrics,
+)
+from .policy import (
+    AdaptiveMigrationPolicy,
+    NoMigrationPolicy,
+    PeriodicMigrationPolicy,
+    PolicyContext,
+    ReconfigurationPolicy,
+    ThresholdMigrationPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "MigrationEvent",
+    "RuntimeReconfigurationController",
+    "DtmComparison",
+    "DtmOperatingPoint",
+    "DvfsThrottling",
+    "StopGoThrottling",
+    "compare_with_migration",
+    "ExperimentSettings",
+    "ThermalExperiment",
+    "EpochRecord",
+    "ExperimentResult",
+    "PerformanceMetrics",
+    "ThermalMetrics",
+    "AdaptiveMigrationPolicy",
+    "NoMigrationPolicy",
+    "PeriodicMigrationPolicy",
+    "PolicyContext",
+    "ReconfigurationPolicy",
+    "ThresholdMigrationPolicy",
+    "make_policy",
+]

@@ -1,0 +1,144 @@
+"""The runtime reconfiguration controller.
+
+This is the piece of the paper's proposal that lives on the chip: it owns the
+current logical-to-physical mapping, applies a migration transform when the
+policy asks for one, charges the migration's cycles and energy, and keeps the
+I/O address translation up to date so the outside world never notices that
+the workload moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..chips.configurations import ChipConfiguration
+from ..migration.io_interface import IoAddressTranslator
+from ..migration.transforms import MigrationTransform
+from ..migration.unit import MigrationCost, MigrationUnit
+from ..noc.topology import Coordinate
+from ..placement.mapping import Mapping
+
+
+@dataclass
+class MigrationEvent:
+    """Record of one applied migration."""
+
+    epoch_index: int
+    transform_name: str
+    cycles: int
+    energy_j: float
+    moved_tasks: int
+
+
+class RuntimeReconfigurationController:
+    """Tracks mapping state and executes migrations for one chip.
+
+    Parameters
+    ----------
+    configuration:
+        The chip being managed (provides topology, workload, power profile
+        and the thermally-aware static mapping that is the starting point).
+    migration_unit:
+        Cost model for migrations; a default one is built from the chip's
+        technology library.
+    include_migration_energy:
+        When False the controller reports zero migration energy — the
+        ablation the paper implicitly performs when it notes that rotation's
+        energy penalty raises the average temperature by 0.3 °C.
+    """
+
+    def __init__(
+        self,
+        configuration: ChipConfiguration,
+        migration_unit: Optional[MigrationUnit] = None,
+        include_migration_energy: bool = True,
+    ):
+        self.configuration = configuration
+        self.topology = configuration.topology
+        self.migration_unit = migration_unit or MigrationUnit(
+            self.topology, library=configuration.library
+        )
+        self.include_migration_energy = include_migration_energy
+
+        self.current_mapping: Mapping = configuration.static_mapping.copy()
+        self.io_translator = IoAddressTranslator(self.topology)
+        self.events: List[MigrationEvent] = []
+        self._epoch_index = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def migrations_performed(self) -> int:
+        return len(self.events)
+
+    @property
+    def total_migration_cycles(self) -> int:
+        return sum(event.cycles for event in self.events)
+
+    @property
+    def total_migration_energy_j(self) -> float:
+        return sum(event.energy_j for event in self.events)
+
+    def reset(self) -> None:
+        """Return to the static mapping and forget all history."""
+        self.current_mapping = self.configuration.static_mapping.copy()
+        self.io_translator.reset()
+        self.events.clear()
+        self._epoch_index = 0
+
+    # ------------------------------------------------------------------
+    def apply_migration(
+        self, transform: MigrationTransform, epoch_index: Optional[int] = None
+    ) -> MigrationCost:
+        """Apply ``transform`` to the current mapping and account its cost."""
+        if epoch_index is None:
+            epoch_index = self._epoch_index
+        nodes_per_pe = self.configuration.tanner_nodes_per_pe(self.current_mapping)
+        cost = self.migration_unit.migration_cost(transform, nodes_per_pe)
+
+        previous = self.current_mapping
+        self.current_mapping = previous.apply_transform(transform)
+        self.io_translator.record_migration(transform)
+
+        energy = cost.total_energy_j if self.include_migration_energy else 0.0
+        self.events.append(
+            MigrationEvent(
+                epoch_index=epoch_index,
+                transform_name=transform.name,
+                cycles=cost.cycles,
+                energy_j=energy,
+                moved_tasks=len(previous.moved_tasks(self.current_mapping)),
+            )
+        )
+        return cost
+
+    def advance_epoch(self) -> int:
+        """Mark the end of an epoch; returns the new epoch index."""
+        self._epoch_index += 1
+        return self._epoch_index
+
+    # ------------------------------------------------------------------
+    def epoch_power_map(
+        self,
+        period_s: float,
+        migration_cost: Optional[MigrationCost] = None,
+    ) -> Dict[Coordinate, float]:
+        """Per-PE average power over one epoch under the current mapping.
+
+        Workload power follows the tasks to their current locations; if a
+        migration happened at the start of the epoch its energy is amortised
+        over the epoch and charged to the units it touched.
+        """
+        if period_s <= 0:
+            raise ValueError("epoch period must be positive")
+        power = self.configuration.power_map(self.current_mapping)
+        if migration_cost is not None and self.include_migration_energy:
+            for coord, energy in migration_cost.energy_per_unit_j.items():
+                if energy == 0.0:
+                    continue
+                power[coord] = power.get(coord, 0.0) + energy / period_s
+        return power
+
+    def static_power_map(self) -> Dict[Coordinate, float]:
+        """Power map of the unmigrated (static) mapping — the baseline."""
+        return self.configuration.power_map(self.configuration.static_mapping)

@@ -1,0 +1,293 @@
+"""The end-to-end thermal experiment driver.
+
+:class:`ThermalExperiment` couples a chip configuration, a reconfiguration
+policy, the migration cost model and the thermal solver, and produces the
+numbers the paper reports:
+
+* **Figure 1** — reduction in peak temperature per configuration per
+  migration scheme, via :meth:`ThermalExperiment.run` in ``"steady"`` mode
+  (the long-run periodic regime: spatially, the die sees the time-averaged
+  power of the migration orbit, plus the migration energy);
+* **Section 3's period sweep** — throughput penalty and residual peak ripple
+  as a function of the migration period, via ``"transient"`` mode, which
+  integrates the RC network over the actual sequence of epochs starting from
+  the settled regime.
+
+Both modes share the epoch loop: at every period boundary the policy decides
+whether (and how) to migrate, the controller applies the transform and
+charges its cycles/energy, and the resulting per-PE power map is handed to
+the thermal model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..chips.configurations import ChipConfiguration
+from ..migration.unit import MigrationCost, MigrationUnit
+from ..noc.topology import Coordinate
+from .controller import RuntimeReconfigurationController
+from .metrics import EpochRecord, ExperimentResult, PerformanceMetrics, ThermalMetrics
+from .policy import NoMigrationPolicy, PolicyContext, ReconfigurationPolicy
+
+
+@dataclass
+class ExperimentSettings:
+    """Knobs of the experiment driver."""
+
+    #: Number of migration periods to simulate.
+    num_epochs: int = 60
+    #: "steady" (time-averaged power, the Figure 1 mode) or "transient"
+    #: (integrate the RC network epoch by epoch from the settled regime).
+    mode: str = "steady"
+    #: Include migration energy in the power maps (the paper does).
+    include_migration_energy: bool = True
+    #: Fraction of final epochs considered the settled regime.
+    settle_fraction: float = 0.5
+    #: Explicit number of settled epochs; overrides ``settle_fraction`` when
+    #: set.  Choosing a multiple of the transform's orbit length (e.g. 20 or
+    #: 40, which divides by 2, 4 and 5) makes the time average exact.
+    settle_epochs: Optional[int] = None
+    #: Implicit-Euler steps per epoch in transient mode.
+    transient_steps_per_epoch: int = 8
+
+    def __post_init__(self) -> None:
+        if self.num_epochs < 1:
+            raise ValueError("at least one epoch is required")
+        if self.mode not in ("steady", "transient"):
+            raise ValueError("mode must be 'steady' or 'transient'")
+        if not 0.0 < self.settle_fraction <= 1.0:
+            raise ValueError("settle_fraction must be in (0, 1]")
+        if self.settle_epochs is not None and not 1 <= self.settle_epochs <= self.num_epochs:
+            raise ValueError("settle_epochs must be between 1 and num_epochs")
+        if self.transient_steps_per_epoch < 1:
+            raise ValueError("transient_steps_per_epoch must be at least 1")
+
+    def settled_count(self, available_epochs: int) -> int:
+        """Number of final epochs that form the settled regime."""
+        if self.settle_epochs is not None:
+            return min(self.settle_epochs, available_epochs)
+        return max(1, int(available_epochs * self.settle_fraction))
+
+
+class ThermalExperiment:
+    """Runs one (configuration, policy) experiment."""
+
+    def __init__(
+        self,
+        configuration: ChipConfiguration,
+        policy: ReconfigurationPolicy,
+        settings: Optional[ExperimentSettings] = None,
+        migration_unit: Optional[MigrationUnit] = None,
+    ):
+        self.configuration = configuration
+        self.policy = policy
+        self.settings = settings or ExperimentSettings()
+        self.controller = RuntimeReconfigurationController(
+            configuration,
+            migration_unit=migration_unit,
+            include_migration_energy=self.settings.include_migration_energy,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> ExperimentResult:
+        """Run the configured experiment and return its result."""
+        self.policy.reset()
+        self.controller.reset()
+        if self.settings.mode == "steady":
+            return self._run_steady()
+        return self._run_transient()
+
+    # ------------------------------------------------------------------
+    # Shared epoch loop
+    # ------------------------------------------------------------------
+    def _epoch_sequence(
+        self, thermal_feedback: bool
+    ) -> List[Tuple[Dict[Coordinate, float], Optional[MigrationCost], Optional[str]]]:
+        """Run the policy/controller loop and collect per-epoch power maps.
+
+        ``thermal_feedback`` controls whether the policy sees the predicted
+        steady-state temperature of the previous epoch's power map (needed by
+        threshold/adaptive policies); the periodic policies ignore it.
+        """
+        configuration = self.configuration
+        controller = self.controller
+        period_s = self.policy.period_us * 1e-6
+        thermal_model = configuration.thermal_model
+
+        epochs: List[Tuple[Dict[Coordinate, float], Optional[MigrationCost], Optional[str]]] = []
+        previous_thermal: Optional[ThermalMetrics] = None
+        previous_power = controller.static_power_map()
+
+        for epoch_index in range(self.settings.num_epochs):
+            if thermal_feedback and previous_thermal is None:
+                previous_thermal = ThermalMetrics.from_map(
+                    thermal_model.steady_state_by_coord(previous_power)
+                )
+            context = PolicyContext(
+                epoch_index=epoch_index,
+                current_thermal=previous_thermal,
+                current_power_map=previous_power,
+                topology=configuration.topology,
+            )
+            transform = self.policy.decide(context)
+            cost: Optional[MigrationCost] = None
+            name: Optional[str] = None
+            if transform is not None and transform.name != "identity":
+                cost = controller.apply_migration(transform, epoch_index)
+                name = transform.name
+            power = controller.epoch_power_map(period_s, cost)
+            epochs.append((power, cost, name))
+
+            if thermal_feedback:
+                previous_thermal = ThermalMetrics.from_map(
+                    thermal_model.steady_state_by_coord(power)
+                )
+            previous_power = power
+            controller.advance_epoch()
+        return epochs
+
+    def _needs_thermal_feedback(self) -> bool:
+        """Only stateful policies need per-epoch temperature estimates."""
+        return not isinstance(self.policy, NoMigrationPolicy) and not self._is_periodic()
+
+    def _is_periodic(self) -> bool:
+        from .policy import PeriodicMigrationPolicy
+
+        return isinstance(self.policy, (PeriodicMigrationPolicy, NoMigrationPolicy))
+
+    # ------------------------------------------------------------------
+    def _baseline(self) -> Tuple[float, float, Dict[Coordinate, float]]:
+        thermal_model = self.configuration.thermal_model
+        static_power = self.controller.static_power_map()
+        temps = thermal_model.steady_state_by_coord(static_power)
+        metrics = ThermalMetrics.from_map(temps)
+        return metrics.peak_celsius, metrics.mean_celsius, static_power
+
+    def _performance(self, period_cycles: int) -> PerformanceMetrics:
+        total_cycles = period_cycles * self.settings.num_epochs
+        return PerformanceMetrics(
+            total_cycles=total_cycles,
+            migration_cycles=min(self.controller.total_migration_cycles, total_cycles),
+            migrations_performed=self.controller.migrations_performed,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_steady(self) -> ExperimentResult:
+        configuration = self.configuration
+        thermal_model = configuration.thermal_model
+        period_s = self.policy.period_us * 1e-6
+        period_cycles = configuration.block_period_cycles(self.policy.period_us)
+
+        baseline_peak, baseline_mean, _static_power = self._baseline()
+        epochs_raw = self._epoch_sequence(thermal_feedback=self._needs_thermal_feedback())
+
+        records: List[EpochRecord] = []
+        for idx, (power, cost, name) in enumerate(epochs_raw):
+            temps = thermal_model.steady_state_by_coord(power)
+            records.append(
+                EpochRecord(
+                    epoch_index=idx,
+                    mapping_permutation=[],
+                    transform_applied=name,
+                    migration_cycles=cost.cycles if cost else 0,
+                    migration_energy_j=cost.total_energy_j if cost else 0.0,
+                    thermal=ThermalMetrics.from_map(temps),
+                    power_map=power,
+                )
+            )
+
+        # Settled regime: the die responds to the time-average of the power
+        # maps over the final epochs (one or more full orbits of the transform).
+        settle_count = self.settings.settled_count(len(epochs_raw))
+        settled_epochs = epochs_raw[-settle_count:]
+        averaged: Dict[Coordinate, float] = {
+            coord: 0.0 for coord in configuration.topology.coordinates()
+        }
+        for power, _cost, _name in settled_epochs:
+            for coord, watts in power.items():
+                averaged[coord] += watts / settle_count
+        settled_temps = thermal_model.steady_state_by_coord(averaged)
+        settled_metrics = ThermalMetrics.from_map(settled_temps)
+
+        return ExperimentResult(
+            configuration_name=configuration.name,
+            scheme_name=self.policy.name,
+            period_us=self.policy.period_us,
+            baseline_peak_celsius=baseline_peak,
+            baseline_mean_celsius=baseline_mean,
+            epochs=records,
+            performance=self._performance(period_cycles),
+            total_migration_energy_j=self.controller.total_migration_energy_j,
+            settled_peak_celsius=settled_metrics.peak_celsius,
+            settled_mean_celsius=settled_metrics.mean_celsius,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_transient(self) -> ExperimentResult:
+        configuration = self.configuration
+        thermal_model = configuration.thermal_model
+        period_s = self.policy.period_us * 1e-6
+        period_cycles = configuration.block_period_cycles(self.policy.period_us)
+        time_step = period_s / self.settings.transient_steps_per_epoch
+
+        baseline_peak, baseline_mean, _static_power = self._baseline()
+        epochs_raw = self._epoch_sequence(thermal_feedback=self._needs_thermal_feedback())
+
+        # Start from the settled regime: steady state of the time-averaged
+        # power, so the transient only has to resolve the within-period ripple.
+        averaged: Dict[Coordinate, float] = {
+            coord: 0.0 for coord in configuration.topology.coordinates()
+        }
+        for power, _cost, _name in epochs_raw:
+            for coord, watts in power.items():
+                averaged[coord] += watts / len(epochs_raw)
+        state = thermal_model.warm_state(averaged)
+
+        records: List[EpochRecord] = []
+        peak_by_epoch: List[float] = []
+        mean_by_epoch: List[float] = []
+        for idx, (power, cost, name) in enumerate(epochs_raw):
+            result = thermal_model.transient(
+                power, period_s, initial_state=state, time_step_s=time_step
+            )
+            state = result.final_state_kelvin
+            final_map = result.final_map()
+            per_unit = {
+                coord: final_map.block_celsius[f"PE_{coord[0]}_{coord[1]}"]
+                for coord in configuration.topology.coordinates()
+            }
+            metrics = ThermalMetrics.from_map(per_unit)
+            peak_by_epoch.append(result.peak_celsius)
+            mean_by_epoch.append(metrics.mean_celsius)
+            records.append(
+                EpochRecord(
+                    epoch_index=idx,
+                    mapping_permutation=[],
+                    transform_applied=name,
+                    migration_cycles=cost.cycles if cost else 0,
+                    migration_energy_j=cost.total_energy_j if cost else 0.0,
+                    thermal=metrics,
+                    power_map=power,
+                )
+            )
+
+        settle_count = self.settings.settled_count(len(records))
+        settled_peak = float(np.max(peak_by_epoch[-settle_count:]))
+        settled_mean = float(np.mean(mean_by_epoch[-settle_count:]))
+
+        return ExperimentResult(
+            configuration_name=configuration.name,
+            scheme_name=self.policy.name,
+            period_us=self.policy.period_us,
+            baseline_peak_celsius=baseline_peak,
+            baseline_mean_celsius=baseline_mean,
+            epochs=records,
+            performance=self._performance(period_cycles),
+            total_migration_energy_j=self.controller.total_migration_energy_j,
+            settled_peak_celsius=settled_peak,
+            settled_mean_celsius=settled_mean,
+        )

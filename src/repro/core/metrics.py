@@ -1,0 +1,160 @@
+"""Metrics recorded by the runtime-reconfiguration experiments.
+
+The paper reports three kinds of numbers: peak-temperature reductions
+(Figure 1), average-temperature effects of migration energy, and throughput
+penalties as a function of the migration period.  The records here carry all
+three plus the per-epoch detail needed to plot time series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..noc.topology import Coordinate
+
+
+@dataclass
+class ThermalMetrics:
+    """Spatial temperature summary at one instant (or steady state)."""
+
+    peak_celsius: float
+    mean_celsius: float
+    min_celsius: float
+    per_unit_celsius: Dict[Coordinate, float] = field(default_factory=dict)
+
+    @property
+    def spread_celsius(self) -> float:
+        """Peak-to-minimum spatial spread; migration's goal is to shrink this."""
+        return self.peak_celsius - self.min_celsius
+
+    @property
+    def spatial_std_celsius(self) -> float:
+        """Standard deviation of unit temperatures (thermal uniformity)."""
+        if not self.per_unit_celsius:
+            return 0.0
+        return float(np.std(list(self.per_unit_celsius.values())))
+
+    def hottest_unit(self) -> Optional[Coordinate]:
+        if not self.per_unit_celsius:
+            return None
+        return max(self.per_unit_celsius, key=self.per_unit_celsius.get)
+
+    @classmethod
+    def from_map(cls, per_unit_celsius: Dict[Coordinate, float]) -> "ThermalMetrics":
+        values = list(per_unit_celsius.values())
+        return cls(
+            peak_celsius=max(values),
+            mean_celsius=float(np.mean(values)),
+            min_celsius=min(values),
+            per_unit_celsius=dict(per_unit_celsius),
+        )
+
+
+@dataclass
+class PerformanceMetrics:
+    """Throughput accounting over a simulated interval."""
+
+    total_cycles: int
+    migration_cycles: int
+    migrations_performed: int
+
+    def __post_init__(self) -> None:
+        if self.total_cycles < 0 or self.migration_cycles < 0:
+            raise ValueError("cycle counts cannot be negative")
+        if self.migration_cycles > self.total_cycles:
+            raise ValueError("migration cycles cannot exceed total cycles")
+
+    @property
+    def useful_cycles(self) -> int:
+        return self.total_cycles - self.migration_cycles
+
+    @property
+    def throughput_penalty(self) -> float:
+        """Fraction of cycles lost to migration (the paper's 1.6 % / 0.4 % / 0.2 %)."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.migration_cycles / self.total_cycles
+
+    @property
+    def throughput_fraction(self) -> float:
+        """Fraction of nominal throughput retained."""
+        return 1.0 - self.throughput_penalty
+
+
+@dataclass
+class EpochRecord:
+    """One migration period of an experiment."""
+
+    epoch_index: int
+    mapping_permutation: List[int]
+    transform_applied: Optional[str]
+    migration_cycles: int
+    migration_energy_j: float
+    thermal: ThermalMetrics
+    power_map: Dict[Coordinate, float] = field(default_factory=dict)
+
+    @property
+    def migrated(self) -> bool:
+        return self.transform_applied is not None
+
+
+@dataclass
+class ExperimentResult:
+    """Complete outcome of one (configuration, policy) experiment."""
+
+    configuration_name: str
+    scheme_name: str
+    period_us: float
+    baseline_peak_celsius: float
+    baseline_mean_celsius: float
+    epochs: List[EpochRecord]
+    performance: PerformanceMetrics
+    total_migration_energy_j: float
+    settled_peak_celsius: float
+    settled_mean_celsius: float
+
+    # ------------------------------------------------------------------
+    @property
+    def peak_reduction_celsius(self) -> float:
+        """Figure 1's quantity: baseline peak minus peak with migration.
+
+        Positive means migration lowered the hotspot; the paper reports up to
+        ~8 °C for the best schemes and a slightly negative value for rotation
+        on configuration E.
+        """
+        return self.baseline_peak_celsius - self.settled_peak_celsius
+
+    @property
+    def mean_increase_celsius(self) -> float:
+        """Average-temperature change caused by migration energy."""
+        return self.settled_mean_celsius - self.baseline_mean_celsius
+
+    @property
+    def throughput_penalty(self) -> float:
+        return self.performance.throughput_penalty
+
+    @property
+    def migrations_performed(self) -> int:
+        return self.performance.migrations_performed
+
+    def peak_series(self) -> np.ndarray:
+        """Per-epoch peak temperatures (for convergence plots)."""
+        return np.array([epoch.thermal.peak_celsius for epoch in self.epochs])
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dictionary for CSV/report output."""
+        return {
+            "configuration": self.configuration_name,
+            "scheme": self.scheme_name,
+            "period_us": self.period_us,
+            "baseline_peak_c": round(self.baseline_peak_celsius, 3),
+            "settled_peak_c": round(self.settled_peak_celsius, 3),
+            "peak_reduction_c": round(self.peak_reduction_celsius, 3),
+            "mean_increase_c": round(self.mean_increase_celsius, 3),
+            "throughput_penalty": round(self.throughput_penalty, 5),
+            "migrations": self.migrations_performed,
+            "migration_energy_j": self.total_migration_energy_j,
+        }

@@ -1,0 +1,201 @@
+"""Reconfiguration policies: when to migrate and with which transform.
+
+The paper evaluates *periodic* migration with a fixed transform (one curve
+per transform in Figure 1, one period per point in the Section 3 sweep).  The
+policy abstraction also provides two natural extensions the conclusions hint
+at — temperature-threshold triggering and an adaptive transform choice —
+which are exercised by the extension benchmarks and examples.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..migration.transforms import (
+    FIGURE1_SCHEMES,
+    MigrationTransform,
+    make_transform,
+)
+from ..noc.topology import Coordinate, MeshTopology
+from .metrics import ThermalMetrics
+
+
+@dataclass
+class PolicyContext:
+    """Information a policy may use when deciding whether to migrate."""
+
+    epoch_index: int
+    current_thermal: Optional[ThermalMetrics]
+    current_power_map: Dict[Coordinate, float]
+    topology: MeshTopology
+
+
+class ReconfigurationPolicy(ABC):
+    """Decides, at each period boundary, which transform (if any) to apply."""
+
+    #: Name used in reports.
+    name: str = "abstract"
+
+    def __init__(self, period_us: float):
+        if period_us <= 0:
+            raise ValueError("migration period must be positive")
+        self.period_us = period_us
+
+    @abstractmethod
+    def decide(self, context: PolicyContext) -> Optional[MigrationTransform]:
+        """Transform to apply at this period boundary, or None to stay put."""
+
+    def reset(self) -> None:
+        """Clear any internal state before a fresh experiment run."""
+
+
+class NoMigrationPolicy(ReconfigurationPolicy):
+    """Baseline: never migrate (static thermally-aware mapping only)."""
+
+    name = "static"
+
+    def __init__(self, period_us: float = 109.0):
+        super().__init__(period_us)
+
+    def decide(self, context: PolicyContext) -> Optional[MigrationTransform]:
+        return None
+
+
+class PeriodicMigrationPolicy(ReconfigurationPolicy):
+    """The paper's scheme: apply the same transform at every period boundary."""
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        scheme: str,
+        period_us: float = 109.0,
+        skip_first: bool = True,
+    ):
+        super().__init__(period_us)
+        self.scheme = scheme
+        self.transform = make_transform(scheme, topology)
+        self.name = f"periodic-{scheme}"
+        #: when True, the first epoch runs in the static mapping (so the
+        #: experiment's baseline and migrated phases share a starting point).
+        self.skip_first = skip_first
+
+    def decide(self, context: PolicyContext) -> Optional[MigrationTransform]:
+        if self.skip_first and context.epoch_index == 0:
+            return None
+        return self.transform
+
+
+class ThresholdMigrationPolicy(ReconfigurationPolicy):
+    """Migrate only while the peak temperature exceeds a trigger level.
+
+    An extension beyond the paper: periodic checking, but migrations are
+    suppressed when the chip is already cool, saving the migration energy and
+    throughput penalty during light load.
+    """
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        scheme: str,
+        trigger_celsius: float,
+        period_us: float = 109.0,
+    ):
+        super().__init__(period_us)
+        self.scheme = scheme
+        self.trigger_celsius = trigger_celsius
+        self.transform = make_transform(scheme, topology)
+        self.name = f"threshold-{scheme}@{trigger_celsius:g}C"
+        self.migrations_triggered = 0
+
+    def decide(self, context: PolicyContext) -> Optional[MigrationTransform]:
+        thermal = context.current_thermal
+        if thermal is None:
+            return None
+        if thermal.peak_celsius >= self.trigger_celsius:
+            self.migrations_triggered += 1
+            return self.transform
+        return None
+
+    def reset(self) -> None:
+        self.migrations_triggered = 0
+
+
+class AdaptiveMigrationPolicy(ReconfigurationPolicy):
+    """Pick, each period, the candidate transform that best cools the hotspot.
+
+    At every boundary the policy scores each candidate transform by how far
+    the predicted post-migration hotspot ends up from the currently hottest
+    unit (a cheap spatial heuristic that needs no thermal solve), preferring
+    transforms that move the hot workload furthest from its heat.  This is
+    the "dynamic alteration of the migration function at runtime" the paper's
+    Section 2.3 explicitly allows for.
+    """
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        candidate_schemes: Optional[Sequence[str]] = None,
+        period_us: float = 109.0,
+    ):
+        super().__init__(period_us)
+        self.topology = topology
+        schemes = list(candidate_schemes) if candidate_schemes else list(FIGURE1_SCHEMES)
+        self.candidates: List[MigrationTransform] = []
+        for scheme in schemes:
+            try:
+                self.candidates.append(make_transform(scheme, topology))
+            except ValueError:
+                # e.g. rotation on a non-square mesh: simply not a candidate.
+                continue
+        if not self.candidates:
+            raise ValueError("no valid candidate transforms for this topology")
+        self.name = "adaptive"
+        self.choices: List[str] = []
+
+    def decide(self, context: PolicyContext) -> Optional[MigrationTransform]:
+        thermal = context.current_thermal
+        if thermal is None or not context.current_power_map:
+            choice = self.candidates[0]
+            self.choices.append(choice.name)
+            return choice
+        hottest = thermal.hottest_unit()
+        if hottest is None:
+            hottest = self.topology.center
+
+        best = None
+        best_score = None
+        for transform in self.candidates:
+            displaced = transform(hottest)
+            distance = self.topology.manhattan_distance(hottest, displaced)
+            # Secondary criterion: prefer transforms with fewer fixed points
+            # (they leave nothing pinned on a hotspot).
+            fixed_penalty = len(transform.fixed_points()) * 0.25
+            score = distance - fixed_penalty
+            if best_score is None or score > best_score:
+                best_score = score
+                best = transform
+        self.choices.append(best.name)
+        return best
+
+    def reset(self) -> None:
+        self.choices = []
+
+
+def make_policy(
+    name: str,
+    topology: MeshTopology,
+    period_us: float = 109.0,
+    **kwargs,
+) -> ReconfigurationPolicy:
+    """Factory: ``"static"``, a Figure-1 scheme name, ``"adaptive"``, or
+    ``"threshold-<scheme>"``."""
+    if name == "static":
+        return NoMigrationPolicy(period_us)
+    if name == "adaptive":
+        return AdaptiveMigrationPolicy(topology, period_us=period_us, **kwargs)
+    if name.startswith("threshold-"):
+        scheme = name[len("threshold-") :]
+        return ThresholdMigrationPolicy(topology, scheme, period_us=period_us, **kwargs)
+    return PeriodicMigrationPolicy(topology, name, period_us=period_us, **kwargs)

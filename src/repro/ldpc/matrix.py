@@ -1,0 +1,177 @@
+"""Construction of LDPC parity-check matrices.
+
+The paper's workload is an LDPC decoder implemented on the NoC (Theocharides
+et al., ISVLSI 2005).  We provide the two standard constructions used for
+hardware decoders of that era:
+
+* *regular Gallager codes* — every variable node has degree ``wc`` and every
+  check node degree ``wr``; built by stacking column-permuted copies of a
+  band matrix, and
+* *array (quasi-cyclic) codes* — built from circulant permutation matrices,
+  the structure actually favoured by NoC/ASIC decoders because the regular
+  structure maps cleanly onto a mesh of processing elements.
+
+All matrices are dense ``numpy`` arrays over GF(2) with ``dtype=np.uint8``;
+the sizes used in the evaluation (a few hundred to a couple thousand bits)
+make sparse storage unnecessary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CodeParameters:
+    """Summary of an LDPC code's dimensions.
+
+    Attributes
+    ----------
+    n:
+        Block length (number of variable nodes / codeword bits).
+    m:
+        Number of parity checks (rows of H).
+    design_rate:
+        ``1 - m/n`` — the nominal code rate before accounting for dependent
+        rows.
+    """
+
+    n: int
+    m: int
+
+    @property
+    def design_rate(self) -> float:
+        return 1.0 - self.m / self.n
+
+
+def validate_parity_matrix(H: np.ndarray) -> CodeParameters:
+    """Check that ``H`` is a binary matrix usable as a parity-check matrix."""
+    if H.ndim != 2:
+        raise ValueError("parity-check matrix must be two-dimensional")
+    if H.size == 0:
+        raise ValueError("parity-check matrix must be non-empty")
+    values = np.unique(H)
+    if not np.all(np.isin(values, (0, 1))):
+        raise ValueError("parity-check matrix entries must be 0 or 1")
+    if np.any(H.sum(axis=1) == 0):
+        raise ValueError("parity-check matrix has an empty check (all-zero row)")
+    if np.any(H.sum(axis=0) == 0):
+        raise ValueError("parity-check matrix has an unprotected bit (all-zero column)")
+    m, n = H.shape
+    return CodeParameters(n=n, m=m)
+
+
+def gallager_parity_matrix(
+    n: int,
+    wc: int,
+    wr: int,
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """Construct a regular (``wc``, ``wr``) Gallager parity-check matrix.
+
+    Parameters
+    ----------
+    n:
+        Block length; must be divisible by ``wr``.
+    wc:
+        Column weight (variable-node degree).
+    wr:
+        Row weight (check-node degree).
+    seed:
+        Seed for the column permutations of the stacked sub-matrices.
+
+    Returns
+    -------
+    ``(n * wc / wr, n)`` binary matrix with constant row weight ``wr`` and
+    column weight ``wc``.
+    """
+    if n <= 0 or wc <= 0 or wr <= 0:
+        raise ValueError("n, wc and wr must be positive")
+    if n % wr != 0:
+        raise ValueError(f"block length {n} must be divisible by row weight {wr}")
+    if wc >= wr and n // wr * wc >= n:
+        # Row count m = n*wc/wr must stay below n for a useful code rate,
+        # except for tiny test codes where we allow equality.
+        if n * wc // wr > n:
+            raise ValueError("wc/wr >= 1 would give a rate <= 0 code")
+
+    rng = np.random.default_rng(seed)
+    rows_per_band = n // wr
+
+    # First band: row i covers columns [i*wr, (i+1)*wr).
+    band = np.zeros((rows_per_band, n), dtype=np.uint8)
+    for i in range(rows_per_band):
+        band[i, i * wr : (i + 1) * wr] = 1
+
+    bands = [band]
+    for _ in range(wc - 1):
+        perm = rng.permutation(n)
+        bands.append(band[:, perm])
+    H = np.vstack(bands).astype(np.uint8)
+    validate_parity_matrix(H)
+    return H
+
+
+def array_code_parity_matrix(p: int, j: int, k: int) -> np.ndarray:
+    """Construct a quasi-cyclic array-code parity-check matrix.
+
+    The matrix is a ``j`` x ``k`` grid of ``p`` x ``p`` circulant permutation
+    matrices: block (a, b) is the identity cyclically shifted by ``a * b mod
+    p``.  ``p`` must be prime for the classical construction's girth
+    guarantees, but any ``p > max(j, k)`` yields a valid parity matrix, which
+    is all the workload model needs.
+
+    Returns
+    -------
+    ``(j * p, k * p)`` binary matrix with column weight ``j`` and row weight
+    ``k``.
+    """
+    if p <= 0 or j <= 0 or k <= 0:
+        raise ValueError("p, j, k must be positive")
+    if j > p or k > p:
+        raise ValueError("array code requires j <= p and k <= p")
+    identity = np.eye(p, dtype=np.uint8)
+    blocks = []
+    for a in range(j):
+        row_blocks = []
+        for b in range(k):
+            shift = (a * b) % p
+            row_blocks.append(np.roll(identity, shift, axis=1))
+        blocks.append(np.hstack(row_blocks))
+    H = np.vstack(blocks).astype(np.uint8)
+    validate_parity_matrix(H)
+    return H
+
+
+def matrix_degrees(H: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-node degrees: (variable-node degrees, check-node degrees)."""
+    return H.sum(axis=0).astype(int), H.sum(axis=1).astype(int)
+
+
+def gf2_rank(H: np.ndarray) -> int:
+    """Rank of a binary matrix over GF(2) (Gaussian elimination)."""
+    A = H.copy().astype(np.uint8) % 2
+    m, n = A.shape
+    rank = 0
+    pivot_col = 0
+    for row in range(m):
+        while pivot_col < n:
+            pivot_rows = np.nonzero(A[row:, pivot_col])[0]
+            if pivot_rows.size == 0:
+                pivot_col += 1
+                continue
+            pivot = pivot_rows[0] + row
+            if pivot != row:
+                A[[row, pivot]] = A[[pivot, row]]
+            eliminate = np.nonzero(A[:, pivot_col])[0]
+            eliminate = eliminate[eliminate != row]
+            A[eliminate] ^= A[row]
+            rank += 1
+            pivot_col += 1
+            break
+        else:
+            break
+    return rank

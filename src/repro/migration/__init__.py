@@ -1,0 +1,46 @@
+"""Runtime migration: coordinate transforms, scheduling, cost and chip I/O.
+
+This package implements the paper's contribution proper — the plane
+transforms of Table 1 (rotation, mirroring, translation), the phased
+congestion-free migration schedule, the migration unit's cycle/energy cost
+model, and the transparent I/O address translation.
+"""
+
+from .io_interface import IoAddressTranslator
+from .scheduler import MigrationSchedule, MigrationScheduler, PeMove
+from .state_transfer import StateTransferModel
+from .transforms import (
+    FIGURE1_SCHEMES,
+    IdentityTransform,
+    MigrationTransform,
+    RightShiftTransform,
+    RotationTransform,
+    XMirrorTransform,
+    XYMirrorTransform,
+    XYShiftTransform,
+    YMirrorTransform,
+    available_transforms,
+    make_transform,
+)
+from .unit import MigrationCost, MigrationUnit
+
+__all__ = [
+    "IoAddressTranslator",
+    "MigrationSchedule",
+    "MigrationScheduler",
+    "PeMove",
+    "StateTransferModel",
+    "FIGURE1_SCHEMES",
+    "IdentityTransform",
+    "MigrationTransform",
+    "RightShiftTransform",
+    "RotationTransform",
+    "XMirrorTransform",
+    "XYMirrorTransform",
+    "XYShiftTransform",
+    "YMirrorTransform",
+    "available_transforms",
+    "make_transform",
+    "MigrationCost",
+    "MigrationUnit",
+]

@@ -1,0 +1,103 @@
+"""Transparent chip I/O through the migration unit.
+
+Section 2.3: "the simplicity and predictability of the migration functions
+... allows for a simplified I/O interface to the outside of the chip, by
+transforming the destination address assigned to all incoming packets and
+transforming the source address of all packets leaving the chip.  By
+including a migration unit at the I/O interface, the migration operation is
+totally transparent to the outside world."
+
+:class:`IoAddressTranslator` keeps the composition of every migration applied
+so far.  External agents always address PEs by their *original* (design-time)
+coordinates; the translator rewrites those to the current physical location
+on ingress and back to the original view on egress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..noc.flit import Packet, PacketClass
+from ..noc.topology import Coordinate, MeshTopology
+from .transforms import MigrationTransform
+
+
+class IoAddressTranslator:
+    """Maintains the cumulative coordinate map across migrations."""
+
+    def __init__(self, topology: MeshTopology):
+        self.topology = topology
+        #: original (design-time) coordinate -> current physical coordinate
+        self._current_of_original: Dict[Coordinate, Coordinate] = {
+            coord: coord for coord in topology.coordinates()
+        }
+        self._history: List[str] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def migrations_applied(self) -> int:
+        return len(self._history)
+
+    @property
+    def history(self) -> List[str]:
+        """Names of the transforms applied, in order."""
+        return list(self._history)
+
+    def record_migration(self, transform: MigrationTransform) -> None:
+        """Compose ``transform`` onto the cumulative map."""
+        self._current_of_original = {
+            original: transform(current)
+            for original, current in self._current_of_original.items()
+        }
+        self._history.append(transform.name)
+
+    def reset(self) -> None:
+        """Forget all migrations (chip returns to the design-time layout)."""
+        self._current_of_original = {
+            coord: coord for coord in self.topology.coordinates()
+        }
+        self._history.clear()
+
+    # ------------------------------------------------------------------
+    def current_location(self, original: Coordinate) -> Coordinate:
+        """Where the workload originally at ``original`` currently lives."""
+        if original not in self._current_of_original:
+            raise ValueError(f"coordinate {original} outside mesh")
+        return self._current_of_original[original]
+
+    def original_location(self, current: Coordinate) -> Coordinate:
+        """The design-time coordinate of the workload now at ``current``."""
+        for original, location in self._current_of_original.items():
+            if location == current:
+                return original
+        raise ValueError(f"coordinate {current} outside mesh")
+
+    # ------------------------------------------------------------------
+    def translate_incoming(self, packet: Packet) -> Packet:
+        """Rewrite an external packet's destination to the current location.
+
+        The outside world addresses the chip by original coordinates; the
+        workload it wants may have migrated.
+        """
+        new_destination = self.current_location(packet.destination)
+        return Packet(
+            source=packet.source,
+            destination=new_destination,
+            size_flits=packet.size_flits,
+            packet_class=PacketClass.IO,
+            injection_cycle=packet.injection_cycle,
+            payload=packet.payload,
+        )
+
+    def translate_outgoing(self, packet: Packet) -> Packet:
+        """Rewrite an outbound packet's source back to the original view."""
+        original_source = self.original_location(packet.source)
+        return Packet(
+            source=original_source,
+            destination=packet.destination,
+            size_flits=packet.size_flits,
+            packet_class=PacketClass.IO,
+            injection_cycle=packet.injection_cycle,
+            payload=packet.payload,
+        )

@@ -1,0 +1,76 @@
+"""Cycle-accurate 2-D mesh Network-on-Chip simulator.
+
+This package is the substrate the paper's evaluation runs on: a wormhole,
+credit-flow-controlled mesh NoC with dimension-ordered routing, synthetic and
+trace-driven traffic, and per-router switching-activity counters that feed
+the power and thermal models.
+"""
+
+from .buffer import BufferOverflowError, CreditCounter, FlitBuffer
+from .engine import EventQueue, SimulationClock
+from .flit import Flit, FlitType, Packet, PacketClass, reset_packet_ids
+from .link import Link, LinkTable
+from .network import Network
+from .router import Router, RouterActivity
+from .routing import (
+    OddEvenRouting,
+    RoutingAlgorithm,
+    WestFirstRouting,
+    XYRouting,
+    YXRouting,
+    available_algorithms,
+    make_routing,
+)
+from .simulator import NocSimulator, SimulationResult
+from .stats import LatencyStats, NetworkStats
+from .topology import Coordinate, Direction, MeshTopology
+from .traffic import (
+    BitComplementTraffic,
+    HotspotTraffic,
+    NeighborTraffic,
+    TraceTraffic,
+    TrafficGenerator,
+    TransposeTraffic,
+    UniformRandomTraffic,
+    make_traffic,
+)
+
+__all__ = [
+    "BufferOverflowError",
+    "CreditCounter",
+    "FlitBuffer",
+    "EventQueue",
+    "SimulationClock",
+    "Flit",
+    "FlitType",
+    "Packet",
+    "PacketClass",
+    "reset_packet_ids",
+    "Link",
+    "LinkTable",
+    "Network",
+    "Router",
+    "RouterActivity",
+    "RoutingAlgorithm",
+    "XYRouting",
+    "YXRouting",
+    "WestFirstRouting",
+    "OddEvenRouting",
+    "make_routing",
+    "available_algorithms",
+    "NocSimulator",
+    "SimulationResult",
+    "LatencyStats",
+    "NetworkStats",
+    "Coordinate",
+    "Direction",
+    "MeshTopology",
+    "TrafficGenerator",
+    "UniformRandomTraffic",
+    "TransposeTraffic",
+    "BitComplementTraffic",
+    "NeighborTraffic",
+    "HotspotTraffic",
+    "TraceTraffic",
+    "make_traffic",
+]

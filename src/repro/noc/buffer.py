@@ -1,0 +1,114 @@
+"""Input buffers and credit-based flow control for the NoC routers.
+
+Each router input port owns a fixed-depth FIFO of flits.  Upstream routers
+track credits (free slots) for the downstream buffer and may only forward a
+flit when a credit is available; the credit returns when the downstream
+router drains the flit.  This is the standard wormhole/credit scheme the
+paper's cycle-accurate simulator models.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+from .flit import Flit
+
+
+class BufferOverflowError(RuntimeError):
+    """Raised when a flit is pushed into a full buffer.
+
+    With correct credit accounting this never happens; the exception exists
+    so that flow-control bugs fail loudly instead of silently dropping flits.
+    """
+
+
+@dataclass
+class FlitBuffer:
+    """A fixed-capacity FIFO of flits attached to a router input port."""
+
+    capacity: int
+    _fifo: Deque[Flit] = field(default_factory=deque)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("buffer capacity must be at least one flit")
+
+    @property
+    def occupancy(self) -> int:
+        """Number of flits currently stored."""
+        return len(self._fifo)
+
+    @property
+    def free_slots(self) -> int:
+        """Number of flits that can still be accepted."""
+        return self.capacity - len(self._fifo)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._fifo
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._fifo) >= self.capacity
+
+    def push(self, flit: Flit) -> None:
+        """Append a flit; raises :class:`BufferOverflowError` when full."""
+        if self.is_full:
+            raise BufferOverflowError(
+                f"buffer overflow (capacity={self.capacity}) pushing {flit!r}"
+            )
+        self._fifo.append(flit)
+
+    def peek(self) -> Optional[Flit]:
+        """Return the flit at the head of the FIFO without removing it."""
+        if not self._fifo:
+            return None
+        return self._fifo[0]
+
+    def pop(self) -> Flit:
+        """Remove and return the head flit."""
+        if not self._fifo:
+            raise IndexError("pop from empty flit buffer")
+        return self._fifo.popleft()
+
+    def clear(self) -> None:
+        """Drop all buffered flits (used when resetting the network)."""
+        self._fifo.clear()
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    def __iter__(self):
+        return iter(self._fifo)
+
+
+@dataclass
+class CreditCounter:
+    """Credits available for the downstream buffer of one output port."""
+
+    capacity: int
+    credits: int = -1
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("credit capacity must be at least one")
+        if self.credits < 0:
+            self.credits = self.capacity
+
+    @property
+    def has_credit(self) -> bool:
+        return self.credits > 0
+
+    def consume(self) -> None:
+        """Spend one credit when forwarding a flit downstream."""
+        if self.credits <= 0:
+            raise RuntimeError("credit underflow: forwarding without credit")
+        self.credits -= 1
+
+    def release(self) -> None:
+        """Return one credit when the downstream buffer drains a flit."""
+        if self.credits >= self.capacity:
+            raise RuntimeError("credit overflow: more credits than buffer slots")
+        self.credits += 1

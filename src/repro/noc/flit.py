@@ -1,0 +1,145 @@
+"""Packets and flits for the wormhole-switched NoC.
+
+Packets carry LDPC messages (and, during migration, PE configuration/state)
+between PEs.  Each packet is segmented into flits: one head flit carrying the
+route information, zero or more body flits, and a tail flit that releases the
+wormhole path.  Single-flit packets use the ``HEAD_TAIL`` type.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import List, Optional, Tuple
+
+Coordinate = Tuple[int, int]
+
+_packet_counter = itertools.count()
+
+
+def reset_packet_ids() -> None:
+    """Reset the global packet id counter (used by tests for determinism)."""
+    global _packet_counter
+    _packet_counter = itertools.count()
+
+
+class FlitType(Enum):
+    """Position of a flit within its packet."""
+
+    HEAD = auto()
+    BODY = auto()
+    TAIL = auto()
+    HEAD_TAIL = auto()
+
+    @property
+    def is_head(self) -> bool:
+        return self in (FlitType.HEAD, FlitType.HEAD_TAIL)
+
+    @property
+    def is_tail(self) -> bool:
+        return self in (FlitType.TAIL, FlitType.HEAD_TAIL)
+
+
+class PacketClass(Enum):
+    """Traffic class of a packet.
+
+    ``DATA`` packets carry workload (LDPC) messages.  ``CONFIG`` packets carry
+    PE configuration and state during a migration phase.  ``IO`` packets cross
+    the chip boundary and pass through the migration unit's address
+    translation.
+    """
+
+    DATA = auto()
+    CONFIG = auto()
+    IO = auto()
+
+
+@dataclass
+class Packet:
+    """A multi-flit message travelling from ``source`` to ``destination``.
+
+    Attributes
+    ----------
+    source, destination:
+        Physical mesh coordinates of the injecting and ejecting routers.
+    size_flits:
+        Total number of flits including head and tail.
+    packet_class:
+        Traffic class (workload data, migration config, or chip I/O).
+    injection_cycle:
+        Cycle at which the packet was offered to the network.
+    payload:
+        Optional opaque payload used by the LDPC workload and migration
+        engine (e.g. the logical task id being moved).
+    """
+
+    source: Coordinate
+    destination: Coordinate
+    size_flits: int
+    packet_class: PacketClass = PacketClass.DATA
+    injection_cycle: int = 0
+    payload: Optional[object] = None
+    packet_id: int = field(default_factory=lambda: next(_packet_counter))
+
+    # Filled in by the network when the tail flit is ejected.
+    ejection_cycle: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.size_flits < 1:
+            raise ValueError("a packet needs at least one flit")
+
+    @property
+    def latency(self) -> Optional[int]:
+        """End-to-end latency in cycles, or ``None`` while in flight."""
+        if self.ejection_cycle is None:
+            return None
+        return self.ejection_cycle - self.injection_cycle
+
+    @property
+    def hop_distance(self) -> int:
+        """Manhattan distance between source and destination."""
+        return abs(self.source[0] - self.destination[0]) + abs(
+            self.source[1] - self.destination[1]
+        )
+
+    def make_flits(self) -> List["Flit"]:
+        """Segment the packet into its flit sequence."""
+        if self.size_flits == 1:
+            return [Flit(packet=self, flit_type=FlitType.HEAD_TAIL, index=0)]
+        flits = [Flit(packet=self, flit_type=FlitType.HEAD, index=0)]
+        for i in range(1, self.size_flits - 1):
+            flits.append(Flit(packet=self, flit_type=FlitType.BODY, index=i))
+        flits.append(Flit(packet=self, flit_type=FlitType.TAIL, index=self.size_flits - 1))
+        return flits
+
+
+@dataclass
+class Flit:
+    """A single flow-control unit of a packet."""
+
+    packet: Packet
+    flit_type: FlitType
+    index: int
+
+    @property
+    def destination(self) -> Coordinate:
+        return self.packet.destination
+
+    @property
+    def source(self) -> Coordinate:
+        return self.packet.source
+
+    @property
+    def is_head(self) -> bool:
+        return self.flit_type.is_head
+
+    @property
+    def is_tail(self) -> bool:
+        return self.flit_type.is_tail
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Flit(pkt={self.packet.packet_id}, {self.flit_type.name}, "
+            f"{self.source}->{self.destination})"
+        )

@@ -1,0 +1,71 @@
+"""Inter-router link model.
+
+Links are unidirectional, single-flit-per-cycle channels between adjacent
+routers.  The model tracks per-link utilisation (for the power model and the
+congestion statistics) and supports a configurable traversal latency, kept at
+one cycle to match the paper's platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from .topology import Coordinate, Direction
+
+
+@dataclass
+class Link:
+    """A unidirectional link from ``source`` towards ``direction``."""
+
+    source: Coordinate
+    destination: Coordinate
+    direction: Direction
+    latency_cycles: int = 1
+    flits_carried: int = 0
+    busy_cycles: int = 0
+
+    def traverse(self) -> None:
+        """Record one flit traversal."""
+        self.flits_carried += 1
+        self.busy_cycles += self.latency_cycles
+
+    def utilization(self, elapsed_cycles: int) -> float:
+        """Fraction of cycles this link carried a flit."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / elapsed_cycles)
+
+    def reset(self) -> None:
+        self.flits_carried = 0
+        self.busy_cycles = 0
+
+
+class LinkTable:
+    """All links of a mesh, keyed by (source coordinate, direction)."""
+
+    def __init__(self) -> None:
+        self._links: Dict[Tuple[Coordinate, Direction], Link] = {}
+
+    def add(self, link: Link) -> None:
+        key = (link.source, link.direction)
+        if key in self._links:
+            raise ValueError(f"duplicate link {key}")
+        self._links[key] = link
+
+    def get(self, source: Coordinate, direction: Direction) -> Link:
+        return self._links[(source, direction)]
+
+    def __iter__(self):
+        return iter(self._links.values())
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+    def total_flits(self) -> int:
+        """Sum of flits carried over every link."""
+        return sum(link.flits_carried for link in self._links.values())
+
+    def reset(self) -> None:
+        for link in self._links.values():
+            link.reset()

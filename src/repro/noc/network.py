@@ -1,0 +1,240 @@
+"""Mesh network assembly and the per-cycle update rule.
+
+The :class:`Network` owns one :class:`~repro.noc.router.Router` per mesh node,
+the inter-router :class:`~repro.noc.link.Link` table, per-node injection and
+ejection queues, and the aggregate :class:`~repro.noc.stats.NetworkStats`.
+
+The update for one cycle is:
+
+1. every router computes routes for new head flits;
+2. every router runs switch allocation, producing a set of flit traversals;
+3. all traversals are applied atomically: flits move to the neighbouring
+   router (or are ejected), credits are consumed/released, link counters are
+   bumped;
+4. pending source-queued packets are injected where the local input buffer
+   has room.
+
+Because the traversals computed in step 2 are applied only in step 3, a flit
+advances at most one hop per cycle, which is what makes the simulator
+cycle-accurate rather than a flow approximation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from .flit import Flit, Packet, PacketClass
+from .link import Link, LinkTable
+from .router import Forward, Router
+from .routing import RoutingAlgorithm, make_routing
+from .stats import NetworkStats
+from .topology import Coordinate, Direction, MeshTopology
+
+EjectionHandler = Callable[[Packet, int], None]
+
+
+class Network:
+    """A 2-D mesh wormhole network.
+
+    Parameters
+    ----------
+    topology:
+        The mesh dimensions.
+    routing:
+        A routing algorithm name (``"xy"`` by default) or an instantiated
+        :class:`~repro.noc.routing.RoutingAlgorithm`.
+    buffer_depth:
+        Input FIFO depth per router port, in flits.
+    """
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        routing: "str | RoutingAlgorithm" = "xy",
+        buffer_depth: int = 4,
+    ):
+        self.topology = topology
+        if isinstance(routing, str):
+            routing = make_routing(routing, topology)
+        self.routing = routing
+        self.buffer_depth = buffer_depth
+
+        self.routers: Dict[Coordinate, Router] = {}
+        self.links = LinkTable()
+        for coord in topology.coordinates():
+            neighbor_dirs = list(topology.neighbors(coord).keys())
+            ports = [Direction.LOCAL] + neighbor_dirs
+            self.routers[coord] = Router(
+                coordinate=coord,
+                routing=self.routing,
+                buffer_depth=buffer_depth,
+                connected_ports=ports,
+            )
+            for direction, neighbor in topology.neighbors(coord).items():
+                self.links.add(Link(source=coord, destination=neighbor, direction=direction))
+
+        # Source queues: packets waiting at each node for injection.
+        self.injection_queues: Dict[Coordinate, Deque[Packet]] = {
+            coord: deque() for coord in topology.coordinates()
+        }
+        # Packets currently being injected flit-by-flit.
+        self._injecting: Dict[Coordinate, List[Flit]] = {}
+        # Flits of partially ejected packets, keyed by packet id.
+        self._ejecting: Dict[int, int] = {}
+
+        self.stats = NetworkStats()
+        self.ejected_packets: List[Packet] = []
+        self.ejection_handler: Optional[EjectionHandler] = None
+        self.current_cycle = 0
+
+    # ------------------------------------------------------------------
+    # Injection interface
+    # ------------------------------------------------------------------
+    def inject(self, packet: Packet) -> None:
+        """Queue a packet at its source node for injection."""
+        if not self.topology.contains(packet.source):
+            raise ValueError(f"packet source {packet.source} outside mesh")
+        if not self.topology.contains(packet.destination):
+            raise ValueError(f"packet destination {packet.destination} outside mesh")
+        self.injection_queues[packet.source].append(packet)
+
+    def pending_injections(self) -> int:
+        """Packets still waiting in source queues (plus partially injected)."""
+        waiting = sum(len(q) for q in self.injection_queues.values())
+        return waiting + len(self._injecting)
+
+    # ------------------------------------------------------------------
+    # Cycle update
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the network by one cycle."""
+        # 1-2. Route computation + switch allocation in every router.
+        forwards: List[Forward] = []
+        for router in self.routers.values():
+            router.compute_routes()
+            forwards.extend(router.allocate_switch())
+
+        # 3. Apply traversals atomically.
+        for fwd in forwards:
+            self._apply_forward(fwd)
+
+        # 4. Inject waiting packets flit by flit.
+        self._inject_pending()
+
+        self.current_cycle += 1
+        self.stats.cycles += 1
+
+    def _apply_forward(self, fwd: Forward) -> None:
+        router = fwd.router
+        coord = router.coordinate
+        flit = fwd.flit
+
+        # Return a credit upstream for the buffer slot just freed, unless the
+        # flit came from the LOCAL injection port (whose source queue does not
+        # use credits).
+        if fwd.in_dir != Direction.LOCAL:
+            upstream_coord = self.topology.neighbor(coord, fwd.in_dir)
+            upstream = self.routers[upstream_coord]
+            upstream.credit_return(fwd.in_dir.opposite)
+
+        if fwd.out_dir == Direction.LOCAL:
+            self._eject_flit(coord, flit)
+            return
+
+        link = self.links.get(coord, fwd.out_dir)
+        link.traverse()
+        downstream = self.routers[link.destination]
+        downstream.accept_flit(fwd.out_dir.opposite, flit)
+
+    def _eject_flit(self, coord: Coordinate, flit: Flit) -> None:
+        packet = flit.packet
+        seen = self._ejecting.get(packet.packet_id, 0) + 1
+        if flit.is_tail:
+            self._ejecting.pop(packet.packet_id, None)
+            packet.ejection_cycle = self.current_cycle + 1
+            self.stats.record_ejection(packet)
+            self.ejected_packets.append(packet)
+            if self.ejection_handler is not None:
+                self.ejection_handler(packet, packet.ejection_cycle)
+        else:
+            self._ejecting[packet.packet_id] = seen
+
+    def _inject_pending(self) -> None:
+        for coord, queue in self.injection_queues.items():
+            router = self.routers[coord]
+            # Continue injecting a packet already in progress.
+            flits = self._injecting.get(coord)
+            if flits is None and queue:
+                packet = queue.popleft()
+                packet.injection_cycle = self.current_cycle
+                self.stats.record_injection(packet)
+                flits = packet.make_flits()
+                self._injecting[coord] = flits
+            if not flits:
+                continue
+            # Push as many flits as the local buffer accepts this cycle
+            # (the local port has the same bandwidth as a link: one flit).
+            if router.can_accept(Direction.LOCAL):
+                router.accept_flit(Direction.LOCAL, flits.pop(0))
+            else:
+                self.stats.stalled_injections += 1
+            if not flits:
+                self._injecting.pop(coord, None)
+
+    # ------------------------------------------------------------------
+    # Convenience drivers
+    # ------------------------------------------------------------------
+    def run(self, cycles: int) -> None:
+        """Run for a fixed number of cycles."""
+        for _ in range(cycles):
+            self.step()
+
+    def drain(self, max_cycles: int = 1_000_000) -> int:
+        """Run until all traffic has been delivered; returns cycles used.
+
+        Raises ``RuntimeError`` if the network does not drain within
+        ``max_cycles`` (which would indicate deadlock or livelock).
+        """
+        used = 0
+        while not self.is_idle():
+            if used >= max_cycles:
+                raise RuntimeError(
+                    f"network failed to drain within {max_cycles} cycles "
+                    f"({self.stats.in_flight_packets} packets in flight)"
+                )
+            self.step()
+            used += 1
+        return used
+
+    def is_idle(self) -> bool:
+        """True when no packets are queued, buffered or in flight."""
+        if self.pending_injections():
+            return False
+        return all(router.is_idle() for router in self.routers.values())
+
+    # ------------------------------------------------------------------
+    # Activity collection for the power model
+    # ------------------------------------------------------------------
+    def router_activity(self) -> Dict[Coordinate, "object"]:
+        """Snapshot of per-router activity counters."""
+        return {coord: router.activity.snapshot() for coord, router in self.routers.items()}
+
+    def reset_activity(self) -> None:
+        """Clear per-router activity counters (start of a power interval)."""
+        for router in self.routers.values():
+            router.activity.reset()
+        self.links.reset()
+
+    def reset(self) -> None:
+        """Full reset: drop traffic, clear stats and counters."""
+        for router in self.routers.values():
+            router.reset()
+        self.links.reset()
+        for queue in self.injection_queues.values():
+            queue.clear()
+        self._injecting.clear()
+        self._ejecting.clear()
+        self.stats.reset()
+        self.ejected_packets.clear()
+        self.current_cycle = 0

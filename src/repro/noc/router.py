@@ -1,0 +1,243 @@
+"""Cycle-accurate wormhole router model.
+
+Each router has five ports (LOCAL, EAST, WEST, NORTH, SOUTH).  Every input
+port owns a flit FIFO; every output port owns a credit counter mirroring the
+free space of the downstream input buffer and a wormhole allocation record
+(which input port currently owns the output).
+
+The router performs, conceptually in one cycle:
+
+1. *Route computation* for head flits at the front of each input buffer.
+2. *Switch allocation* — at most one flit per output port per cycle, with
+   round-robin priority among the competing input ports.
+3. *Switch/link traversal* — the winning flits are handed to the adjacent
+   router's input buffer (or ejected on the LOCAL port) and a credit is
+   returned to the upstream router.
+
+The simulation applies all traversals for a cycle atomically, so a flit
+moves at most one hop per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .buffer import CreditCounter, FlitBuffer
+from .flit import Flit
+from .routing import RoutingAlgorithm
+from .topology import Coordinate, Direction
+
+ALL_PORTS = (
+    Direction.LOCAL,
+    Direction.EAST,
+    Direction.WEST,
+    Direction.NORTH,
+    Direction.SOUTH,
+)
+
+
+@dataclass
+class RouterActivity:
+    """Per-router switching-activity counters consumed by the power model."""
+
+    flits_routed: int = 0
+    headers_decoded: int = 0
+    buffer_reads: int = 0
+    buffer_writes: int = 0
+    crossbar_traversals: int = 0
+    link_traversals: int = 0
+    arbitration_rounds: int = 0
+
+    def reset(self) -> None:
+        self.flits_routed = 0
+        self.headers_decoded = 0
+        self.buffer_reads = 0
+        self.buffer_writes = 0
+        self.crossbar_traversals = 0
+        self.link_traversals = 0
+        self.arbitration_rounds = 0
+
+    def snapshot(self) -> "RouterActivity":
+        return RouterActivity(
+            flits_routed=self.flits_routed,
+            headers_decoded=self.headers_decoded,
+            buffer_reads=self.buffer_reads,
+            buffer_writes=self.buffer_writes,
+            crossbar_traversals=self.crossbar_traversals,
+            link_traversals=self.link_traversals,
+            arbitration_rounds=self.arbitration_rounds,
+        )
+
+
+@dataclass
+class _OutputPort:
+    """Wormhole allocation and credit state of one output port."""
+
+    credits: CreditCounter
+    owner: Optional[Direction] = None  # input port currently holding the wormhole
+
+
+@dataclass
+class Forward:
+    """A flit traversal decided during switch allocation.
+
+    ``out_dir`` is relative to the router that owns the flit; the network
+    delivers the flit to the neighbouring router's opposite input port (or
+    ejects it when ``out_dir`` is LOCAL).
+    """
+
+    router: "Router"
+    in_dir: Direction
+    out_dir: Direction
+    flit: Flit
+
+
+class Router:
+    """One mesh router with input-buffered wormhole switching."""
+
+    def __init__(
+        self,
+        coordinate: Coordinate,
+        routing: RoutingAlgorithm,
+        buffer_depth: int = 4,
+        connected_ports: Optional[List[Direction]] = None,
+    ):
+        self.coordinate = coordinate
+        self.routing = routing
+        self.buffer_depth = buffer_depth
+        if connected_ports is None:
+            connected_ports = list(ALL_PORTS)
+        if Direction.LOCAL not in connected_ports:
+            connected_ports = [Direction.LOCAL] + list(connected_ports)
+        self.connected_ports: Tuple[Direction, ...] = tuple(connected_ports)
+
+        self.input_buffers: Dict[Direction, FlitBuffer] = {
+            port: FlitBuffer(buffer_depth) for port in self.connected_ports
+        }
+        self.output_ports: Dict[Direction, _OutputPort] = {
+            port: _OutputPort(CreditCounter(buffer_depth)) for port in self.connected_ports
+        }
+        # Cached routing decision for the packet at the head of each input FIFO.
+        self._head_route: Dict[Direction, Optional[Direction]] = {
+            port: None for port in self.connected_ports
+        }
+        # Round-robin pointer per output port for fair switch allocation.
+        self._rr_pointer: Dict[Direction, int] = {port: 0 for port in self.connected_ports}
+        self.activity = RouterActivity()
+
+    # ------------------------------------------------------------------
+    # Buffer interface used by the network
+    # ------------------------------------------------------------------
+    def can_accept(self, port: Direction) -> bool:
+        """True when the input buffer on ``port`` has a free slot."""
+        return not self.input_buffers[port].is_full
+
+    def accept_flit(self, port: Direction, flit: Flit) -> None:
+        """Write an arriving flit into the input buffer on ``port``."""
+        self.input_buffers[port].push(flit)
+        self.activity.buffer_writes += 1
+
+    def buffered_flits(self) -> int:
+        """Total number of flits currently buffered in this router."""
+        return sum(buf.occupancy for buf in self.input_buffers.values())
+
+    # ------------------------------------------------------------------
+    # Per-cycle operation
+    # ------------------------------------------------------------------
+    def compute_routes(self) -> None:
+        """Route computation stage for head flits lacking a decision."""
+        for port in self.connected_ports:
+            buf = self.input_buffers[port]
+            head = buf.peek()
+            if head is None:
+                self._head_route[port] = None
+                continue
+            if self._head_route[port] is None:
+                if head.is_head:
+                    out = self.routing.route(self.coordinate, head.destination)
+                    self._head_route[port] = out
+                    self.activity.headers_decoded += 1
+                else:
+                    # Body/tail flit follows the wormhole its head opened.
+                    owner_out = self._find_owned_output(port)
+                    self._head_route[port] = owner_out
+
+    def _find_owned_output(self, in_dir: Direction) -> Optional[Direction]:
+        for out_dir, state in self.output_ports.items():
+            if state.owner == in_dir:
+                return out_dir
+        return None
+
+    def allocate_switch(self) -> List[Forward]:
+        """Switch-allocation stage: pick at most one winner per output port."""
+        requests: Dict[Direction, List[Direction]] = {}
+        for in_dir in self.connected_ports:
+            buf = self.input_buffers[in_dir]
+            head = buf.peek()
+            out_dir = self._head_route[in_dir]
+            if head is None or out_dir is None:
+                continue
+            out_state = self.output_ports[out_dir]
+            # A wormhole already held by another input blocks this request.
+            if out_state.owner is not None and out_state.owner != in_dir:
+                continue
+            if not out_state.credits.has_credit and out_dir != Direction.LOCAL:
+                continue
+            requests.setdefault(out_dir, []).append(in_dir)
+
+        forwards: List[Forward] = []
+        for out_dir, contenders in requests.items():
+            self.activity.arbitration_rounds += 1
+            winner = self._arbitrate(out_dir, contenders)
+            flit = self.input_buffers[winner].pop()
+            self.activity.buffer_reads += 1
+            self.activity.crossbar_traversals += 1
+            self.activity.flits_routed += 1
+            out_state = self.output_ports[out_dir]
+            if flit.is_head:
+                out_state.owner = winner
+            if flit.is_tail:
+                out_state.owner = None
+            if out_dir != Direction.LOCAL:
+                out_state.credits.consume()
+                self.activity.link_traversals += 1
+            self._head_route[winner] = None
+            forwards.append(Forward(router=self, in_dir=winner, out_dir=out_dir, flit=flit))
+        return forwards
+
+    def _arbitrate(self, out_dir: Direction, contenders: List[Direction]) -> Direction:
+        """Round-robin arbitration among the contending input ports."""
+        if len(contenders) == 1:
+            return contenders[0]
+        order = list(self.connected_ports)
+        start = self._rr_pointer[out_dir]
+        rotated = order[start:] + order[:start]
+        for candidate in rotated:
+            if candidate in contenders:
+                self._rr_pointer[out_dir] = (order.index(candidate) + 1) % len(order)
+                return candidate
+        return contenders[0]  # pragma: no cover - defensive
+
+    def credit_return(self, out_dir: Direction) -> None:
+        """Return one credit for ``out_dir`` (downstream buffer drained a flit)."""
+        self.output_ports[out_dir].credits.release()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop all buffered flits and restore credits (between experiments)."""
+        for port in self.connected_ports:
+            self.input_buffers[port].clear()
+            self.output_ports[port] = _OutputPort(CreditCounter(self.buffer_depth))
+            self._head_route[port] = None
+            self._rr_pointer[port] = 0
+        self.activity.reset()
+
+    def is_idle(self) -> bool:
+        """True when no flits are buffered and no wormholes are held."""
+        if any(not buf.is_empty for buf in self.input_buffers.values()):
+            return False
+        return all(state.owner is None for state in self.output_ports.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Router{self.coordinate}"

@@ -1,0 +1,202 @@
+"""Synthetic traffic generators for the NoC substrate.
+
+The main workload of the reproduction is the LDPC decoder
+(:mod:`repro.ldpc.workload`), but the NoC characterisation benchmark
+(experiment E6 in DESIGN.md) and many unit tests use the classic synthetic
+patterns below.  Each generator produces, per cycle, the set of packets to
+offer to the network.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .flit import Packet, PacketClass
+from .topology import Coordinate, MeshTopology
+
+
+class TrafficGenerator(ABC):
+    """Base class: produces packets to inject at each cycle."""
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        injection_rate: float,
+        packet_size_flits: int = 4,
+        seed: Optional[int] = None,
+    ):
+        if not 0.0 <= injection_rate <= 1.0:
+            raise ValueError("injection rate must be in [0, 1] packets/node/cycle")
+        if packet_size_flits < 1:
+            raise ValueError("packet size must be at least one flit")
+        self.topology = topology
+        self.injection_rate = injection_rate
+        self.packet_size_flits = packet_size_flits
+        self.rng = random.Random(seed)
+
+    @abstractmethod
+    def destination_for(self, source: Coordinate) -> Optional[Coordinate]:
+        """Destination of a packet injected at ``source`` (None = no packet)."""
+
+    def packets_for_cycle(self, cycle: int) -> List[Packet]:
+        """Packets offered to the network in the given cycle."""
+        packets: List[Packet] = []
+        for source in self.topology.coordinates():
+            if self.rng.random() >= self.injection_rate:
+                continue
+            destination = self.destination_for(source)
+            if destination is None or destination == source:
+                continue
+            packets.append(
+                Packet(
+                    source=source,
+                    destination=destination,
+                    size_flits=self.packet_size_flits,
+                    packet_class=PacketClass.DATA,
+                    injection_cycle=cycle,
+                )
+            )
+        return packets
+
+
+class UniformRandomTraffic(TrafficGenerator):
+    """Each packet goes to a uniformly random other node."""
+
+    def destination_for(self, source: Coordinate) -> Optional[Coordinate]:
+        nodes = self.topology.num_nodes
+        while True:
+            dest_id = self.rng.randrange(nodes)
+            dest = self.topology.coordinate(dest_id)
+            if dest != source:
+                return dest
+
+
+class TransposeTraffic(TrafficGenerator):
+    """Node (x, y) sends to (y, x); meaningful on square meshes."""
+
+    def destination_for(self, source: Coordinate) -> Optional[Coordinate]:
+        x, y = source
+        dest = (y, x)
+        if not self.topology.contains(dest):
+            return None
+        return dest
+
+
+class BitComplementTraffic(TrafficGenerator):
+    """Node (x, y) sends to (W-1-x, H-1-y)."""
+
+    def destination_for(self, source: Coordinate) -> Optional[Coordinate]:
+        x, y = source
+        return (self.topology.width - 1 - x, self.topology.height - 1 - y)
+
+
+class HotspotTraffic(TrafficGenerator):
+    """A fraction of the traffic targets a small set of hotspot nodes.
+
+    This pattern creates exactly the localized congestion / activity
+    imbalance that produces thermal hotspots, and is used to stress the
+    migration policies beyond the LDPC workload.
+    """
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        injection_rate: float,
+        hotspots: Sequence[Coordinate],
+        hotspot_fraction: float = 0.5,
+        packet_size_flits: int = 4,
+        seed: Optional[int] = None,
+    ):
+        super().__init__(topology, injection_rate, packet_size_flits, seed)
+        if not hotspots:
+            raise ValueError("at least one hotspot node is required")
+        for spot in hotspots:
+            if not topology.contains(spot):
+                raise ValueError(f"hotspot {spot} outside mesh")
+        if not 0.0 <= hotspot_fraction <= 1.0:
+            raise ValueError("hotspot fraction must be in [0, 1]")
+        self.hotspots = list(hotspots)
+        self.hotspot_fraction = hotspot_fraction
+
+    def destination_for(self, source: Coordinate) -> Optional[Coordinate]:
+        if self.rng.random() < self.hotspot_fraction:
+            candidates = [spot for spot in self.hotspots if spot != source]
+            if candidates:
+                return self.rng.choice(candidates)
+        nodes = self.topology.num_nodes
+        while True:
+            dest = self.topology.coordinate(self.rng.randrange(nodes))
+            if dest != source:
+                return dest
+
+
+class NeighborTraffic(TrafficGenerator):
+    """Each node sends to a random mesh neighbour (short-range traffic).
+
+    LDPC message-passing between adjacent partitions is dominated by this
+    kind of near-neighbour communication.
+    """
+
+    def destination_for(self, source: Coordinate) -> Optional[Coordinate]:
+        neighbors = list(self.topology.neighbors(source).values())
+        if not neighbors:
+            return None
+        return self.rng.choice(neighbors)
+
+
+class TraceTraffic:
+    """Replays an explicit list of (cycle, source, destination, size) tuples.
+
+    Used by the LDPC workload adapter and by regression tests that need a
+    fully deterministic traffic sequence.
+    """
+
+    def __init__(self, trace: Iterable[Tuple[int, Coordinate, Coordinate, int]]):
+        self._by_cycle: Dict[int, List[Tuple[Coordinate, Coordinate, int]]] = {}
+        for cycle, source, destination, size in trace:
+            self._by_cycle.setdefault(cycle, []).append((source, destination, size))
+
+    def packets_for_cycle(self, cycle: int) -> List[Packet]:
+        entries = self._by_cycle.get(cycle, [])
+        return [
+            Packet(
+                source=source,
+                destination=destination,
+                size_flits=size,
+                packet_class=PacketClass.DATA,
+                injection_cycle=cycle,
+            )
+            for source, destination, size in entries
+        ]
+
+    @property
+    def last_cycle(self) -> int:
+        """Largest cycle index present in the trace."""
+        return max(self._by_cycle) if self._by_cycle else 0
+
+
+def make_traffic(
+    pattern: str,
+    topology: MeshTopology,
+    injection_rate: float,
+    packet_size_flits: int = 4,
+    seed: Optional[int] = None,
+    **kwargs,
+) -> TrafficGenerator:
+    """Factory for synthetic traffic by pattern name."""
+    patterns = {
+        "uniform": UniformRandomTraffic,
+        "transpose": TransposeTraffic,
+        "bit-complement": BitComplementTraffic,
+        "neighbor": NeighborTraffic,
+        "hotspot": HotspotTraffic,
+    }
+    try:
+        cls = patterns[pattern]
+    except KeyError:
+        raise ValueError(
+            f"unknown traffic pattern {pattern!r}; choose from {sorted(patterns)}"
+        ) from None
+    return cls(topology, injection_rate, packet_size_flits=packet_size_flits, seed=seed, **kwargs)

@@ -1,0 +1,31 @@
+"""Power modelling: technology constants, PE/router power and power traces.
+
+This package substitutes the paper's Synopsys Power Compiler flow with an
+activity-proportional analytic model (see DESIGN.md for the substitution
+rationale): switching activity from the NoC simulator or the analytic XY
+route estimator goes in, per-functional-unit watts come out.
+"""
+
+from .activity import (
+    ActivityMap,
+    UnitActivity,
+    activity_from_simulation,
+    analytic_router_flits,
+)
+from .library import DEFAULT_LIBRARY, TechnologyLibrary
+from .models import PePowerModel, RouterPowerModel, UnitPowerModel
+from .trace import PowerSample, PowerTrace
+
+__all__ = [
+    "ActivityMap",
+    "UnitActivity",
+    "activity_from_simulation",
+    "analytic_router_flits",
+    "DEFAULT_LIBRARY",
+    "TechnologyLibrary",
+    "PePowerModel",
+    "RouterPowerModel",
+    "UnitPowerModel",
+    "PowerSample",
+    "PowerTrace",
+]

@@ -1,0 +1,110 @@
+"""Power traces: per-interval, per-unit power vectors over time.
+
+The transient thermal solver consumes a sequence of (duration, power vector)
+samples; the experiment driver appends one sample per migration epoch.  The
+trace also provides the aggregate energy/average-power summaries used in the
+migration-energy ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..noc.topology import Coordinate, MeshTopology
+
+
+@dataclass
+class PowerSample:
+    """Average per-unit power over one interval."""
+
+    duration_s: float
+    power_w: Dict[Coordinate, float]
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("sample duration must be positive")
+        for coord, power in self.power_w.items():
+            if power < 0:
+                raise ValueError(f"negative power {power} at {coord}")
+
+    @property
+    def total_power_w(self) -> float:
+        return sum(self.power_w.values())
+
+    @property
+    def peak_power_w(self) -> float:
+        return max(self.power_w.values()) if self.power_w else 0.0
+
+    @property
+    def energy_j(self) -> float:
+        return self.total_power_w * self.duration_s
+
+    def as_vector(self, topology: MeshTopology) -> np.ndarray:
+        """Row-major power vector over the mesh (zeros for missing units)."""
+        vector = np.zeros(topology.num_nodes)
+        for coord, power in self.power_w.items():
+            vector[topology.node_id(coord)] = power
+        return vector
+
+
+@dataclass
+class PowerTrace:
+    """A time-ordered sequence of power samples."""
+
+    topology: MeshTopology
+    samples: List[PowerSample] = field(default_factory=list)
+
+    def append(self, sample: PowerSample) -> None:
+        self.samples.append(sample)
+
+    def add_interval(self, duration_s: float, power_w: Dict[Coordinate, float]) -> None:
+        self.append(PowerSample(duration_s=duration_s, power_w=dict(power_w)))
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self) -> Iterator[PowerSample]:
+        return iter(self.samples)
+
+    @property
+    def total_duration_s(self) -> float:
+        return sum(sample.duration_s for sample in self.samples)
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(sample.energy_j for sample in self.samples)
+
+    @property
+    def average_power_w(self) -> float:
+        duration = self.total_duration_s
+        if duration == 0:
+            return 0.0
+        return self.total_energy_j / duration
+
+    def average_power_per_unit(self) -> Dict[Coordinate, float]:
+        """Time-weighted average power of every unit over the whole trace."""
+        duration = self.total_duration_s
+        result: Dict[Coordinate, float] = {
+            coord: 0.0 for coord in self.topology.coordinates()
+        }
+        if duration == 0:
+            return result
+        for sample in self.samples:
+            for coord, power in sample.power_w.items():
+                result[coord] += power * sample.duration_s / duration
+        return result
+
+    def as_matrix(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(durations, powers) arrays; powers has one row per sample."""
+        durations = np.array([sample.duration_s for sample in self.samples])
+        powers = np.vstack(
+            [sample.as_vector(self.topology) for sample in self.samples]
+        ) if self.samples else np.zeros((0, self.topology.num_nodes))
+        return durations, powers
+
+    def peak_unit_power(self) -> float:
+        """Largest instantaneous per-unit power anywhere in the trace."""
+        return max((sample.peak_power_w for sample in self.samples), default=0.0)

@@ -1,0 +1,157 @@
+"""Grid-mode thermal model (finer spatial resolution than one node per block).
+
+HotSpot offers two models: the *block* model (one RC node per floorplan
+block, what :mod:`repro.thermal.rc_model` builds) and the *grid* model, which
+overlays a regular grid on the die so that intra-block temperature gradients
+become visible.  The grid mode matters for hotspot work because the true peak
+temperature sits at the centre of a hot unit, slightly above the block
+average the block model reports.
+
+:class:`GridThermalModel` reuses the exact same RC construction by refining
+the floorplan: every block is split into ``resolution`` x ``resolution``
+sub-cells, each block's power is distributed uniformly over its cells, and
+block temperatures are reported as the maximum (or mean) over the cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Literal, Optional, Tuple
+
+import numpy as np
+
+from ..noc.topology import Coordinate, MeshTopology
+from .floorplan import Block, Floorplan, block_name_for, mesh_floorplan
+from .package import DEFAULT_PACKAGE, ThermalPackage
+from .rc_model import build_thermal_network
+from .solver import TemperatureMap, ThermalSolver
+
+
+def refine_floorplan(floorplan: Floorplan, resolution: int) -> Floorplan:
+    """Split every block into ``resolution`` x ``resolution`` equal sub-cells.
+
+    Sub-cells are named ``<block>::<i>_<j>`` with ``i`` the column and ``j``
+    the row inside the parent block, so the parent is recoverable by
+    splitting the name on ``"::"``.
+    """
+    if resolution < 1:
+        raise ValueError("resolution must be at least 1")
+    if resolution == 1:
+        return Floorplan(list(floorplan))
+    cells = []
+    for block in floorplan:
+        cell_width = block.width / resolution
+        cell_height = block.height / resolution
+        for j in range(resolution):
+            for i in range(resolution):
+                cells.append(
+                    Block(
+                        name=f"{block.name}::{i}_{j}",
+                        x=block.x + i * cell_width,
+                        y=block.y + j * cell_height,
+                        width=cell_width,
+                        height=cell_height,
+                    )
+                )
+    refined = Floorplan(cells)
+    refined.validate_no_overlap()
+    return refined
+
+
+def parent_block_name(cell_name: str) -> str:
+    """Parent block of a refined cell (identity for unrefined names)."""
+    return cell_name.split("::", 1)[0]
+
+
+@dataclass
+class GridTemperatureMap:
+    """Per-block temperature summaries computed from per-cell temperatures."""
+
+    cell_celsius: Dict[str, float]
+    block_peak_celsius: Dict[str, float]
+    block_mean_celsius: Dict[str, float]
+
+    @property
+    def peak_celsius(self) -> float:
+        return max(self.block_peak_celsius.values())
+
+    @property
+    def mean_celsius(self) -> float:
+        return float(np.mean(list(self.block_mean_celsius.values())))
+
+    def hottest_block(self) -> str:
+        return max(self.block_peak_celsius, key=self.block_peak_celsius.get)
+
+
+class GridThermalModel:
+    """Finer-resolution companion to :class:`repro.thermal.hotspot.HotSpotModel`."""
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        resolution: int = 3,
+        package: ThermalPackage = DEFAULT_PACKAGE,
+        unit_area_mm2: float = 4.36,
+        floorplan: Optional[Floorplan] = None,
+    ):
+        if resolution < 1:
+            raise ValueError("resolution must be at least 1")
+        self.topology = topology
+        self.resolution = resolution
+        self.package = package
+        self.block_floorplan = floorplan or mesh_floorplan(topology, unit_area_mm2)
+        self.cell_floorplan = refine_floorplan(self.block_floorplan, resolution)
+        self.network = build_thermal_network(self.cell_floorplan, package)
+        self.solver = ThermalSolver(self.network)
+        # Cells grouped by their parent block, in construction order.
+        self._cells_of_block: Dict[str, list] = {}
+        for cell in self.cell_floorplan:
+            self._cells_of_block.setdefault(parent_block_name(cell.name), []).append(cell.name)
+
+    # ------------------------------------------------------------------
+    def _cell_power(self, power_by_coord: Dict[Coordinate, float]) -> Dict[str, float]:
+        """Distribute each unit's power uniformly over its cells."""
+        cells_per_block = self.resolution**2
+        cell_power: Dict[str, float] = {}
+        for coord, watts in power_by_coord.items():
+            if not self.topology.contains(coord):
+                raise ValueError(f"coordinate {coord} outside mesh")
+            if watts < 0:
+                raise ValueError(f"negative power at {coord}")
+            block = block_name_for(coord)
+            for cell_name in self._cells_of_block[block]:
+                cell_power[cell_name] = watts / cells_per_block
+        return cell_power
+
+    def steady_state(self, power_by_coord: Dict[Coordinate, float]) -> GridTemperatureMap:
+        """Grid-resolution steady-state temperatures for a per-unit power map."""
+        temps: TemperatureMap = self.solver.steady_state(self._cell_power(power_by_coord))
+        block_peak: Dict[str, float] = {}
+        block_mean: Dict[str, float] = {}
+        for block, cells in self._cells_of_block.items():
+            values = [temps.block_celsius[c] for c in cells]
+            block_peak[block] = max(values)
+            block_mean[block] = float(np.mean(values))
+        return GridTemperatureMap(
+            cell_celsius=dict(temps.block_celsius),
+            block_peak_celsius=block_peak,
+            block_mean_celsius=block_mean,
+        )
+
+    def peak_temperature(self, power_by_coord: Dict[Coordinate, float]) -> float:
+        """Grid-resolution peak temperature in Celsius."""
+        return self.steady_state(power_by_coord).peak_celsius
+
+    def steady_state_by_coord(
+        self, power_by_coord: Dict[Coordinate, float], statistic: Literal["peak", "mean"] = "peak"
+    ) -> Dict[Coordinate, float]:
+        """Per-unit temperatures (block peak or mean over its cells)."""
+        result = self.steady_state(power_by_coord)
+        source = result.block_peak_celsius if statistic == "peak" else result.block_mean_celsius
+        return {
+            coord: source[block_name_for(coord)] for coord in self.topology.coordinates()
+        }
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.cell_floorplan)

@@ -1,0 +1,129 @@
+"""HotSpot-style facade over the RC thermal model.
+
+The rest of the system talks to :class:`HotSpotModel`: give it a floorplan
+(or a mesh topology) and per-unit power in watts keyed by mesh coordinate,
+and it returns block temperatures in Celsius.  Defaults reproduce the paper's
+setup: HotSpot-like default package, 40 °C ambient, 4.36 mm² functional units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..noc.topology import Coordinate, MeshTopology
+from .floorplan import Floorplan, block_name_for, mesh_floorplan
+from .package import DEFAULT_PACKAGE, ThermalPackage
+from .rc_model import ThermalNetwork, build_thermal_network
+from .solver import TemperatureMap, ThermalSolver, TransientResult
+
+
+class HotSpotModel:
+    """Thermal model of one chip configuration.
+
+    Parameters
+    ----------
+    topology:
+        Mesh of functional units; the floorplan is generated from it unless
+        an explicit ``floorplan`` is supplied.
+    package:
+        Thermal package constants (defaults to the HotSpot-like defaults with
+        a 40 °C ambient).
+    unit_area_mm2:
+        Area of one functional unit when generating the mesh floorplan.
+    """
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        package: ThermalPackage = DEFAULT_PACKAGE,
+        unit_area_mm2: float = 4.36,
+        floorplan: Optional[Floorplan] = None,
+    ):
+        self.topology = topology
+        self.package = package
+        self.floorplan = floorplan or mesh_floorplan(topology, unit_area_mm2)
+        self.network: ThermalNetwork = build_thermal_network(self.floorplan, package)
+        self.solver = ThermalSolver(self.network)
+
+    # ------------------------------------------------------------------
+    def _to_block_power(self, power_by_coord: Dict[Coordinate, float]) -> Dict[str, float]:
+        block_power: Dict[str, float] = {}
+        for coord, watts in power_by_coord.items():
+            if not self.topology.contains(coord):
+                raise ValueError(f"coordinate {coord} outside mesh")
+            block_power[block_name_for(coord)] = watts
+        return block_power
+
+    def _map_by_coord(self, temperature_map: TemperatureMap) -> Dict[Coordinate, float]:
+        result: Dict[Coordinate, float] = {}
+        for coord in self.topology.coordinates():
+            result[coord] = temperature_map.block_celsius[block_name_for(coord)]
+        return result
+
+    # ------------------------------------------------------------------
+    def steady_state(self, power_by_coord: Dict[Coordinate, float]) -> TemperatureMap:
+        """Steady-state block temperatures for a per-unit power map."""
+        return self.solver.steady_state(self._to_block_power(power_by_coord))
+
+    def steady_state_by_coord(
+        self, power_by_coord: Dict[Coordinate, float]
+    ) -> Dict[Coordinate, float]:
+        """Steady-state temperatures keyed by mesh coordinate."""
+        return self._map_by_coord(self.steady_state(power_by_coord))
+
+    def peak_temperature(self, power_by_coord: Dict[Coordinate, float]) -> float:
+        """Peak steady-state temperature (Celsius) for a power map."""
+        return self.steady_state(power_by_coord).peak_celsius
+
+    # ------------------------------------------------------------------
+    def transient(
+        self,
+        power_by_coord: Dict[Coordinate, float],
+        duration_s: float,
+        initial_state: Optional[np.ndarray] = None,
+        time_step_s: Optional[float] = None,
+    ) -> TransientResult:
+        """Transient evolution under constant power for ``duration_s``."""
+        return self.solver.transient(
+            self._to_block_power(power_by_coord),
+            duration_s,
+            initial_state=initial_state,
+            time_step_s=time_step_s,
+        )
+
+    def transient_sequence(
+        self,
+        intervals: "list[tuple[float, Dict[Coordinate, float]]]",
+        initial_state: Optional[np.ndarray] = None,
+        time_step_s: Optional[float] = None,
+    ) -> TransientResult:
+        """Transient evolution under a piecewise-constant power trace."""
+        block_intervals = [
+            (duration, self._to_block_power(power)) for duration, power in intervals
+        ]
+        return self.solver.transient_sequence(
+            block_intervals, initial_state=initial_state, time_step_s=time_step_s
+        )
+
+    def warm_state(self, power_by_coord: Dict[Coordinate, float]) -> np.ndarray:
+        """Steady-state node vector used to start transients already warm."""
+        return self.solver.warm_state(self._to_block_power(power_by_coord))
+
+    # ------------------------------------------------------------------
+    @property
+    def ambient_celsius(self) -> float:
+        return self.package.ambient_celsius
+
+    def thermal_time_constant_s(self) -> float:
+        """Rough dominant time constant of the die nodes (C/G of one block).
+
+        Used by the experiment driver to choose sensible transient horizons.
+        """
+        n_blocks = len(self.floorplan)
+        die_caps = self.network.capacitance[:n_blocks]
+        A = self.network.system_matrix()
+        die_conductance = np.diag(A)[:n_blocks]
+        return float(np.mean(die_caps / die_conductance))

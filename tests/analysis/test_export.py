@@ -1,0 +1,85 @@
+"""Tests for the result exporters."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    experiment_result_to_dict,
+    experiment_result_to_json,
+    figure1_to_csv,
+    figure1_to_json,
+    period_sweep_to_csv,
+)
+from repro.analysis.report import generate_figure1
+from repro.analysis.sweep import run_period_sweep
+from repro.chips import get_configuration
+from repro.core.experiment import ExperimentSettings, ThermalExperiment
+from repro.core.policy import PeriodicMigrationPolicy
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    chip = get_configuration("A")
+    policy = PeriodicMigrationPolicy(chip.topology, "xy-shift", period_us=109.0)
+    settings = ExperimentSettings(num_epochs=9, mode="steady", settle_epochs=8)
+    return ThermalExperiment(chip, policy, settings=settings).run()
+
+
+@pytest.fixture(scope="module")
+def small_figure1():
+    return generate_figure1(
+        configurations=[get_configuration("A")],
+        schemes=("xy-shift", "rotation"),
+        settings=ExperimentSettings(num_epochs=9, mode="steady", settle_epochs=8),
+    )
+
+
+class TestExperimentExport:
+    def test_dict_round_trips_through_json(self, small_result):
+        data = experiment_result_to_dict(small_result)
+        text = json.dumps(data)
+        assert json.loads(text)["configuration"] == "A"
+
+    def test_epochs_included_and_excluded(self, small_result):
+        with_epochs = experiment_result_to_dict(small_result, include_epochs=True)
+        without_epochs = experiment_result_to_dict(small_result, include_epochs=False)
+        assert len(with_epochs["epochs"]) == 9
+        assert "epochs" not in without_epochs
+
+    def test_json_written_to_file(self, small_result, tmp_path):
+        path = tmp_path / "result.json"
+        text = experiment_result_to_json(small_result, path=path)
+        assert path.read_text() == text
+        loaded = json.loads(path.read_text())
+        assert loaded["scheme"] == "periodic-xy-shift"
+
+
+class TestFigure1Export:
+    def test_csv_has_one_row_per_cell(self, small_figure1, tmp_path):
+        path = tmp_path / "figure1.csv"
+        text = figure1_to_csv(small_figure1, path=path)
+        rows = list(csv.DictReader(path.open()))
+        assert len(rows) == 2
+        assert rows[0]["configuration"] == "A"
+        assert text.startswith("configuration,")
+
+    def test_json_includes_aggregates(self, small_figure1):
+        data = json.loads(figure1_to_json(small_figure1))
+        assert data["best_scheme"] in ("xy-shift", "rotation")
+        assert set(data["average_reduction_c"]) == {"xy-shift", "rotation"}
+        assert data["period_us"] == 109.0
+
+
+class TestSweepExport:
+    def test_csv_rows_sorted_by_period(self, tmp_path):
+        chip = get_configuration("A")
+        sweep = run_period_sweep(
+            chip, scheme="xy-shift", periods_us=(437.2, 109.0), mode="steady", num_epochs=9
+        )
+        path = tmp_path / "sweep.csv"
+        period_sweep_to_csv(sweep, path=path)
+        rows = list(csv.DictReader(path.open()))
+        assert [float(row["period_us"]) for row in rows] == [109.0, 437.2]
+        assert all(row["configuration"] == "A" for row in rows)

@@ -1,0 +1,106 @@
+"""Tests for the five chip configurations A-E."""
+
+import numpy as np
+import pytest
+
+from repro.chips.configurations import (
+    PAPER_BASE_PEAKS_CELSIUS,
+    all_configurations,
+    configuration_names,
+    get_configuration,
+)
+from repro.chips.profiles import row_powers
+
+
+class TestRoster:
+    def test_five_configurations(self):
+        configs = all_configurations()
+        assert [c.name for c in configs] == ["A", "B", "C", "D", "E"]
+
+    def test_mesh_sizes_match_paper(self):
+        """A and B are 4x4 chips; C, D and E are 5x5 chips."""
+        for name in ("A", "B"):
+            config = get_configuration(name)
+            assert (config.topology.width, config.topology.height) == (4, 4)
+        for name in ("C", "D", "E"):
+            config = get_configuration(name)
+            assert (config.topology.width, config.topology.height) == (5, 5)
+
+    def test_unknown_configuration(self):
+        with pytest.raises(ValueError):
+            get_configuration("Z")
+
+    def test_lowercase_accepted(self):
+        assert get_configuration("a").name == "A"
+
+    def test_configuration_names(self):
+        assert configuration_names() == ("A", "B", "C", "D", "E")
+
+    def test_cached_instances(self):
+        assert get_configuration("A") is get_configuration("A")
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("name", ["A", "B", "C", "D", "E"])
+    def test_baseline_peak_matches_figure1_axis(self, name):
+        """Baseline (static mapping) peak temperature must equal the value the
+        paper prints under each configuration in Figure 1."""
+        config = get_configuration(name)
+        assert config.base_peak_temperature() == pytest.approx(
+            PAPER_BASE_PEAKS_CELSIUS[name], abs=0.01
+        )
+
+    @pytest.mark.parametrize("name", ["A", "B", "C", "D", "E"])
+    def test_total_power_plausible(self, name):
+        """A 160 nm chip of 70-110 mm^2 dissipating tens of watts."""
+        config = get_configuration(name)
+        assert 10.0 < config.total_power_w < 80.0
+
+    @pytest.mark.parametrize("name", ["A", "B", "C", "D", "E"])
+    def test_warm_band_exists(self, name):
+        """Every configuration has one row with significantly higher power."""
+        config = get_configuration(name)
+        rows = row_powers(config.topology, config.power_map())
+        others = np.delete(rows, np.argmax(rows))
+        assert rows.max() > 1.2 * others.mean()
+
+    def test_configuration_e_center_is_hot(self):
+        config = get_configuration("E")
+        power = config.power_map()
+        center_power = power[(2, 2)]
+        mean_power = np.mean(list(power.values()))
+        assert center_power > 1.5 * mean_power
+
+
+class TestWorkloadLinkage:
+    @pytest.mark.parametrize("name", ["A", "C"])
+    def test_workload_covers_all_pes(self, name):
+        config = get_configuration(name)
+        assert config.workload.num_tasks == config.num_units
+        sizes = config.workload.partition.task_sizes()
+        assert all(size > 0 for size in sizes)
+
+    def test_per_task_power_totals_match_unit_power(self, chip_a):
+        per_task = chip_a.per_task_power()
+        assert sum(per_task.values()) == pytest.approx(chip_a.total_power_w)
+
+    def test_power_map_with_migrated_mapping(self, chip_a):
+        from repro.migration.transforms import XYShiftTransform
+
+        shifted = chip_a.static_mapping.apply_transform(XYShiftTransform(chip_a.topology))
+        migrated_power = chip_a.power_map(shifted)
+        static_power = chip_a.power_map()
+        # Total power is conserved, the spatial arrangement is not.
+        assert sum(migrated_power.values()) == pytest.approx(sum(static_power.values()))
+        assert migrated_power != static_power
+
+    def test_tanner_nodes_per_pe_total(self, chip_a):
+        per_pe = chip_a.tanner_nodes_per_pe()
+        assert sum(per_pe.values()) == chip_a.workload.partition.graph.num_nodes
+
+    def test_block_period_cycles(self, chip_a):
+        assert chip_a.block_period_cycles(109.0) == 54500
+
+    def test_description_present(self):
+        for config in all_configurations():
+            assert config.description

@@ -1,0 +1,87 @@
+"""Tests for the runtime reconfiguration controller."""
+
+import pytest
+
+from repro.core.controller import RuntimeReconfigurationController
+from repro.migration.transforms import RotationTransform, XYShiftTransform, make_transform
+
+
+@pytest.fixture
+def controller_a(chip_a):
+    return RuntimeReconfigurationController(chip_a)
+
+
+class TestMigrationApplication:
+    def test_starts_at_static_mapping(self, controller_a, chip_a):
+        assert controller_a.current_mapping == chip_a.static_mapping
+
+    def test_apply_migration_updates_mapping(self, controller_a, chip_a):
+        transform = XYShiftTransform(chip_a.topology)
+        controller_a.apply_migration(transform)
+        expected = chip_a.static_mapping.apply_transform(transform)
+        assert controller_a.current_mapping == expected
+        assert controller_a.migrations_performed == 1
+
+    def test_migration_history_accumulates(self, controller_a, chip_a):
+        transform = XYShiftTransform(chip_a.topology)
+        for _ in range(3):
+            controller_a.apply_migration(transform)
+        assert controller_a.migrations_performed == 3
+        assert controller_a.total_migration_cycles > 0
+        assert controller_a.total_migration_energy_j > 0
+
+    def test_io_translator_tracks_migrations(self, controller_a, chip_a):
+        transform = XYShiftTransform(chip_a.topology)
+        controller_a.apply_migration(transform)
+        assert controller_a.io_translator.migrations_applied == 1
+        assert controller_a.io_translator.current_location((0, 0)) == transform((0, 0))
+
+    def test_event_records_moved_tasks(self, controller_a, chip_a):
+        transform = XYShiftTransform(chip_a.topology)
+        controller_a.apply_migration(transform)
+        assert controller_a.events[0].moved_tasks == chip_a.num_units
+
+    def test_rotation_on_odd_mesh_leaves_one_task(self, chip_e):
+        controller = RuntimeReconfigurationController(chip_e)
+        controller.apply_migration(RotationTransform(chip_e.topology))
+        assert controller.events[0].moved_tasks == chip_e.num_units - 1
+
+    def test_reset(self, controller_a, chip_a):
+        controller_a.apply_migration(XYShiftTransform(chip_a.topology))
+        controller_a.reset()
+        assert controller_a.current_mapping == chip_a.static_mapping
+        assert controller_a.migrations_performed == 0
+        assert controller_a.io_translator.migrations_applied == 0
+
+
+class TestEnergyAccounting:
+    def test_energy_disabled_when_requested(self, chip_a):
+        controller = RuntimeReconfigurationController(chip_a, include_migration_energy=False)
+        controller.apply_migration(XYShiftTransform(chip_a.topology))
+        assert controller.total_migration_energy_j == 0.0
+
+    def test_epoch_power_map_adds_migration_energy(self, controller_a, chip_a):
+        transform = XYShiftTransform(chip_a.topology)
+        cost = controller_a.apply_migration(transform)
+        period_s = 109e-6
+        with_energy = controller_a.epoch_power_map(period_s, cost)
+        without_energy = controller_a.epoch_power_map(period_s, None)
+        assert sum(with_energy.values()) > sum(without_energy.values())
+        extra = sum(with_energy.values()) - sum(without_energy.values())
+        assert extra == pytest.approx(cost.total_energy_j / period_s, rel=1e-6)
+
+    def test_epoch_power_map_moves_with_tasks(self, controller_a, chip_a):
+        static_power = controller_a.epoch_power_map(109e-6)
+        transform = XYShiftTransform(chip_a.topology)
+        controller_a.apply_migration(transform)
+        migrated_power = controller_a.epoch_power_map(109e-6)
+        # The hottest unit's power moved to its transformed location.
+        hottest = max(static_power, key=static_power.get)
+        assert migrated_power[transform(hottest)] >= static_power[hottest] - 1e-9
+
+    def test_epoch_power_requires_positive_period(self, controller_a):
+        with pytest.raises(ValueError):
+            controller_a.epoch_power_map(0.0)
+
+    def test_static_power_map_matches_configuration(self, controller_a, chip_a):
+        assert controller_a.static_power_map() == chip_a.power_map()

@@ -1,0 +1,90 @@
+"""Tests for the Tanner graph."""
+
+import numpy as np
+import pytest
+
+from repro.ldpc.matrix import array_code_parity_matrix
+from repro.ldpc.tanner import TannerGraph, TannerNode
+
+
+class TestTannerNode:
+    def test_kinds(self):
+        v = TannerNode("v", 3)
+        c = TannerNode("c", 1)
+        assert v.is_variable and not v.is_check
+        assert c.is_check and not c.is_variable
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError):
+            TannerNode("x", 0)
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            TannerNode("v", -1)
+
+    def test_hashable_and_equal(self):
+        assert TannerNode("v", 2) == TannerNode("v", 2)
+        assert len({TannerNode("v", 2), TannerNode("v", 2), TannerNode("c", 2)}) == 2
+
+
+class TestTannerGraph:
+    @pytest.fixture
+    def graph(self, small_code):
+        _H, graph = small_code
+        return graph
+
+    def test_node_counts(self, graph, small_code):
+        H, _ = small_code
+        m, n = H.shape
+        assert graph.n == n
+        assert graph.m == m
+        assert graph.num_nodes == n + m
+        assert len(graph.all_nodes()) == n + m
+
+    def test_edge_count_matches_ones(self, graph, small_code):
+        H, _ = small_code
+        assert graph.num_edges == int(H.sum())
+        assert len(list(graph.edges())) == graph.num_edges
+
+    def test_adjacency_consistency(self, graph):
+        # Every (variable, check) adjacency must appear in both directions.
+        for j, checks in enumerate(graph.checks_of_variable):
+            for i in checks:
+                assert j in graph.variables_of_check[i]
+
+    def test_degree_matches_matrix(self, graph, small_code):
+        H, _ = small_code
+        for j in range(graph.n):
+            assert graph.degree(graph.variable_nodes[j]) == H[:, j].sum()
+        for i in range(graph.m):
+            assert graph.degree(graph.check_nodes[i]) == H[i, :].sum()
+
+    def test_neighbors_are_opposite_kind(self, graph):
+        v = graph.variable_nodes[0]
+        assert all(n.is_check for n in graph.neighbors(v))
+        c = graph.check_nodes[0]
+        assert all(n.is_variable for n in graph.neighbors(c))
+
+    def test_zero_codeword_valid(self, graph):
+        assert graph.is_codeword(np.zeros(graph.n, dtype=np.uint8))
+
+    def test_random_word_usually_invalid(self, graph):
+        rng = np.random.default_rng(0)
+        word = rng.integers(0, 2, size=graph.n, dtype=np.uint8)
+        syndrome = graph.check_syndrome(word)
+        assert syndrome.shape == (graph.m,)
+
+    def test_syndrome_length_check(self, graph):
+        with pytest.raises(ValueError):
+            graph.check_syndrome(np.zeros(graph.n + 1, dtype=np.uint8))
+
+    def test_networkx_export(self, graph):
+        nx_graph = graph.to_networkx()
+        assert nx_graph.number_of_nodes() == graph.num_nodes
+        assert nx_graph.number_of_edges() == graph.num_edges
+
+    def test_girth_at_least_four(self, graph):
+        # A bipartite graph has no odd cycles, and array codes have girth >= 6.
+        girth = graph.girth()
+        assert girth >= 4
+        assert girth % 2 == 0

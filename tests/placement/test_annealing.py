@@ -1,0 +1,76 @@
+"""Tests for the simulated-annealing thermally-aware placer."""
+
+import pytest
+
+from repro.placement.annealing import AnnealingResult, AnnealingSchedule, ThermalAwarePlacer
+from repro.placement.cost import PlacementCostModel
+from repro.placement.mapping import Mapping
+
+
+@pytest.fixture
+def cost_model(mesh4, thermal4):
+    # Four hot tasks, the rest cool: plenty of room for a bad initial layout.
+    powers = {task: 0.8 for task in range(16)}
+    for task in (0, 1, 2, 3):
+        powers[task] = 4.0
+    return PlacementCostModel(topology=mesh4, per_task_power=powers, thermal_model=thermal4)
+
+
+@pytest.fixture
+def fast_schedule():
+    return AnnealingSchedule(
+        initial_temperature=2.0,
+        final_temperature=0.2,
+        cooling_factor=0.7,
+        moves_per_temperature=15,
+    )
+
+
+class TestSchedule:
+    def test_temperature_sequence_decreasing(self, fast_schedule):
+        temps = fast_schedule.temperatures()
+        assert temps
+        assert all(a > b for a, b in zip(temps, temps[1:]))
+        assert temps[-1] > fast_schedule.final_temperature
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AnnealingSchedule(initial_temperature=1.0, final_temperature=2.0)
+        with pytest.raises(ValueError):
+            AnnealingSchedule(cooling_factor=1.5)
+        with pytest.raises(ValueError):
+            AnnealingSchedule(moves_per_temperature=0)
+
+
+class TestPlacer:
+    def test_improves_clustered_initial_placement(self, cost_model, fast_schedule, mesh4):
+        # All four hot tasks start packed into one corner row: the worst case.
+        placer = ThermalAwarePlacer(cost_model, schedule=fast_schedule, seed=3)
+        result = placer.place(initial=Mapping.identity(mesh4))
+        assert isinstance(result, AnnealingResult)
+        assert result.cost <= result.initial_cost
+        assert result.improvement >= 0.0
+
+    def test_returns_valid_mapping(self, cost_model, fast_schedule, mesh4):
+        placer = ThermalAwarePlacer(cost_model, schedule=fast_schedule, seed=4)
+        result = placer.place()
+        # Constructing a Mapping re-validates bijectivity; also check coverage.
+        assert sorted(result.mapping.to_permutation()) == list(range(16))
+
+    def test_seed_reproducibility(self, cost_model, fast_schedule):
+        a = ThermalAwarePlacer(cost_model, schedule=fast_schedule, seed=11).place()
+        b = ThermalAwarePlacer(cost_model, schedule=fast_schedule, seed=11).place()
+        assert a.mapping == b.mapping
+        assert a.cost == pytest.approx(b.cost)
+
+    def test_cost_history_recorded(self, cost_model, fast_schedule):
+        result = ThermalAwarePlacer(cost_model, schedule=fast_schedule, seed=5).place()
+        assert len(result.cost_history) == result.evaluated_moves + 1
+
+    def test_best_cost_matches_mapping(self, cost_model, fast_schedule):
+        result = ThermalAwarePlacer(cost_model, schedule=fast_schedule, seed=6).place()
+        assert cost_model.combined_cost(result.mapping) == pytest.approx(result.cost)
+
+    def test_accepted_moves_bounded(self, cost_model, fast_schedule):
+        result = ThermalAwarePlacer(cost_model, schedule=fast_schedule, seed=7).place()
+        assert 0 <= result.accepted_moves <= result.evaluated_moves

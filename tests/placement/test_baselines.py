@@ -1,0 +1,74 @@
+"""Tests for the baseline placement strategies."""
+
+import pytest
+
+from repro.placement.baselines import (
+    checkerboard_placement,
+    greedy_thermal_placement,
+    identity_placement,
+    random_placement,
+)
+from repro.placement.cost import PlacementCostModel
+
+
+@pytest.fixture
+def powers16():
+    powers = {task: 1.0 for task in range(16)}
+    for task in (0, 1, 2, 3):
+        powers[task] = 3.5
+    return powers
+
+
+class TestSimpleBaselines:
+    def test_identity_placement(self, mesh4):
+        mapping = identity_placement(mesh4)
+        assert mapping.physical_of(0) == (0, 0)
+        assert mapping.physical_of(15) == (3, 3)
+
+    def test_random_placement_is_bijection(self, mesh4):
+        mapping = random_placement(mesh4, seed=1)
+        assert sorted(mapping.to_permutation()) == list(range(16))
+
+    def test_random_placement_seeded(self, mesh4):
+        assert random_placement(mesh4, seed=5) == random_placement(mesh4, seed=5)
+
+    def test_random_differs_from_identity_usually(self, mesh4):
+        mapping = random_placement(mesh4, seed=2)
+        assert mapping != identity_placement(mesh4)
+
+
+class TestCheckerboard:
+    def test_hot_tasks_not_adjacent(self, mesh4, powers16):
+        mapping = checkerboard_placement(mesh4, powers16)
+        hot_coords = [mapping.physical_of(task) for task in (0, 1, 2, 3)]
+        for i, a in enumerate(hot_coords):
+            for b in hot_coords[i + 1 :]:
+                assert mesh4.manhattan_distance(a, b) >= 2
+
+    def test_requires_full_coverage(self, mesh4):
+        with pytest.raises(ValueError):
+            checkerboard_placement(mesh4, {0: 1.0})
+
+    def test_valid_bijection(self, mesh4, powers16):
+        mapping = checkerboard_placement(mesh4, powers16)
+        assert sorted(mapping.to_permutation()) == list(range(16))
+
+
+class TestGreedyThermal:
+    def test_produces_valid_mapping(self, mesh4, thermal4, powers16):
+        cost_model = PlacementCostModel(
+            topology=mesh4, per_task_power=powers16, thermal_model=thermal4
+        )
+        mapping = greedy_thermal_placement(cost_model, candidates_per_step=3)
+        assert sorted(mapping.to_permutation()) == list(range(16))
+
+    def test_beats_clustered_identity(self, mesh4, thermal4, powers16):
+        """Greedy spreading of the hot tasks must beat leaving them packed in
+        the bottom row (tasks 0-3 are row y=0 under the identity mapping)."""
+        cost_model = PlacementCostModel(
+            topology=mesh4, per_task_power=powers16, thermal_model=thermal4
+        )
+        greedy = greedy_thermal_placement(cost_model, candidates_per_step=4)
+        assert cost_model.peak_temperature(greedy) <= cost_model.peak_temperature(
+            identity_placement(mesh4)
+        )

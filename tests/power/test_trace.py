@@ -1,0 +1,73 @@
+"""Tests for power traces."""
+
+import numpy as np
+import pytest
+
+from repro.power.trace import PowerSample, PowerTrace
+
+
+class TestPowerSample:
+    def test_totals(self, mesh4, uniform_power4):
+        sample = PowerSample(duration_s=1e-3, power_w=uniform_power4)
+        assert sample.total_power_w == pytest.approx(32.0)
+        assert sample.peak_power_w == pytest.approx(2.0)
+        assert sample.energy_j == pytest.approx(32.0 * 1e-3)
+
+    def test_rejects_bad_duration(self, uniform_power4):
+        with pytest.raises(ValueError):
+            PowerSample(duration_s=0.0, power_w=uniform_power4)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            PowerSample(duration_s=1.0, power_w={(0, 0): -1.0})
+
+    def test_as_vector(self, mesh4):
+        sample = PowerSample(duration_s=1.0, power_w={(1, 0): 3.0})
+        vector = sample.as_vector(mesh4)
+        assert vector[mesh4.node_id((1, 0))] == 3.0
+        assert vector.sum() == pytest.approx(3.0)
+
+
+class TestPowerTrace:
+    def test_append_and_totals(self, mesh4, uniform_power4):
+        trace = PowerTrace(mesh4)
+        trace.add_interval(1e-3, uniform_power4)
+        trace.add_interval(2e-3, {coord: 1.0 for coord in mesh4.coordinates()})
+        assert len(trace) == 2
+        assert trace.total_duration_s == pytest.approx(3e-3)
+        assert trace.total_energy_j == pytest.approx(32e-3 + 32e-3)
+        assert trace.average_power_w == pytest.approx((32e-3 + 32e-3) / 3e-3)
+
+    def test_empty_trace(self, mesh4):
+        trace = PowerTrace(mesh4)
+        assert trace.total_duration_s == 0.0
+        assert trace.average_power_w == 0.0
+        assert trace.peak_unit_power() == 0.0
+
+    def test_average_power_per_unit_time_weighted(self, mesh4):
+        trace = PowerTrace(mesh4)
+        trace.add_interval(1.0, {(0, 0): 4.0})
+        trace.add_interval(3.0, {(0, 0): 0.0})
+        averages = trace.average_power_per_unit()
+        assert averages[(0, 0)] == pytest.approx(1.0)
+
+    def test_as_matrix_shapes(self, mesh4, uniform_power4):
+        trace = PowerTrace(mesh4)
+        trace.add_interval(1e-3, uniform_power4)
+        trace.add_interval(1e-3, uniform_power4)
+        durations, powers = trace.as_matrix()
+        assert durations.shape == (2,)
+        assert powers.shape == (2, 16)
+
+    def test_iteration(self, mesh4, uniform_power4):
+        trace = PowerTrace(mesh4)
+        trace.add_interval(1e-3, uniform_power4)
+        samples = list(trace)
+        assert len(samples) == 1
+        assert isinstance(samples[0], PowerSample)
+
+    def test_peak_unit_power(self, mesh4):
+        trace = PowerTrace(mesh4)
+        trace.add_interval(1.0, {(0, 0): 1.0, (1, 1): 5.0})
+        trace.add_interval(1.0, {(2, 2): 3.0})
+        assert trace.peak_unit_power() == 5.0

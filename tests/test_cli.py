@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["experiment"])
+        assert args.configuration == "A"
+        assert args.scheme == "xy-shift"
+        assert args.period == 109.0
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestChipsCommand:
+    def test_lists_all_configurations(self, capsys):
+        assert main(["chips"]) == 0
+        out = capsys.readouterr().out
+        for name in ("A", "B", "C", "D", "E"):
+            assert name in out
+        assert "85.44" in out
+
+    def test_csv_output(self, capsys):
+        assert main(["--csv", "chips"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("configuration,")
+        assert len(out.strip().splitlines()) == 6
+
+
+class TestExperimentCommand:
+    def test_runs_small_experiment(self, capsys):
+        code = main(
+            ["experiment", "-c", "A", "-s", "xy-shift", "--epochs", "11"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "peak reduction (C)" in out
+        assert "throughput penalty (%)" in out
+
+    def test_static_policy(self, capsys):
+        assert main(["experiment", "-c", "C", "-s", "static", "--epochs", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "migrations" in out
+
+    def test_no_migration_energy_flag(self, capsys):
+        code = main(
+            [
+                "experiment",
+                "-c",
+                "A",
+                "-s",
+                "rotation",
+                "--epochs",
+                "9",
+                "--no-migration-energy",
+            ]
+        )
+        assert code == 0
+
+
+class TestSweepCommand:
+    def test_custom_periods(self, capsys):
+        code = main(
+            ["sweep", "-c", "A", "-s", "xy-shift", "--epochs", "11",
+             "--periods", "109", "436"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "109" in out and "436" in out
+
+
+class TestAblationCommand:
+    def test_reports_energy_penalty(self, capsys):
+        assert main(["ablation", "-c", "E", "-s", "rotation", "--epochs", "11"]) == 0
+        out = capsys.readouterr().out
+        assert "migration energy" in out
+
+
+class TestDtmCommand:
+    def test_compares_three_techniques(self, capsys):
+        assert main(["dtm", "-c", "A", "--epochs", "11"]) == 0
+        out = capsys.readouterr().out
+        assert "runtime reconfiguration" in out
+        assert "stop-go" in out
+        assert "DVFS" in out
+
+
+class TestFigure1Command:
+    def test_subset_of_configurations(self, capsys):
+        assert main(["figure1", "-C", "A"]) == 0
+        out = capsys.readouterr().out
+        assert "A(85.44)" in out
+        assert "best scheme" in out
+
+    def test_csv(self, capsys):
+        assert main(["--csv", "figure1", "-C", "A"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("configuration,")

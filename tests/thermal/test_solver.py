@@ -1,0 +1,128 @@
+"""Tests for the steady-state and transient thermal solvers."""
+
+import numpy as np
+import pytest
+
+from repro.thermal.floorplan import mesh_floorplan
+from repro.thermal.package import ThermalPackage
+from repro.thermal.rc_model import build_thermal_network
+from repro.thermal.solver import ThermalSolver
+
+
+@pytest.fixture
+def solver4(mesh4):
+    return ThermalSolver(build_thermal_network(mesh_floorplan(mesh4)))
+
+
+def _uniform_power(mesh, watts):
+    return {f"PE_{x}_{y}": watts for (x, y) in mesh.coordinates()}
+
+
+class TestSteadyState:
+    def test_zero_power_gives_ambient(self, solver4, mesh4):
+        result = solver4.steady_state(_uniform_power(mesh4, 0.0))
+        assert result.peak_celsius == pytest.approx(40.0, abs=1e-6)
+        assert result.spread_celsius == pytest.approx(0.0, abs=1e-9)
+
+    def test_uniform_power_above_ambient(self, solver4, mesh4):
+        result = solver4.steady_state(_uniform_power(mesh4, 2.0))
+        assert result.peak_celsius > 45.0
+        assert result.min_celsius > 40.0
+        # A uniform map should be nearly spatially uniform (edge effects only).
+        assert result.spread_celsius < 2.0
+
+    def test_linearity_in_power(self, solver4, mesh4):
+        one = solver4.steady_state(_uniform_power(mesh4, 1.0))
+        two = solver4.steady_state(_uniform_power(mesh4, 2.0))
+        rise_one = one.peak_celsius - 40.0
+        rise_two = two.peak_celsius - 40.0
+        assert rise_two == pytest.approx(2 * rise_one, rel=1e-6)
+
+    def test_hotspot_is_hottest_block(self, solver4, mesh4):
+        power = _uniform_power(mesh4, 1.0)
+        power["PE_2_1"] = 5.0
+        result = solver4.steady_state(power)
+        assert result.hottest_block() == "PE_2_1"
+        assert result.spread_celsius > 2.0
+
+    def test_superposition(self, solver4, mesh4):
+        """The RC network is linear: temperatures superpose (above ambient)."""
+        power_a = {"PE_0_0": 3.0}
+        power_b = {"PE_3_3": 2.0}
+        combined = {"PE_0_0": 3.0, "PE_3_3": 2.0}
+        t_a = solver4.steady_state(power_a)
+        t_b = solver4.steady_state(power_b)
+        t_ab = solver4.steady_state(combined)
+        for name in t_ab.block_celsius:
+            rise = (t_a.block_celsius[name] - 40.0) + (t_b.block_celsius[name] - 40.0)
+            assert t_ab.block_celsius[name] - 40.0 == pytest.approx(rise, rel=1e-6)
+
+    def test_temperature_map_statistics(self, solver4, mesh4):
+        result = solver4.steady_state(_uniform_power(mesh4, 2.0))
+        assert result.min_celsius <= result.mean_celsius <= result.peak_celsius
+        assert set(result.as_dict()) == {f"PE_{x}_{y}" for x, y in mesh4.coordinates()}
+
+
+class TestTransient:
+    def test_starts_at_ambient_and_heats(self, solver4, mesh4):
+        result = solver4.transient(_uniform_power(mesh4, 2.0), duration_s=0.005)
+        first = result.peak_series()[0]
+        last = result.peak_series()[-1]
+        assert first == pytest.approx(40.0, abs=0.5)
+        assert last > first
+
+    def test_converges_towards_steady_state(self, solver4, mesh4):
+        power = _uniform_power(mesh4, 2.0)
+        steady = solver4.steady_state(power)
+        # Start from the warm state: transient must stay there.
+        warm = solver4.warm_state(power)
+        result = solver4.transient(power, duration_s=0.01, initial_state=warm)
+        assert result.final_map().peak_celsius == pytest.approx(
+            steady.peak_celsius, abs=0.05
+        )
+
+    def test_cooling_when_power_removed(self, solver4, mesh4):
+        power = _uniform_power(mesh4, 3.0)
+        warm = solver4.warm_state(power)
+        result = solver4.transient(
+            _uniform_power(mesh4, 0.0), duration_s=0.02, initial_state=warm
+        )
+        assert result.peak_series()[-1] < result.peak_series()[0]
+
+    def test_monotone_heating_from_cold(self, solver4, mesh4):
+        result = solver4.transient(_uniform_power(mesh4, 2.0), duration_s=0.002)
+        peaks = result.peak_series()
+        assert np.all(np.diff(peaks) >= -1e-9)
+
+    def test_invalid_duration(self, solver4, mesh4):
+        with pytest.raises(ValueError):
+            solver4.transient(_uniform_power(mesh4, 1.0), duration_s=0.0)
+
+    def test_invalid_initial_state_shape(self, solver4, mesh4):
+        with pytest.raises(ValueError):
+            solver4.transient(
+                _uniform_power(mesh4, 1.0), duration_s=1e-3, initial_state=np.zeros(3)
+            )
+
+    def test_transient_sequence_continuity(self, solver4, mesh4):
+        hot = _uniform_power(mesh4, 3.0)
+        cool = _uniform_power(mesh4, 1.0)
+        result = solver4.transient_sequence([(0.002, hot), (0.002, cool)])
+        assert result.times_s[-1] == pytest.approx(0.004, rel=1e-6)
+        # Temperatures never jump discontinuously by more than a sane bound
+        # between adjacent samples.
+        peaks = result.peak_series()
+        assert np.max(np.abs(np.diff(peaks))) < 5.0
+
+    def test_transient_sequence_requires_intervals(self, solver4):
+        with pytest.raises(ValueError):
+            solver4.transient_sequence([])
+
+    def test_record_every_reduces_samples(self, solver4, mesh4):
+        dense = solver4.transient(
+            _uniform_power(mesh4, 1.0), duration_s=1e-3, time_step_s=1e-5
+        )
+        sparse = solver4.transient(
+            _uniform_power(mesh4, 1.0), duration_s=1e-3, time_step_s=1e-5, record_every=10
+        )
+        assert len(sparse.times_s) < len(dense.times_s)
