@@ -10,6 +10,7 @@ achieves at the 109 us period?
 
 import pytest
 
+import perf_utils
 from conftest import print_rows
 
 from repro.core.dtm import DvfsThrottling, StopGoThrottling, compare_with_migration
@@ -24,7 +25,14 @@ def test_equal_peak_throughput_cost(benchmark, configurations):
             for config in configurations
         }
 
-    comparisons = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    with perf_utils.timed() as timer:
+        comparisons = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    perf_utils.record_perf(
+        "dtm.comparison.all_configurations",
+        timer.seconds,
+        throughput=len(comparisons) / timer.seconds,
+        throughput_unit="comparisons/s",
+    )
     rows = []
     for name, comparison in comparisons.items():
         rows.append(

@@ -14,6 +14,7 @@ shift is weak wherever the warm band dominates.
 
 import pytest
 
+import perf_utils
 from conftest import print_rows
 
 from repro.analysis.report import FIGURE1_SETTINGS, generate_figure1
@@ -27,11 +28,18 @@ def figure1(configurations):
 
 def test_figure1_full_grid(benchmark, configurations):
     """Benchmark the full Figure 1 sweep (25 experiments) and print the rows."""
-    report = benchmark.pedantic(
-        generate_figure1,
-        kwargs={"configurations": configurations, "settings": FIGURE1_SETTINGS},
-        rounds=1,
-        iterations=1,
+    with perf_utils.timed() as timer:
+        report = benchmark.pedantic(
+            generate_figure1,
+            kwargs={"configurations": configurations, "settings": FIGURE1_SETTINGS},
+            rounds=1,
+            iterations=1,
+        )
+    perf_utils.record_perf(
+        "analysis.figure1.full_grid",
+        timer.seconds,
+        throughput=len(report.to_rows()) / timer.seconds,
+        throughput_unit="experiments/s",
     )
     print_rows("Figure 1: reduction in peak temperature (deg C)", report.to_rows())
     print()

@@ -10,6 +10,7 @@ sizes.
 import numpy as np
 import pytest
 
+import perf_utils
 from conftest import print_rows
 
 from repro.ldpc import (
@@ -49,7 +50,14 @@ def test_decoder_ber_vs_snr(benchmark):
             table[snr_db] = (errors / (blocks * graph.n), iterations / blocks)
         return table
 
-    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with perf_utils.timed() as timer:
+        table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    perf_utils.record_perf(
+        "ldpc.ber_sweep.dense_min_sum",
+        timer.seconds,
+        throughput=blocks * len(snrs) / timer.seconds,
+        throughput_unit="codewords/s",
+    )
     rows = [
         {
             "snr_db": snr_db,

@@ -9,6 +9,7 @@ period, and the with/without-energy ablation on configuration E.
 
 import pytest
 
+import perf_utils
 from conftest import print_rows
 
 from repro.analysis.sweep import run_energy_ablation
@@ -52,16 +53,23 @@ def test_migration_cost_per_scheme(benchmark, chip_e):
 
 def test_energy_ablation_rotation_on_E(benchmark, chip_e):
     """Average-temperature increase attributable to migration energy."""
-    ablation = benchmark.pedantic(
-        run_energy_ablation,
-        kwargs={
-            "configuration": chip_e,
-            "scheme": "rotation",
-            "period_us": 109.0,
-            "num_epochs": 41,
-        },
-        rounds=1,
-        iterations=1,
+    with perf_utils.timed() as timer:
+        ablation = benchmark.pedantic(
+            run_energy_ablation,
+            kwargs={
+                "configuration": chip_e,
+                "scheme": "rotation",
+                "period_us": 109.0,
+                "num_epochs": 41,
+            },
+            rounds=1,
+            iterations=1,
+        )
+    perf_utils.record_perf(
+        "analysis.energy_ablation.rotation_E",
+        timer.seconds,
+        throughput=2 / timer.seconds,
+        throughput_unit="experiments/s",
     )
     rows = [
         {

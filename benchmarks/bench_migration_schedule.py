@@ -9,6 +9,7 @@ resulting downtime as a fraction of the 109 us period.
 
 import pytest
 
+import perf_utils
 from conftest import print_rows
 
 from repro.migration.scheduler import MigrationScheduler
@@ -65,7 +66,14 @@ def test_schedule_bound_vs_cycle_accurate_replay(benchmark, chip_e):
         result = simulator.run_packets(packets, drain_limit=1_000_000)
         return cost, result
 
-    cost, result = benchmark.pedantic(replay, rounds=1, iterations=1)
+    with perf_utils.timed() as timer:
+        cost, result = benchmark.pedantic(replay, rounds=1, iterations=1)
+    perf_utils.record_perf(
+        "migration.schedule_replay.xy_shift_E",
+        timer.seconds,
+        throughput=result.stats.packets_ejected / timer.seconds,
+        throughput_unit="packets/s",
+    )
     rows = [
         {"quantity": "analytic phased schedule (cycles)", "value": cost.cycles},
         {"quantity": "cycle-accurate replay (cycles)", "value": result.cycles},

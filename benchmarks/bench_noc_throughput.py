@@ -9,6 +9,7 @@ rising sharply near saturation).
 
 import pytest
 
+import perf_utils
 from conftest import print_rows
 
 from repro.noc import MeshTopology, NocSimulator, make_traffic
@@ -30,7 +31,14 @@ def test_uniform_traffic_latency_curve(benchmark, size):
             points.append((rate, result))
         return points
 
-    points = benchmark.pedantic(run_curve, rounds=1, iterations=1)
+    with perf_utils.timed() as timer:
+        points = benchmark.pedantic(run_curve, rounds=1, iterations=1)
+    perf_utils.record_perf(
+        f"noc.latency_curve.{size}x{size}",
+        timer.seconds,
+        throughput=len(points) / timer.seconds,
+        throughput_unit="operating points/s",
+    )
     rows = [
         {
             "mesh": f"{size}x{size}",

@@ -12,6 +12,7 @@ steady-average and the transient (ripple-resolving) evaluation modes.
 
 import pytest
 
+import perf_utils
 from conftest import print_rows
 
 from repro.analysis.sweep import PAPER_PENALTIES, PAPER_PERIODS_US, run_period_sweep
@@ -26,17 +27,24 @@ def sweep_steady(chip_a):
 
 def test_period_sweep_throughput_penalty(benchmark, chip_a):
     """Benchmark the steady-mode sweep and check the penalty column's shape."""
-    sweep = benchmark.pedantic(
-        run_period_sweep,
-        kwargs={
-            "configuration": chip_a,
-            "scheme": "xy-shift",
-            "periods_us": PAPER_PERIODS_US,
-            "mode": "steady",
-            "num_epochs": 41,
-        },
-        rounds=1,
-        iterations=1,
+    with perf_utils.timed() as timer:
+        sweep = benchmark.pedantic(
+            run_period_sweep,
+            kwargs={
+                "configuration": chip_a,
+                "scheme": "xy-shift",
+                "periods_us": PAPER_PERIODS_US,
+                "mode": "steady",
+                "num_epochs": 41,
+            },
+            rounds=1,
+            iterations=1,
+        )
+    perf_utils.record_perf(
+        "analysis.period_sweep.steady",
+        timer.seconds,
+        throughput=len(PAPER_PERIODS_US) / timer.seconds,
+        throughput_unit="periods/s",
     )
     rows = [
         {
@@ -59,17 +67,24 @@ def test_period_sweep_throughput_penalty(benchmark, chip_a):
 
 def test_period_sweep_peak_ripple_transient(benchmark, chip_a):
     """Transient mode: the residual peak rise with longer periods is small."""
-    sweep = benchmark.pedantic(
-        run_period_sweep,
-        kwargs={
-            "configuration": chip_a,
-            "scheme": "xy-shift",
-            "periods_us": PAPER_PERIODS_US,
-            "mode": "transient",
-            "num_epochs": 25,
-        },
-        rounds=1,
-        iterations=1,
+    with perf_utils.timed() as timer:
+        sweep = benchmark.pedantic(
+            run_period_sweep,
+            kwargs={
+                "configuration": chip_a,
+                "scheme": "xy-shift",
+                "periods_us": PAPER_PERIODS_US,
+                "mode": "transient",
+                "num_epochs": 25,
+            },
+            rounds=1,
+            iterations=1,
+        )
+    perf_utils.record_perf(
+        "analysis.period_sweep.transient",
+        timer.seconds,
+        throughput=len(PAPER_PERIODS_US) / timer.seconds,
+        throughput_unit="periods/s",
     )
     rises = sweep.peak_rise_vs_fastest()
     rows = [

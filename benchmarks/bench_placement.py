@@ -11,6 +11,7 @@ claim).
 
 import pytest
 
+import perf_utils
 from conftest import print_rows
 
 from repro.core.experiment import ExperimentSettings, ThermalExperiment
@@ -60,7 +61,14 @@ def test_placement_strategy_comparison(benchmark, placement_problem):
         ).place().mapping
         return results
 
-    mappings = benchmark.pedantic(run_all_placers, rounds=1, iterations=1)
+    with perf_utils.timed() as timer:
+        mappings = benchmark.pedantic(run_all_placers, rounds=1, iterations=1)
+    perf_utils.record_perf(
+        "placement.strategy_comparison",
+        timer.seconds,
+        throughput=len(mappings) / timer.seconds,
+        throughput_unit="placements/s",
+    )
     rows = [
         {
             "placement": name,

@@ -9,6 +9,7 @@ full-chip remap (the paper stresses that 3-bit operand arithmetic makes this
 
 import pytest
 
+import perf_utils
 from conftest import print_rows
 
 from repro.analysis.report import table1_rows
@@ -40,6 +41,16 @@ def test_transform_evaluation_speed(benchmark, size):
         return result
 
     remapped = benchmark(remap_all)
+    # Time one plain run for the perf record: benchmark.stats is unavailable
+    # under --benchmark-disable.
+    with perf_utils.timed() as timer:
+        remap_all()
+    perf_utils.record_perf(
+        f"migration.transform_remap.{size}x{size}",
+        timer.seconds,
+        throughput=len(transforms) * len(coordinates) / max(timer.seconds, 1e-9),
+        throughput_unit="coordinate remaps/s",
+    )
     rows = []
     for name, images in remapped.items():
         transform = make_transform(name, topology)

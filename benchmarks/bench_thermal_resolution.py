@@ -9,6 +9,7 @@ reports essentially the same *reduction* from migration.
 
 import pytest
 
+import perf_utils
 from conftest import print_rows
 
 from repro.migration.transforms import XYShiftTransform
@@ -60,7 +61,14 @@ def test_block_vs_grid_peak_reduction(benchmark, configurations):
             )
         return rows
 
-    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    with perf_utils.timed() as timer:
+        rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    perf_utils.record_perf(
+        "thermal.resolution_ablation.block_vs_grid",
+        timer.seconds,
+        throughput=len(rows) / timer.seconds,
+        throughput_unit="configurations/s",
+    )
     print_rows("Thermal-resolution ablation (X-Y shift, migration energy excluded)", rows)
 
     for row in rows:

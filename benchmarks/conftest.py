@@ -12,7 +12,15 @@ from __future__ import annotations
 
 import pytest
 
+import perf_utils
 from repro.chips import all_configurations, get_configuration
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the machine-readable perf records collected by the benchmarks."""
+    path = perf_utils.flush()
+    if path is not None:
+        print(f"\nperf records written to {path}")
 
 
 @pytest.fixture(scope="session")

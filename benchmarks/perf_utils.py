@@ -1,0 +1,106 @@
+"""Machine-readable performance records for the benchmark suite.
+
+Every ``bench_*.py`` times its hot path with :func:`timed` and registers the
+measurement with :func:`record_perf`; the ``pytest_sessionfinish`` hook in
+``conftest.py`` merges everything into ``BENCH_perf.json`` at the repository
+root.  The file is keyed by hot-path name and survives partial runs (existing
+entries for paths not re-measured are kept), so the perf trajectory can be
+tracked across PRs::
+
+    {
+      "schema": 1,
+      "hot_paths": {
+        "ldpc.decode_batch.sparse": {"wall_s": ..., "throughput": ...,
+                                      "baseline_wall_s": ..., "speedup": ...},
+        ...
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PERF_PATH = Path(os.environ.get("BENCH_PERF_PATH", REPO_ROOT / "BENCH_perf.json"))
+
+_RECORDS: Dict[str, Dict[str, Any]] = {}
+
+
+class Timer:
+    """Wall-clock context manager: ``with timed() as t: ...; t.seconds``."""
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        self.seconds = 0.0
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+def timed() -> Timer:
+    return Timer()
+
+
+def record_perf(
+    name: str,
+    wall_s: float,
+    throughput: Optional[float] = None,
+    throughput_unit: Optional[str] = None,
+    baseline_wall_s: Optional[float] = None,
+    **extra: Any,
+) -> Dict[str, Any]:
+    """Register one hot-path measurement for the session's BENCH_perf.json.
+
+    ``baseline_wall_s`` is the wall-clock of the reference (seed-equivalent)
+    implementation of the same work; when given, the speedup is stored too.
+    """
+    entry: Dict[str, Any] = {"wall_s": round(wall_s, 6)}
+    if throughput is not None:
+        entry["throughput"] = round(throughput, 3)
+        entry["throughput_unit"] = throughput_unit or "items/s"
+    if baseline_wall_s is not None:
+        entry["baseline_wall_s"] = round(baseline_wall_s, 6)
+        if wall_s > 0:
+            entry["speedup"] = round(baseline_wall_s / wall_s, 2)
+    entry.update(extra)
+    _RECORDS[name] = entry
+    return entry
+
+
+def flush(path: Optional[Path] = None) -> Optional[Path]:
+    """Merge the session's records into BENCH_perf.json (keeping old keys)."""
+    if not _RECORDS:
+        return None
+    target = Path(path or BENCH_PERF_PATH)
+    existing: Dict[str, Any] = {}
+    if target.exists():
+        try:
+            existing = json.loads(target.read_text())
+        except (OSError, json.JSONDecodeError):
+            existing = {}
+    hot_paths = dict(existing.get("hot_paths", {}))
+    hot_paths.update(_RECORDS)
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = "unavailable"
+    payload = {
+        "schema": 1,
+        "generated_by": "benchmarks (see benchmarks/perf_utils.py)",
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "cpu_count": os.cpu_count(),
+        "hot_paths": {key: hot_paths[key] for key in sorted(hot_paths)},
+    }
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+    _RECORDS.clear()
+    return target

@@ -1,0 +1,127 @@
+"""Parallel experiment runner for sweeps, ablations and comparisons.
+
+The sweep layer used to execute every (configuration, scheme, period)
+experiment strictly serially.  This module provides:
+
+* :func:`run_parallel` — run a list of zero-argument tasks across worker
+  processes (or threads) and return their results in **task order**, so
+  callers get deterministic output regardless of completion order;
+* :func:`run_experiment_grid` — the parameterized-runner shape: the cross
+  product of configurations x schemes x periods, fanned out over workers and
+  returned in grid order.
+
+``n_jobs`` semantics (shared by every call site): ``None`` or ``1`` runs
+serially in-process (no executor involved), ``-1`` uses every CPU, and any
+other positive integer caps the worker count.  Tasks submitted to the
+process executor must be picklable, which is why the sweep/ablation/DTM
+workers are module-level functions.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from functools import partial
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from ..chips.configurations import ChipConfiguration
+from ..core.experiment import ExperimentSettings, ThermalExperiment
+from ..core.metrics import ExperimentResult
+from ..core.policy import make_policy
+
+T = TypeVar("T")
+
+#: Executor kinds accepted by :func:`run_parallel`.
+EXECUTORS = ("process", "thread")
+
+
+def resolve_jobs(n_jobs: Optional[int], num_tasks: int) -> int:
+    """Translate an ``n_jobs`` argument into a concrete worker count."""
+    if num_tasks <= 0:
+        return 1
+    if n_jobs is None:
+        return 1
+    if n_jobs == -1:
+        return min(os.cpu_count() or 1, num_tasks)
+    if n_jobs < 1:
+        raise ValueError("n_jobs must be a positive integer, -1, or None")
+    return min(n_jobs, num_tasks)
+
+
+def _make_executor(executor: str, workers: int) -> Executor:
+    if executor == "process":
+        return ProcessPoolExecutor(max_workers=workers)
+    if executor == "thread":
+        return ThreadPoolExecutor(max_workers=workers)
+    raise ValueError(f"unknown executor {executor!r}; choose from {EXECUTORS}")
+
+
+def run_parallel(
+    tasks: Sequence[Callable[[], T]],
+    n_jobs: Optional[int] = None,
+    executor: str = "process",
+) -> List[T]:
+    """Run zero-argument tasks, returning results in task order.
+
+    With ``n_jobs`` of ``None``/``1`` (or a single task) the tasks run
+    serially in-process, which keeps the default path identical to the
+    pre-runner behaviour.  Worker exceptions propagate to the caller.
+    """
+    if executor not in EXECUTORS:
+        raise ValueError(f"unknown executor {executor!r}; choose from {EXECUTORS}")
+    workers = resolve_jobs(n_jobs, len(tasks))
+    if workers <= 1 or len(tasks) <= 1:
+        return [task() for task in tasks]
+    with _make_executor(executor, workers) as pool:
+        futures = [pool.submit(task) for task in tasks]
+        # Collect in submission order: deterministic results independent of
+        # which worker finishes first.
+        return [future.result() for future in futures]
+
+
+# ----------------------------------------------------------------------
+# Experiment grid
+# ----------------------------------------------------------------------
+def run_single_experiment(
+    configuration: ChipConfiguration,
+    scheme: str,
+    period_us: float,
+    mode: str = "steady",
+    num_epochs: int = 41,
+    settings: Optional[ExperimentSettings] = None,
+) -> ExperimentResult:
+    """One (configuration, scheme, period) experiment — the grid worker.
+
+    When ``settings`` is omitted, the sweep defaults are used: settle over
+    everything after the first epoch.
+    """
+    policy = make_policy(scheme, configuration.topology, period_us=period_us)
+    if settings is None:
+        settings = ExperimentSettings(
+            num_epochs=num_epochs, mode=mode, settle_epochs=num_epochs - 1
+        )
+    return ThermalExperiment(configuration, policy, settings=settings).run()
+
+
+def run_experiment_grid(
+    configurations: Iterable[ChipConfiguration],
+    schemes: Sequence[str],
+    periods_us: Sequence[float],
+    mode: str = "steady",
+    num_epochs: int = 41,
+    n_jobs: Optional[int] = None,
+    executor: str = "process",
+) -> List[ExperimentResult]:
+    """Every (configuration, scheme, period) combination, in grid order.
+
+    Results are ordered with ``periods_us`` varying fastest, then
+    ``schemes``, then configurations — the iteration order of the
+    corresponding nested loops.
+    """
+    tasks = [
+        partial(run_single_experiment, configuration, scheme, period, mode, num_epochs)
+        for configuration in configurations
+        for scheme in schemes
+        for period in periods_us
+    ]
+    return run_parallel(tasks, n_jobs=n_jobs, executor=executor)

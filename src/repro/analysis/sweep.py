@@ -9,14 +9,15 @@ temperature (the paper's 0.3 °C note about rotation).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..chips.configurations import ChipConfiguration
-from ..core.experiment import ExperimentSettings, ThermalExperiment
+from ..core.experiment import ExperimentSettings
 from ..core.metrics import ExperimentResult
-from ..core.policy import PeriodicMigrationPolicy
+from .runner import run_parallel, run_single_experiment
 
 #: The three migration periods evaluated in the paper (microseconds).
 PAPER_PERIODS_US = (109.0, 437.2, 874.4)
@@ -73,31 +74,47 @@ class PeriodSweepResult:
         return "\n".join(lines)
 
 
+def _sweep_point(
+    configuration: ChipConfiguration,
+    scheme: str,
+    period_us: float,
+    mode: str,
+    num_epochs: int,
+) -> PeriodSweepPoint:
+    """Run one migration period (module-level so worker processes can run it)."""
+    result = run_single_experiment(
+        configuration, scheme, period_us, mode=mode, num_epochs=num_epochs
+    )
+    migrations = max(result.migrations_performed, 1)
+    return PeriodSweepPoint(
+        period_us=period_us,
+        throughput_penalty=result.throughput_penalty,
+        settled_peak_celsius=result.settled_peak_celsius,
+        peak_reduction_celsius=result.peak_reduction_celsius,
+        migration_cycles_per_period=result.performance.migration_cycles / migrations,
+    )
+
+
 def run_period_sweep(
     configuration: ChipConfiguration,
     scheme: str = "xy-shift",
     periods_us: Sequence[float] = PAPER_PERIODS_US,
     mode: str = "transient",
     num_epochs: int = 41,
+    n_jobs: Optional[int] = None,
+    executor: str = "process",
 ) -> PeriodSweepResult:
-    """Sweep the migration period for one configuration and scheme."""
-    points: List[PeriodSweepPoint] = []
-    for period in periods_us:
-        policy = PeriodicMigrationPolicy(configuration.topology, scheme, period_us=period)
-        settings = ExperimentSettings(
-            num_epochs=num_epochs, mode=mode, settle_epochs=num_epochs - 1
-        )
-        result = ThermalExperiment(configuration, policy, settings=settings).run()
-        migrations = max(result.migrations_performed, 1)
-        points.append(
-            PeriodSweepPoint(
-                period_us=period,
-                throughput_penalty=result.throughput_penalty,
-                settled_peak_celsius=result.settled_peak_celsius,
-                peak_reduction_celsius=result.peak_reduction_celsius,
-                migration_cycles_per_period=result.performance.migration_cycles / migrations,
-            )
-        )
+    """Sweep the migration period for one configuration and scheme.
+
+    ``n_jobs`` fans the periods out over worker processes (see
+    :func:`repro.analysis.runner.run_parallel`); point order always follows
+    ``periods_us``.
+    """
+    tasks = [
+        partial(_sweep_point, configuration, scheme, period, mode, num_epochs)
+        for period in periods_us
+    ]
+    points = run_parallel(tasks, n_jobs=n_jobs, executor=executor)
     return PeriodSweepResult(
         configuration=configuration.name, scheme=scheme, points=points
     )
@@ -128,26 +145,45 @@ class EnergyAblationResult:
         )
 
 
+def _ablation_case(
+    configuration: ChipConfiguration,
+    scheme: str,
+    period_us: float,
+    num_epochs: int,
+    include_energy: bool,
+) -> ExperimentResult:
+    """One arm of the migration-energy ablation (picklable worker)."""
+    settings = ExperimentSettings(
+        num_epochs=num_epochs,
+        mode="steady",
+        settle_epochs=num_epochs - 1,
+        include_migration_energy=include_energy,
+    )
+    return run_single_experiment(
+        configuration, scheme, period_us, settings=settings
+    )
+
+
 def run_energy_ablation(
     configuration: ChipConfiguration,
     scheme: str = "rotation",
     period_us: float = 109.0,
     num_epochs: int = 41,
+    n_jobs: Optional[int] = None,
+    executor: str = "process",
 ) -> EnergyAblationResult:
-    """Compare an experiment with and without migration-energy accounting."""
-    results = {}
-    for include in (True, False):
-        policy = PeriodicMigrationPolicy(configuration.topology, scheme, period_us=period_us)
-        settings = ExperimentSettings(
-            num_epochs=num_epochs,
-            mode="steady",
-            settle_epochs=num_epochs - 1,
-            include_migration_energy=include,
-        )
-        results[include] = ThermalExperiment(configuration, policy, settings=settings).run()
+    """Compare an experiment with and without migration-energy accounting.
+
+    The two arms are independent, so ``n_jobs`` can run them concurrently.
+    """
+    tasks = [
+        partial(_ablation_case, configuration, scheme, period_us, num_epochs, include)
+        for include in (True, False)
+    ]
+    with_energy, without_energy = run_parallel(tasks, n_jobs=n_jobs, executor=executor)
     return EnergyAblationResult(
         configuration=configuration.name,
         scheme=scheme,
-        with_energy=results[True],
-        without_energy=results[False],
+        with_energy=with_energy,
+        without_energy=without_energy,
     )

@@ -102,6 +102,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         mode=args.mode,
         settle_epochs=args.epochs - 1,
         include_migration_energy=not args.no_migration_energy,
+        thermal_method=args.thermal_method,
     )
     result = ThermalExperiment(chip, policy, settings=settings).run()
     rows = [
@@ -120,7 +121,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     chip = get_configuration(args.configuration)
     periods = args.periods or list(PAPER_PERIODS_US)
     sweep = run_period_sweep(
-        chip, scheme=args.scheme, periods_us=periods, mode=args.mode, num_epochs=args.epochs
+        chip,
+        scheme=args.scheme,
+        periods_us=periods,
+        mode=args.mode,
+        num_epochs=args.epochs,
+        n_jobs=args.n_jobs,
     )
     rows = [
         {
@@ -138,7 +144,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 def cmd_ablation(args: argparse.Namespace) -> int:
     chip = get_configuration(args.configuration)
     ablation = run_energy_ablation(
-        chip, scheme=args.scheme, period_us=args.period, num_epochs=args.epochs
+        chip,
+        scheme=args.scheme,
+        period_us=args.period,
+        num_epochs=args.epochs,
+        n_jobs=args.n_jobs,
     )
     rows = [
         {
@@ -165,7 +175,11 @@ def cmd_ablation(args: argparse.Namespace) -> int:
 def cmd_dtm(args: argparse.Namespace) -> int:
     chip = get_configuration(args.configuration)
     comparison = compare_with_migration(
-        chip, scheme=args.scheme, period_us=args.period, num_epochs=args.epochs
+        chip,
+        scheme=args.scheme,
+        period_us=args.period,
+        num_epochs=args.epochs,
+        n_jobs=args.n_jobs,
     )
     _print_rows(comparison.to_rows(), args.csv)
     return 0
@@ -198,25 +212,35 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="migration period in us")
         sub_parser.add_argument("--epochs", type=int, default=41, help="number of epochs")
 
+    def add_jobs(sub_parser):
+        sub_parser.add_argument("--n-jobs", type=int, default=None,
+                                help="parallel workers (-1 = all CPUs; default serial)")
+
     sub = subparsers.add_parser("experiment", help="run a single experiment")
     add_common(sub)
     sub.add_argument("--mode", choices=("steady", "transient"), default="steady")
+    sub.add_argument("--thermal-method", choices=("euler", "spectral"), default="euler",
+                     help="integrator for --mode transient (spectral skips the "
+                          "per-step loop); ignored in steady mode")
     sub.add_argument("--no-migration-energy", action="store_true",
                      help="ignore migration energy in the power maps")
     sub.set_defaults(func=cmd_experiment)
 
     sub = subparsers.add_parser("sweep", help="migration period sweep")
     add_common(sub)
+    add_jobs(sub)
     sub.add_argument("--periods", type=float, nargs="*", help="periods in us")
     sub.add_argument("--mode", choices=("steady", "transient"), default="steady")
     sub.set_defaults(func=cmd_sweep)
 
     sub = subparsers.add_parser("ablation", help="migration-energy ablation")
     add_common(sub, default_scheme="rotation")
+    add_jobs(sub)
     sub.set_defaults(func=cmd_ablation)
 
     sub = subparsers.add_parser("dtm", help="compare against stop-go / DVFS throttling")
     add_common(sub)
+    add_jobs(sub)
     sub.set_defaults(func=cmd_dtm)
 
     return parser

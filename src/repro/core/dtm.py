@@ -220,18 +220,35 @@ class DtmComparison:
         ]
 
 
+def _stop_go_throughput(configuration: ChipConfiguration, target_peak: float) -> float:
+    """Duty cycle reaching ``target_peak`` (picklable parallel worker)."""
+    return StopGoThrottling(configuration).duty_cycle_for_peak(target_peak)
+
+
+def _dvfs_throughput(configuration: ChipConfiguration, target_peak: float) -> float:
+    """Frequency ratio reaching ``target_peak`` (picklable parallel worker)."""
+    return DvfsThrottling(configuration).frequency_for_peak(target_peak)
+
+
 def compare_with_migration(
     configuration: ChipConfiguration,
     scheme: str = "xy-shift",
     period_us: float = 109.0,
     num_epochs: int = 41,
+    n_jobs: Optional[int] = None,
+    executor: str = "process",
 ) -> DtmComparison:
     """Make the paper's implicit comparison explicit.
 
     Runs the migration experiment, takes the peak temperature it achieves,
     and asks what global stop-go or DVFS throttling would cost in throughput
-    to reach the *same* peak on the *same* chip.
+    to reach the *same* peak on the *same* chip.  The two throttling searches
+    depend only on that target peak, so ``n_jobs`` runs them concurrently.
     """
+    from functools import partial
+
+    from ..analysis.runner import run_parallel
+
     policy = PeriodicMigrationPolicy(configuration.topology, scheme, period_us=period_us)
     settings = ExperimentSettings(
         num_epochs=num_epochs, mode="steady", settle_epochs=num_epochs - 1
@@ -239,11 +256,14 @@ def compare_with_migration(
     migration = ThermalExperiment(configuration, policy, settings=settings).run()
     target_peak = migration.settled_peak_celsius
 
-    stop_go = StopGoThrottling(configuration)
-    duty = stop_go.duty_cycle_for_peak(target_peak)
-
-    dvfs = DvfsThrottling(configuration)
-    frequency = dvfs.frequency_for_peak(target_peak)
+    duty, frequency = run_parallel(
+        [
+            partial(_stop_go_throughput, configuration, target_peak),
+            partial(_dvfs_throughput, configuration, target_peak),
+        ],
+        n_jobs=n_jobs,
+        executor=executor,
+    )
 
     return DtmComparison(
         configuration=configuration.name,

@@ -53,6 +53,9 @@ class ExperimentSettings:
     settle_epochs: Optional[int] = None
     #: Implicit-Euler steps per epoch in transient mode.
     transient_steps_per_epoch: int = 8
+    #: Transient integration method: "euler" steps the cached factorisation,
+    #: "spectral" jumps to the sampled instants through the eigenbasis.
+    thermal_method: str = "euler"
 
     def __post_init__(self) -> None:
         if self.num_epochs < 1:
@@ -65,6 +68,8 @@ class ExperimentSettings:
             raise ValueError("settle_epochs must be between 1 and num_epochs")
         if self.transient_steps_per_epoch < 1:
             raise ValueError("transient_steps_per_epoch must be at least 1")
+        if self.thermal_method not in ("euler", "spectral"):
+            raise ValueError("thermal_method must be 'euler' or 'spectral'")
 
     def settled_count(self, available_epochs: int) -> int:
         """Number of final epochs that form the settled regime."""
@@ -252,7 +257,11 @@ class ThermalExperiment:
         mean_by_epoch: List[float] = []
         for idx, (power, cost, name) in enumerate(epochs_raw):
             result = thermal_model.transient(
-                power, period_s, initial_state=state, time_step_s=time_step
+                power,
+                period_s,
+                initial_state=state,
+                time_step_s=time_step,
+                method=self.settings.thermal_method,
             )
             state = result.final_state_kelvin
             final_map = result.final_map()

@@ -8,7 +8,13 @@ decoding iterations into NoC traffic and per-PE computation activity.
 """
 
 from .channel import BinarySymmetricChannel, BpskAwgnChannel, count_bit_errors
-from .decoder import DecodeResult, MinSumDecoder, SumProductDecoder, make_decoder
+from .decoder import (
+    BatchDecodeResult,
+    DecodeResult,
+    MinSumDecoder,
+    SumProductDecoder,
+    make_decoder,
+)
 from .encoder import LdpcEncoder
 from .matrix import (
     CodeParameters,
@@ -26,6 +32,7 @@ from .partition import (
     striped_partition,
     weighted_partition,
 )
+from .sparse import EdgeStructure, SparseMinSumDecoder, SparseSumProductDecoder
 from .tanner import TannerGraph, TannerNode
 from .workload import LdpcNocWorkload, WorkloadParameters
 
@@ -33,8 +40,12 @@ __all__ = [
     "BinarySymmetricChannel",
     "BpskAwgnChannel",
     "count_bit_errors",
+    "BatchDecodeResult",
     "DecodeResult",
+    "EdgeStructure",
     "MinSumDecoder",
+    "SparseMinSumDecoder",
+    "SparseSumProductDecoder",
     "SumProductDecoder",
     "make_decoder",
     "LdpcEncoder",

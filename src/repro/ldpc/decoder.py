@@ -34,6 +34,71 @@ class DecodeResult:
     per_iteration_errors: List[int] = field(default_factory=list)
 
 
+@dataclass
+class BatchDecodeResult:
+    """Outcome of decoding a batch of received blocks.
+
+    Stores the per-block fields of :class:`DecodeResult` as arrays so batched
+    backends can fill them without materialising one object per block; index
+    with ``batch[i]`` (or :meth:`as_results`) to recover plain results.
+    """
+
+    decoded_bits: np.ndarray  #: ``(num_blocks, n)`` hard decisions.
+    success: np.ndarray  #: ``(num_blocks,)`` bool.
+    iterations: np.ndarray  #: ``(num_blocks,)`` iterations used per block.
+    messages_exchanged: np.ndarray  #: ``(num_blocks,)`` messages per block.
+    per_iteration_errors: Optional[List[List[int]]] = None
+
+    def __len__(self) -> int:
+        return self.decoded_bits.shape[0]
+
+    def __getitem__(self, index: int) -> DecodeResult:
+        errors: List[int] = []
+        if self.per_iteration_errors is not None:
+            errors = list(self.per_iteration_errors[index])
+        return DecodeResult(
+            decoded_bits=self.decoded_bits[index],
+            success=bool(self.success[index]),
+            iterations=int(self.iterations[index]),
+            messages_exchanged=int(self.messages_exchanged[index]),
+            per_iteration_errors=errors,
+        )
+
+    def as_results(self) -> List[DecodeResult]:
+        return [self[index] for index in range(len(self))]
+
+    @property
+    def success_rate(self) -> float:
+        return float(np.mean(self.success)) if len(self) else 0.0
+
+    @property
+    def total_messages(self) -> int:
+        return int(np.sum(self.messages_exchanged))
+
+    @classmethod
+    def from_results(
+        cls, results: List[DecodeResult], n: Optional[int] = None
+    ) -> "BatchDecodeResult":
+        if not results:
+            return cls(
+                decoded_bits=np.empty((0, n or 0), dtype=np.uint8),
+                success=np.zeros(0, dtype=bool),
+                iterations=np.zeros(0, dtype=np.int64),
+                messages_exchanged=np.zeros(0, dtype=np.int64),
+                per_iteration_errors=None,
+            )
+        per_iteration = [list(result.per_iteration_errors) for result in results]
+        return cls(
+            decoded_bits=np.stack([result.decoded_bits for result in results]),
+            success=np.array([result.success for result in results], dtype=bool),
+            iterations=np.array([result.iterations for result in results], dtype=np.int64),
+            messages_exchanged=np.array(
+                [result.messages_exchanged for result in results], dtype=np.int64
+            ),
+            per_iteration_errors=per_iteration if any(per_iteration) else None,
+        )
+
+
 class _MessagePassingDecoder:
     """Shared structure of the sum-product and min-sum decoders."""
 
@@ -100,6 +165,35 @@ class _MessagePassingDecoder:
         )
 
     # ------------------------------------------------------------------
+    def decode_batch(
+        self,
+        llr_matrix: np.ndarray,
+        reference_bits: Optional[np.ndarray] = None,
+    ) -> BatchDecodeResult:
+        """Decode ``(num_blocks, n)`` LLRs, one block at a time.
+
+        The dense decoders have no vectorised batch path; this reference loop
+        exists so every backend shares the same batch API (the sparse backend
+        in :mod:`repro.ldpc.sparse` decodes the whole batch at once).
+        """
+        llr = np.asarray(llr_matrix, dtype=np.float64)
+        if llr.ndim != 2 or llr.shape[1] != self.n:
+            raise ValueError(f"expected (num_blocks, {self.n}) LLRs, got shape {llr.shape}")
+        references: Optional[np.ndarray] = None
+        if reference_bits is not None:
+            references = np.asarray(reference_bits)
+            if references.shape != llr.shape:
+                raise ValueError("reference_bits must match the LLR batch shape")
+        results = [
+            self.decode(
+                llr[block],
+                reference_bits=None if references is None else references[block],
+            )
+            for block in range(llr.shape[0])
+        ]
+        return BatchDecodeResult.from_results(results, n=self.n)
+
+    # ------------------------------------------------------------------
     def _check_node_update(self, v_to_c: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
@@ -156,10 +250,12 @@ class MinSumDecoder(_MessagePassingDecoder):
         row_sign = np.prod(signs, axis=1, keepdims=True)
         extrinsic_sign = row_sign * signs  # dividing out +/-1 equals multiplying
 
-        # Min and second-min per row for the "exclude self" minimum.
-        sorted_mags = np.sort(magnitudes, axis=1)
-        min1 = sorted_mags[:, 0][:, np.newaxis]
-        min2 = sorted_mags[:, 1][:, np.newaxis]
+        # Min and second-min per row for the "exclude self" minimum; only the
+        # two smallest magnitudes are needed, so partial selection beats a
+        # full row sort.
+        partitioned = np.partition(magnitudes, 1, axis=1)
+        min1 = partitioned[:, 0][:, np.newaxis]
+        min2 = partitioned[:, 1][:, np.newaxis]
         use_second = np.isclose(magnitudes, min1)
         extrinsic_mag = np.where(use_second, min2, min1)
 
@@ -171,10 +267,25 @@ def make_decoder(
     name: str,
     graph: TannerGraph,
     max_iterations: int = 20,
+    backend: str = "dense",
     **kwargs,
-) -> _MessagePassingDecoder:
-    """Factory: ``"min-sum"`` or ``"sum-product"``."""
-    decoders = {"min-sum": MinSumDecoder, "sum-product": SumProductDecoder}
+):
+    """Factory: ``"min-sum"`` or ``"sum-product"``.
+
+    ``backend="dense"`` returns the reference decoders above; ``"sparse"``
+    returns the edge-list decoders from :mod:`repro.ldpc.sparse`, which decode
+    batches of codewords at once and avoid the dense ``m x n`` message
+    matrices.
+    """
+    from .sparse import SparseMinSumDecoder, SparseSumProductDecoder
+
+    backends = {
+        "dense": {"min-sum": MinSumDecoder, "sum-product": SumProductDecoder},
+        "sparse": {"min-sum": SparseMinSumDecoder, "sum-product": SparseSumProductDecoder},
+    }
+    if backend not in backends:
+        raise ValueError(f"unknown backend {backend!r}; choose from {sorted(backends)}")
+    decoders = backends[backend]
     try:
         cls = decoders[name]
     except KeyError:

@@ -85,6 +85,7 @@ class HotSpotModel:
         duration_s: float,
         initial_state: Optional[np.ndarray] = None,
         time_step_s: Optional[float] = None,
+        method: str = "euler",
     ) -> TransientResult:
         """Transient evolution under constant power for ``duration_s``."""
         return self.solver.transient(
@@ -92,6 +93,7 @@ class HotSpotModel:
             duration_s,
             initial_state=initial_state,
             time_step_s=time_step_s,
+            method=method,
         )
 
     def transient_sequence(
@@ -99,13 +101,17 @@ class HotSpotModel:
         intervals: "list[tuple[float, Dict[Coordinate, float]]]",
         initial_state: Optional[np.ndarray] = None,
         time_step_s: Optional[float] = None,
+        method: str = "euler",
     ) -> TransientResult:
         """Transient evolution under a piecewise-constant power trace."""
         block_intervals = [
             (duration, self._to_block_power(power)) for duration, power in intervals
         ]
         return self.solver.transient_sequence(
-            block_intervals, initial_state=initial_state, time_step_s=time_step_s
+            block_intervals,
+            initial_state=initial_state,
+            time_step_s=time_step_s,
+            method=method,
         )
 
     def warm_state(self, power_by_coord: Dict[Coordinate, float]) -> np.ndarray:

@@ -2,9 +2,14 @@
 
 * :meth:`ThermalSolver.steady_state` solves ``A T = P + G_amb T_amb`` directly.
 * :meth:`ThermalSolver.transient` integrates ``C dT/dt = P - A T + G_amb T_amb``
-  with an unconditionally stable implicit-Euler scheme whose system matrix is
-  factorised once per (time-step, power) interval, making long migration-period
-  sweeps cheap.
+  with an unconditionally stable implicit-Euler scheme.  The step matrix
+  ``C/dt + A`` is factorised once per *distinct* time step and cached on the
+  solver, so piecewise-constant traces (:meth:`ThermalSolver.transient_sequence`)
+  and long migration-period sweeps reuse a single factorisation.
+* ``method="spectral"`` evaluates the *same* implicit-Euler recurrence in
+  closed form through the generalized eigendecomposition of ``(A, C)`` and
+  jumps directly to the sampled instants, replacing the per-step Python loop
+  with two matrix multiplies per power interval.
 
 Temperatures are handled internally in kelvin; the :class:`TemperatureMap`
 results report degrees Celsius, matching the paper's figures.
@@ -12,14 +17,22 @@ results report degrees Celsius, matching the paper's figures.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
-from scipy.linalg import lu_factor, lu_solve
+from scipy.linalg import eigh, lu_factor, lu_solve
 
 from .package import KELVIN_OFFSET
 from .rc_model import ThermalNetwork
+
+#: Transient integration methods accepted by the solver.
+TRANSIENT_METHODS = ("euler", "spectral")
+
+#: Cap on cached step-matrix factorisations: traces with many distinct
+#: (e.g. duration-derived) time steps must not grow the cache unboundedly.
+MAX_CACHED_PROPAGATORS = 32
 
 
 @dataclass
@@ -80,14 +93,106 @@ class TransientResult:
         )
 
 
-class ThermalSolver:
-    """Solves the RC network produced by :func:`build_thermal_network`."""
+@dataclass
+class _StepPropagator:
+    """Implicit-Euler operator ``(C/dt + A)`` factorised for one time step."""
 
-    def __init__(self, network: ThermalNetwork):
+    time_step_s: float
+    c_over_dt: np.ndarray
+    factor: Tuple[np.ndarray, np.ndarray]
+
+
+class ThermalSolver:
+    """Solves the RC network produced by :func:`build_thermal_network`.
+
+    Parameters
+    ----------
+    cache_propagators:
+        Keep the LU factorisation of ``C/dt + A`` per distinct time step
+        (the default).  Disable only to reproduce the uncached reference
+        behaviour in benchmarks.
+    """
+
+    def __init__(self, network: ThermalNetwork, cache_propagators: bool = True):
         self.network = network
         self._A = network.system_matrix()
         self._A_factor = lu_factor(self._A)
         self._boundary = network.ambient_conductance * network.ambient_kelvin
+        self.cache_propagators = cache_propagators
+        self._step_cache: Dict[float, _StepPropagator] = {}
+        #: Number of step-matrix LU factorisations performed (regression
+        #: guard: one per distinct time step when caching is enabled).
+        self.step_factorization_count = 0
+        self._spectral_basis: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        # Solvers are shared across the thread executor of the parallel
+        # runner; guard the lazily-built caches.
+        self._cache_lock = threading.Lock()
+
+    def __getstate__(self):
+        # Locks cannot cross process boundaries (the parallel runner pickles
+        # configurations, which carry a solver); recreate one on unpickling.
+        state = self.__dict__.copy()
+        del state["_cache_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._cache_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _step_propagator(self, time_step_s: float) -> _StepPropagator:
+        with self._cache_lock:
+            cached = self._step_cache.get(time_step_s)
+            if cached is not None:
+                return cached
+            c_over_dt = self.network.capacitance / time_step_s
+            factor = lu_factor(np.diag(c_over_dt) + self._A)
+            self.step_factorization_count += 1
+            propagator = _StepPropagator(time_step_s, c_over_dt, factor)
+            if self.cache_propagators:
+                if len(self._step_cache) >= MAX_CACHED_PROPAGATORS:
+                    # FIFO eviction (dict preserves insertion order).
+                    self._step_cache.pop(next(iter(self._step_cache)))
+                self._step_cache[time_step_s] = propagator
+            return propagator
+
+    def _spectral(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Orthonormal eigenbasis of ``C^{-1/2} A C^{-1/2}`` (computed once).
+
+        ``A`` is symmetric positive definite and ``C`` diagonal positive, so
+        the symmetrized pencil has real non-negative eigenvalues; in this
+        basis one implicit-Euler step multiplies each mode by
+        ``1 / (1 + dt * lambda)``.
+        """
+        with self._cache_lock:
+            if self._spectral_basis is None:
+                c_sqrt = np.sqrt(self.network.capacitance)
+                symmetric = self._A / np.outer(c_sqrt, c_sqrt)
+                eigenvalues, eigenvectors = eigh(symmetric)
+                self._spectral_basis = (c_sqrt, eigenvalues, eigenvectors)
+            return self._spectral_basis
+
+    def _spectral_samples(
+        self,
+        state: np.ndarray,
+        rhs_const: np.ndarray,
+        time_step_s: float,
+        step_counts: np.ndarray,
+    ) -> np.ndarray:
+        """Implicit-Euler iterates ``T_k`` for the given step counts, directly.
+
+        The k-th iterate of ``(C/dt + A) T_{k+1} = C/dt T_k + P`` is
+        ``T_k = T* + C^{-1/2} U diag(mu^k) U^T C^{1/2} (T_0 - T*)`` with
+        ``mu = 1 / (1 + dt * lambda)`` and ``T*`` the steady state, so all
+        sampled instants come out of one pair of matrix multiplies.
+        """
+        c_sqrt, eigenvalues, eigenvectors = self._spectral()
+        fixed_point = lu_solve(self._A_factor, rhs_const)
+        weights = eigenvectors.T @ (c_sqrt * (state - fixed_point))
+        decay = 1.0 / (1.0 + time_step_s * eigenvalues)
+        powers = decay[np.newaxis, :] ** step_counts[:, np.newaxis]
+        deviations = (powers * weights[np.newaxis, :]) @ eigenvectors.T
+        return fixed_point[np.newaxis, :] + deviations / c_sqrt[np.newaxis, :]
 
     # ------------------------------------------------------------------
     def steady_state(self, block_power_w: Dict[str, float]) -> TemperatureMap:
@@ -105,6 +210,7 @@ class ThermalSolver:
         initial_state: Optional[np.ndarray] = None,
         time_step_s: Optional[float] = None,
         record_every: int = 1,
+        method: str = "euler",
     ) -> TransientResult:
         """Integrate the network under constant power for ``duration_s``.
 
@@ -119,11 +225,18 @@ class ThermalSolver:
         record_every:
             Store every k-th step in the result (the final step is always
             recorded).
+        method:
+            ``"euler"`` steps the cached LU factorisation; ``"spectral"``
+            evaluates the same recurrence through the eigenbasis, jumping
+            straight to the recorded instants (identical trajectory up to
+            floating-point roundoff, no per-step loop).
         """
         if duration_s <= 0:
             raise ValueError("duration must be positive")
         if record_every < 1:
             raise ValueError("record_every must be at least 1")
+        if method not in TRANSIENT_METHODS:
+            raise ValueError(f"method must be one of {TRANSIENT_METHODS}")
         network = self.network
         power = network.power_vector(block_power_w)
         rhs_const = power + self._boundary
@@ -139,30 +252,39 @@ class ThermalSolver:
             time_step_s = min(duration_s / 200.0, 1e-3)
         time_step_s = min(time_step_s, duration_s)
 
-        # Implicit Euler: (C/dt + A) T_{k+1} = C/dt T_k + P
-        C_over_dt = np.diag(network.capacitance / time_step_s)
-        step_matrix = C_over_dt + self._A
-        step_factor = lu_factor(step_matrix)
-
         steps = max(1, int(round(duration_s / time_step_s)))
-        times: List[float] = [0.0]
-        history: List[np.ndarray] = [state.copy()]
-        t = 0.0
-        for k in range(steps):
-            rhs = network.capacitance / time_step_s * state + rhs_const
-            state = lu_solve(step_factor, rhs)
-            t += time_step_s
-            if (k + 1) % record_every == 0 or k == steps - 1:
-                times.append(t)
-                history.append(state.copy())
+        # Steps whose post-update state is recorded (the last one always is).
+        recorded = np.arange(record_every - 1, steps, record_every, dtype=np.int64)
+        if recorded.size == 0 or recorded[-1] != steps - 1:
+            recorded = np.append(recorded, steps - 1)
+        times = np.concatenate(([0.0], (recorded + 1) * time_step_s))
+        history = np.empty((recorded.size + 1, network.num_nodes))
+        history[0] = state
 
-        stacked = np.vstack(history)
+        if method == "spectral":
+            history[1:] = self._spectral_samples(
+                state, rhs_const, time_step_s, recorded + 1
+            )
+            state = history[-1].copy()
+        else:
+            # Implicit Euler: (C/dt + A) T_{k+1} = C/dt T_k + P
+            propagator = self._step_propagator(time_step_s)
+            record_mask = np.zeros(steps, dtype=bool)
+            record_mask[recorded] = True
+            row = 1
+            for k in range(steps):
+                rhs = propagator.c_over_dt * state + rhs_const
+                state = lu_solve(propagator.factor, rhs)
+                if record_mask[k]:
+                    history[row] = state
+                    row += 1
+
         block_series = {
-            name: stacked[:, idx] - KELVIN_OFFSET
+            name: history[:, idx] - KELVIN_OFFSET
             for name, idx in network.block_node_index.items()
         }
         return TransientResult(
-            times_s=np.asarray(times),
+            times_s=times,
             block_celsius=block_series,
             final_state_kelvin=state,
         )
@@ -173,11 +295,15 @@ class ThermalSolver:
         intervals: List[Tuple[float, Dict[str, float]]],
         initial_state: Optional[np.ndarray] = None,
         time_step_s: Optional[float] = None,
+        record_every: int = 1,
+        method: str = "euler",
     ) -> TransientResult:
         """Integrate a piecewise-constant power trace.
 
         ``intervals`` is a list of (duration, per-block power) pairs — exactly
-        the shape of a :class:`repro.power.trace.PowerTrace`.
+        the shape of a :class:`repro.power.trace.PowerTrace`.  All intervals
+        sharing a time step reuse one cached factorisation (``"euler"``) or
+        one eigendecomposition (``"spectral"``).
         """
         if not intervals:
             raise ValueError("at least one interval is required")
@@ -189,7 +315,12 @@ class ThermalSolver:
         offset = 0.0
         for duration, power in intervals:
             result = self.transient(
-                power, duration, initial_state=state, time_step_s=time_step_s
+                power,
+                duration,
+                initial_state=state,
+                time_step_s=time_step_s,
+                record_every=record_every,
+                method=method,
             )
             state = result.final_state_kelvin
             all_times.append(result.times_s + offset)

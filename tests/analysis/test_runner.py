@@ -1,0 +1,121 @@
+"""Tests for the parallel experiment runner and its n_jobs wiring."""
+
+from functools import partial
+
+import pytest
+
+from repro.analysis.runner import (
+    resolve_jobs,
+    run_experiment_grid,
+    run_parallel,
+    run_single_experiment,
+)
+from repro.analysis.sweep import run_energy_ablation, run_period_sweep
+from repro.chips import get_configuration
+from repro.core.dtm import compare_with_migration
+
+
+def _square(value):
+    return value * value
+
+
+def _fail():
+    raise RuntimeError("worker failure")
+
+
+class TestResolveJobs:
+    def test_serial_defaults(self):
+        assert resolve_jobs(None, 10) == 1
+        assert resolve_jobs(1, 10) == 1
+
+    def test_capped_by_tasks(self):
+        assert resolve_jobs(8, 3) == 3
+
+    def test_all_cpus(self):
+        assert resolve_jobs(-1, 100) >= 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(0, 4)
+        with pytest.raises(ValueError):
+            resolve_jobs(-2, 4)
+
+
+class TestRunParallel:
+    def test_serial_path_preserves_order(self):
+        tasks = [partial(_square, value) for value in range(6)]
+        assert run_parallel(tasks) == [0, 1, 4, 9, 16, 25]
+
+    @pytest.mark.parametrize("executor", ["process", "thread"])
+    def test_parallel_results_in_task_order(self, executor):
+        tasks = [partial(_square, value) for value in range(8)]
+        assert run_parallel(tasks, n_jobs=4, executor=executor) == [
+            value * value for value in range(8)
+        ]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="worker failure"):
+            run_parallel([_fail, _fail], n_jobs=2, executor="thread")
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            run_parallel([partial(_square, 2)], n_jobs=2, executor="mpi")
+
+    def test_empty_task_list(self):
+        assert run_parallel([], n_jobs=4) == []
+
+
+class TestExperimentHelpers:
+    @pytest.fixture(scope="class")
+    def chip(self):
+        return get_configuration("A")
+
+    def test_single_experiment_matches_grid_entry(self, chip):
+        single = run_single_experiment(chip, "xy-shift", 109.0, mode="steady", num_epochs=5)
+        grid = run_experiment_grid(
+            [chip], ["xy-shift"], [109.0], mode="steady", num_epochs=5
+        )
+        assert len(grid) == 1
+        assert grid[0].settled_peak_celsius == single.settled_peak_celsius
+
+    def test_grid_order_periods_fastest(self, chip):
+        grid = run_experiment_grid(
+            [chip], ["xy-shift", "rotation"], [109.0, 437.2], mode="steady", num_epochs=3
+        )
+        assert [(result.scheme_name, result.period_us) for result in grid] == [
+            ("periodic-xy-shift", 109.0),
+            ("periodic-xy-shift", 437.2),
+            ("periodic-rotation", 109.0),
+            ("periodic-rotation", 437.2),
+        ]
+
+    def test_parallel_sweep_matches_serial(self, chip):
+        kwargs = {"periods_us": (109.0, 437.2), "mode": "steady", "num_epochs": 5}
+        serial = run_period_sweep(chip, **kwargs)
+        parallel = run_period_sweep(chip, n_jobs=2, executor="thread", **kwargs)
+        assert [point.period_us for point in parallel.points] == [
+            point.period_us for point in serial.points
+        ]
+        for expected, actual in zip(serial.points, parallel.points):
+            assert actual.throughput_penalty == expected.throughput_penalty
+            assert actual.settled_peak_celsius == expected.settled_peak_celsius
+            assert actual.peak_reduction_celsius == expected.peak_reduction_celsius
+
+    def test_parallel_ablation_matches_serial(self, chip):
+        serial = run_energy_ablation(chip, num_epochs=5)
+        parallel = run_energy_ablation(chip, num_epochs=5, n_jobs=2, executor="thread")
+        assert (
+            parallel.mean_temperature_penalty_celsius
+            == serial.mean_temperature_penalty_celsius
+        )
+        assert (
+            parallel.peak_temperature_penalty_celsius
+            == serial.peak_temperature_penalty_celsius
+        )
+
+    def test_parallel_dtm_matches_serial(self, chip):
+        serial = compare_with_migration(chip, num_epochs=5)
+        parallel = compare_with_migration(chip, num_epochs=5, n_jobs=2, executor="thread")
+        assert parallel.stop_go_penalty == serial.stop_go_penalty
+        assert parallel.dvfs_penalty == serial.dvfs_penalty
+        assert parallel.migration_penalty == serial.migration_penalty

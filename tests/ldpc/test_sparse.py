@@ -1,0 +1,173 @@
+"""Parity tests: the sparse/batched decoders must match the dense reference.
+
+The dense decoders in :mod:`repro.ldpc.decoder` are the behavioural
+specification; the edge-list backend must reproduce their decoded bits,
+success flags, iteration counts, message counts and per-iteration error
+traces bit-for-bit, across variants, seeds and SNRs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ldpc import (
+    BpskAwgnChannel,
+    LdpcEncoder,
+    SparseMinSumDecoder,
+    SparseSumProductDecoder,
+    TannerGraph,
+    array_code_parity_matrix,
+    gallager_parity_matrix,
+    make_decoder,
+)
+from repro.ldpc.sparse import EdgeStructure
+
+VARIANTS = ("min-sum", "sum-product")
+
+
+@pytest.fixture(scope="module")
+def code():
+    H = array_code_parity_matrix(p=13, j=3, k=6)
+    return TannerGraph(H), LdpcEncoder(H)
+
+
+def _llr_batch(encoder, snr_db, seeds, channel_seed):
+    channel = BpskAwgnChannel(snr_db=snr_db, rate=encoder.rate, seed=channel_seed)
+    codewords = np.stack([encoder.random_codeword(seed=seed) for seed in seeds])
+    llrs = np.stack([channel.transmit_llr(word) for word in codewords])
+    return codewords, llrs
+
+
+class TestEdgeStructure:
+    def test_layout_matches_parity_matrix(self, code):
+        graph, _ = code
+        edges = EdgeStructure(graph)
+        assert edges.num_edges == graph.num_edges
+        rebuilt = np.zeros((graph.m, graph.n), dtype=np.uint8)
+        rebuilt[edges.edge_check, edges.edge_var] = 1
+        assert np.array_equal(rebuilt, graph.H)
+
+    def test_variable_order_is_a_permutation(self, code):
+        graph, _ = code
+        edges = EdgeStructure(graph)
+        assert sorted(edges.var_order.tolist()) == list(range(edges.num_edges))
+        # In variable-major order the variable indices are non-decreasing.
+        assert np.all(np.diff(edges.edge_var[edges.var_order]) >= 0)
+
+
+class TestBackendFactory:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_sparse_backend_classes(self, code, variant):
+        graph, _ = code
+        decoder = make_decoder(variant, graph, backend="sparse")
+        expected = {
+            "min-sum": SparseMinSumDecoder,
+            "sum-product": SparseSumProductDecoder,
+        }[variant]
+        assert isinstance(decoder, expected)
+        assert decoder.name == variant
+
+    def test_unknown_backend_rejected(self, code):
+        graph, _ = code
+        with pytest.raises(ValueError, match="backend"):
+            make_decoder("min-sum", graph, backend="gpu")
+
+    def test_invalid_parameters_rejected(self, code):
+        graph, _ = code
+        with pytest.raises(ValueError):
+            make_decoder("min-sum", graph, backend="sparse", max_iterations=0)
+        with pytest.raises(ValueError):
+            make_decoder("min-sum", graph, backend="sparse", normalization=1.5)
+
+
+class TestParityWithDense:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    @pytest.mark.parametrize("snr_db", (1.0, 2.5, 4.0))
+    def test_single_block_parity(self, code, variant, snr_db):
+        graph, encoder = code
+        dense = make_decoder(variant, graph, max_iterations=20)
+        sparse = make_decoder(variant, graph, max_iterations=20, backend="sparse")
+        codewords, llrs = _llr_batch(encoder, snr_db, seeds=range(6), channel_seed=31)
+        for index in range(len(codewords)):
+            expected = dense.decode(llrs[index], reference_bits=codewords[index])
+            actual = sparse.decode(llrs[index], reference_bits=codewords[index])
+            assert np.array_equal(expected.decoded_bits, actual.decoded_bits)
+            assert expected.success == actual.success
+            assert expected.iterations == actual.iterations
+            assert expected.messages_exchanged == actual.messages_exchanged
+            assert expected.per_iteration_errors == actual.per_iteration_errors
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    @pytest.mark.parametrize("channel_seed", (7, 19))
+    def test_batch_parity(self, code, variant, channel_seed):
+        graph, encoder = code
+        dense = make_decoder(variant, graph, max_iterations=15)
+        sparse = make_decoder(variant, graph, max_iterations=15, backend="sparse")
+        codewords, llrs = _llr_batch(
+            encoder, snr_db=2.0, seeds=range(10), channel_seed=channel_seed
+        )
+        expected = dense.decode_batch(llrs, reference_bits=codewords)
+        actual = sparse.decode_batch(llrs, reference_bits=codewords)
+        assert np.array_equal(expected.decoded_bits, actual.decoded_bits)
+        assert np.array_equal(expected.success, actual.success)
+        assert np.array_equal(expected.iterations, actual.iterations)
+        assert np.array_equal(expected.messages_exchanged, actual.messages_exchanged)
+        assert expected.per_iteration_errors == actual.per_iteration_errors
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_parity_on_gallager_code(self, variant):
+        """The irregular row layout of a Gallager code must decode identically."""
+        graph = TannerGraph(gallager_parity_matrix(n=48, wc=3, wr=6, seed=5))
+        dense = make_decoder(variant, graph, max_iterations=12)
+        sparse = make_decoder(variant, graph, max_iterations=12, backend="sparse")
+        rng = np.random.default_rng(99)
+        llrs = rng.normal(loc=1.0, scale=2.0, size=(8, graph.n))
+        expected = dense.decode_batch(llrs)
+        actual = sparse.decode_batch(llrs)
+        assert np.array_equal(expected.decoded_bits, actual.decoded_bits)
+        assert np.array_equal(expected.iterations, actual.iterations)
+        assert np.array_equal(expected.success, actual.success)
+
+
+class TestBatchSemantics:
+    def test_batch_indexing_and_aggregates(self, code):
+        graph, encoder = code
+        sparse = make_decoder("min-sum", graph, backend="sparse")
+        codewords, llrs = _llr_batch(encoder, snr_db=3.0, seeds=range(5), channel_seed=3)
+        batch = sparse.decode_batch(llrs)
+        assert len(batch) == 5
+        results = batch.as_results()
+        assert [result.success for result in results] == batch.success.tolist()
+        assert batch.total_messages == sum(result.messages_exchanged for result in results)
+        assert 0.0 <= batch.success_rate <= 1.0
+
+    def test_shape_validation(self, code):
+        graph, _ = code
+        sparse = make_decoder("min-sum", graph, backend="sparse")
+        with pytest.raises(ValueError):
+            sparse.decode(np.zeros(graph.n + 1))
+        with pytest.raises(ValueError):
+            sparse.decode_batch(np.zeros((2, graph.n + 1)))
+        with pytest.raises(ValueError):
+            sparse.decode_batch(
+                np.zeros((2, graph.n)), reference_bits=np.zeros((3, graph.n))
+            )
+
+    @pytest.mark.parametrize("backend", ("dense", "sparse"))
+    def test_empty_batch(self, code, backend):
+        graph, _ = code
+        decoder = make_decoder("min-sum", graph, backend=backend)
+        batch = decoder.decode_batch(np.zeros((0, graph.n)))
+        assert len(batch) == 0
+        assert batch.decoded_bits.shape == (0, graph.n)
+        assert batch.success_rate == 0.0
+
+    def test_dense_decode_batch_matches_loop(self, code):
+        """The dense reference loop produces the same aggregate shapes."""
+        graph, encoder = code
+        dense = make_decoder("min-sum", graph)
+        codewords, llrs = _llr_batch(encoder, snr_db=3.0, seeds=range(4), channel_seed=13)
+        batch = dense.decode_batch(llrs, reference_bits=codewords)
+        for index in range(4):
+            single = dense.decode(llrs[index], reference_bits=codewords[index])
+            assert np.array_equal(batch.decoded_bits[index], single.decoded_bits)
+            assert batch[index].per_iteration_errors == single.per_iteration_errors

@@ -126,3 +126,101 @@ class TestTransient:
             _uniform_power(mesh4, 1.0), duration_s=1e-3, time_step_s=1e-5, record_every=10
         )
         assert len(sparse.times_s) < len(dense.times_s)
+
+
+def _alternating_intervals(mesh, epochs=41, duration=1e-3):
+    hot = _uniform_power(mesh, 3.0)
+    cool = _uniform_power(mesh, 1.0)
+    return [(duration, hot if epoch % 2 else cool) for epoch in range(epochs)]
+
+
+class TestPropagatorCache:
+    def test_cached_matches_uncached_reference(self, mesh4):
+        """Caching must not change the integrated temperatures at all.
+
+        The uncached solver refactorises the step matrix on every call — the
+        seed behaviour — so agreement within 1e-9 kelvin on every node state
+        is the regression bar for the cache.
+        """
+        network = build_thermal_network(mesh_floorplan(mesh4))
+        reference = ThermalSolver(network, cache_propagators=False)
+        cached = ThermalSolver(network)
+        intervals = _alternating_intervals(mesh4)
+        expected = reference.transient_sequence(intervals)
+        actual = cached.transient_sequence(intervals)
+        assert np.allclose(
+            expected.final_state_kelvin, actual.final_state_kelvin, atol=1e-9
+        )
+        for name in expected.block_celsius:
+            assert np.allclose(
+                expected.block_celsius[name], actual.block_celsius[name], atol=1e-9
+            )
+
+    def test_one_factorization_per_distinct_time_step(self, solver4, mesh4):
+        """Regression: a 41-interval sequence with one dt factorises once."""
+        assert solver4.step_factorization_count == 0
+        solver4.transient_sequence(_alternating_intervals(mesh4), time_step_s=5e-6)
+        assert solver4.step_factorization_count == 1
+        # Same dt again: still one factorisation.
+        solver4.transient(_uniform_power(mesh4, 2.0), duration_s=1e-3, time_step_s=5e-6)
+        assert solver4.step_factorization_count == 1
+        # A second distinct dt adds exactly one more.
+        solver4.transient(_uniform_power(mesh4, 2.0), duration_s=1e-3, time_step_s=1e-5)
+        assert solver4.step_factorization_count == 2
+
+    def test_uncached_solver_counts_every_factorization(self, mesh4):
+        network = build_thermal_network(mesh_floorplan(mesh4))
+        solver = ThermalSolver(network, cache_propagators=False)
+        intervals = _alternating_intervals(mesh4, epochs=5)
+        solver.transient_sequence(intervals, time_step_s=5e-6)
+        assert solver.step_factorization_count == 5
+
+
+class TestSpectralMethod:
+    def test_matches_euler_trajectory(self, solver4, mesh4):
+        """Spectral sampling reproduces the implicit-Euler iterates to 1e-9."""
+        intervals = _alternating_intervals(mesh4, epochs=11)
+        euler = solver4.transient_sequence(intervals)
+        spectral = solver4.transient_sequence(intervals, method="spectral")
+        assert np.allclose(euler.times_s, spectral.times_s)
+        assert np.allclose(
+            euler.final_state_kelvin, spectral.final_state_kelvin, atol=1e-9
+        )
+        for name in euler.block_celsius:
+            assert np.allclose(
+                euler.block_celsius[name], spectral.block_celsius[name], atol=1e-9
+            )
+
+    def test_matches_euler_with_record_every(self, solver4, mesh4):
+        power = _uniform_power(mesh4, 2.5)
+        euler = solver4.transient(
+            power, duration_s=2e-3, time_step_s=1e-5, record_every=7
+        )
+        spectral = solver4.transient(
+            power, duration_s=2e-3, time_step_s=1e-5, record_every=7, method="spectral"
+        )
+        assert np.allclose(euler.times_s, spectral.times_s)
+        for name in euler.block_celsius:
+            assert np.allclose(
+                euler.block_celsius[name], spectral.block_celsius[name], atol=1e-9
+            )
+
+    def test_spectral_converges_to_steady_state(self, solver4, mesh4):
+        """A horizon far past the package time constant lands on steady state.
+
+        The spectral sampler makes such horizons cheap: 200 coarse implicit
+        steps instead of millions of fine ones (the implicit-Euler fixed
+        point does not depend on the step size).
+        """
+        power = _uniform_power(mesh4, 2.0)
+        steady = solver4.steady_state(power)
+        result = solver4.transient(
+            power, duration_s=1e5, time_step_s=500.0, method="spectral"
+        )
+        assert result.final_map().peak_celsius == pytest.approx(
+            steady.peak_celsius, abs=0.05
+        )
+
+    def test_unknown_method_rejected(self, solver4, mesh4):
+        with pytest.raises(ValueError, match="method"):
+            solver4.transient(_uniform_power(mesh4, 1.0), duration_s=1e-3, method="rk4")
