@@ -3,17 +3,23 @@
 Every ``bench_*.py`` times its hot path with :func:`timed` and registers the
 measurement with :func:`record_perf`; the ``pytest_sessionfinish`` hook in
 ``conftest.py`` merges everything into ``BENCH_perf.json`` at the repository
-root.  The file is keyed by hot-path name and survives partial runs (existing
-entries for paths not re-measured are kept), so the perf trajectory can be
-tracked across PRs::
+root.  The file keeps two views:
+
+* ``hot_paths`` — the *latest* measurement per hot-path name, surviving
+  partial runs (entries for paths not re-measured are kept);
+* ``history`` — one append-only snapshot per benchmark session, keyed by
+  git SHA and UTC timestamp and carrying only that session's records, so
+  the perf **trajectory** across PRs is visible, not just the level.
+
+::
 
     {
-      "schema": 1,
-      "hot_paths": {
-        "ldpc.decode_batch.sparse": {"wall_s": ..., "throughput": ...,
-                                      "baseline_wall_s": ..., "speedup": ...},
+      "schema": 2,
+      "hot_paths": {"ldpc.decode_batch.sparse": {"wall_s": ..., "speedup": ...}},
+      "history": [
+        {"git_sha": "...", "timestamp_utc": "...", "hot_paths": {...}},
         ...
-      }
+      ]
     }
 """
 
@@ -22,6 +28,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
 import time
 from pathlib import Path
 from typing import Any, Dict, Optional
@@ -29,7 +36,28 @@ from typing import Any, Dict, Optional
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_PERF_PATH = Path(os.environ.get("BENCH_PERF_PATH", REPO_ROOT / "BENCH_perf.json"))
 
+#: Oldest history snapshots are dropped beyond this many entries.
+MAX_HISTORY_SNAPSHOTS = 100
+
 _RECORDS: Dict[str, Dict[str, Any]] = {}
+
+
+def _git_sha() -> str:
+    """Current commit SHA, or "unknown" outside a usable git checkout."""
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short=12", "HEAD"],
+                cwd=REPO_ROOT,
+                capture_output=True,
+                text=True,
+                timeout=5,
+                check=True,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
 
 
 class Timer:
@@ -75,7 +103,13 @@ def record_perf(
 
 
 def flush(path: Optional[Path] = None) -> Optional[Path]:
-    """Merge the session's records into BENCH_perf.json (keeping old keys)."""
+    """Merge the session's records into BENCH_perf.json.
+
+    ``hot_paths`` keeps the latest record per name (old keys survive partial
+    runs); ``history`` gains one snapshot for this session, keyed by git SHA
+    and timestamp, so per-run measurements accumulate instead of being
+    overwritten.
+    """
     if not _RECORDS:
         return None
     target = Path(path or BENCH_PERF_PATH)
@@ -87,6 +121,24 @@ def flush(path: Optional[Path] = None) -> Optional[Path]:
             existing = {}
     hot_paths = dict(existing.get("hot_paths", {}))
     hot_paths.update(_RECORDS)
+    history = list(existing.get("history", []))
+    if not history and existing.get("schema") == 1 and existing.get("hot_paths"):
+        # Migrate a schema-1 file: its level becomes the first snapshot.
+        history.append(
+            {
+                "git_sha": "pre-history",
+                "timestamp_utc": None,
+                "hot_paths": existing["hot_paths"],
+            }
+        )
+    history.append(
+        {
+            "git_sha": _git_sha(),
+            "timestamp_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "hot_paths": {key: _RECORDS[key] for key in sorted(_RECORDS)},
+        }
+    )
+    history = history[-MAX_HISTORY_SNAPSHOTS:]
     try:
         import numpy
 
@@ -94,12 +146,13 @@ def flush(path: Optional[Path] = None) -> Optional[Path]:
     except ImportError:  # pragma: no cover - numpy is a hard dependency
         numpy_version = "unavailable"
     payload = {
-        "schema": 1,
+        "schema": 2,
         "generated_by": "benchmarks (see benchmarks/perf_utils.py)",
         "python": platform.python_version(),
         "numpy": numpy_version,
         "cpu_count": os.cpu_count(),
         "hot_paths": {key: hot_paths[key] for key in sorted(hot_paths)},
+        "history": history,
     }
     target.write_text(json.dumps(payload, indent=2) + "\n")
     _RECORDS.clear()

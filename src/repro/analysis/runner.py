@@ -15,14 +15,33 @@ serially in-process (no executor involved), ``-1`` uses every CPU, and any
 other positive integer caps the worker count.  Tasks submitted to the
 process executor must be picklable, which is why the sweep/ablation/DTM
 workers are module-level functions.
+
+Worker pools are **persistent**: the first parallel call spawns the pool and
+later calls with the same (executor kind, worker count) reuse it, so sweeps
+made of many small parallel calls pay process spawn + interpreter start-up
+once instead of per call (on fork-based platforms the workers also inherit
+already-built :class:`ChipConfiguration` caches).  ``reuse_pool=False``
+restores the old one-shot behaviour, and :func:`shutdown_executors` tears the
+cached pools down explicitly (they are also closed at interpreter exit).
+The serial default on 1-CPU hosts is unchanged — parallelism stays opt-in.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+import threading
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 from functools import partial
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from ..chips.configurations import ChipConfiguration
 from ..core.experiment import ExperimentSettings, ThermalExperiment
@@ -33,6 +52,59 @@ T = TypeVar("T")
 
 #: Executor kinds accepted by :func:`run_parallel`.
 EXECUTORS = ("process", "thread")
+
+#: One cached executor per kind, stored with its worker count; guarded by
+#: _POOL_LOCK.  A pool serves any call needing at most that many workers
+#: (the per-call ``n_jobs`` cap is enforced by windowed submission, not by
+#: pool size), so differently sized sweeps share one pool instead of
+#: accumulating several.
+_POOLS: Dict[str, Tuple[int, Executor]] = {}
+#: Pools replaced by a larger request.  They may still be executing another
+#: caller's tasks, so they are parked here (idle, not running new work)
+#: rather than shut down out from under that caller; growth events are
+#: bounded by the number of distinct worker counts seen.
+_RETIRED_POOLS: list = []
+_POOL_LOCK = threading.Lock()
+
+
+def shutdown_executors(wait_for_tasks: bool = True) -> None:
+    """Shut down every cached (and retired) worker pool (idempotent)."""
+    with _POOL_LOCK:
+        pools = [pool for _workers, pool in _POOLS.values()] + _RETIRED_POOLS
+        _POOLS.clear()
+        _RETIRED_POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=wait_for_tasks)
+
+
+atexit.register(shutdown_executors)
+
+
+def _persistent_executor(executor: str, workers: int) -> Executor:
+    """Cached executor of the given kind with at least ``workers`` workers.
+
+    A larger cached pool is reused as-is; a bigger request replaces the
+    cached pool (the outgrown one is parked until :func:`shutdown_executors`
+    so concurrent users are never cut off mid-submission).
+    """
+    with _POOL_LOCK:
+        entry = _POOLS.get(executor)
+        if entry is not None and entry[0] >= workers:
+            return entry[1]
+        if entry is not None:
+            _RETIRED_POOLS.append(entry[1])
+        pool = _make_executor(executor, workers)
+        _POOLS[executor] = (workers, pool)
+        return pool
+
+
+def _evict_executor(pool: Executor) -> None:
+    """Drop a broken pool from the cache so the next call gets a fresh one."""
+    with _POOL_LOCK:
+        for key, (_workers, cached) in list(_POOLS.items()):
+            if cached is pool:
+                del _POOLS[key]
+    pool.shutdown(wait=False)
 
 
 def resolve_jobs(n_jobs: Optional[int], num_tasks: int) -> int:
@@ -60,23 +132,50 @@ def run_parallel(
     tasks: Sequence[Callable[[], T]],
     n_jobs: Optional[int] = None,
     executor: str = "process",
+    reuse_pool: bool = True,
 ) -> List[T]:
     """Run zero-argument tasks, returning results in task order.
 
     With ``n_jobs`` of ``None``/``1`` (or a single task) the tasks run
     serially in-process, which keeps the default path identical to the
     pre-runner behaviour.  Worker exceptions propagate to the caller.
+
+    ``reuse_pool`` (the default) keeps the worker pool alive between calls so
+    repeated sweeps amortise process spawn and start-up cost; pass ``False``
+    for a one-shot pool that is torn down before returning.
     """
     if executor not in EXECUTORS:
         raise ValueError(f"unknown executor {executor!r}; choose from {EXECUTORS}")
     workers = resolve_jobs(n_jobs, len(tasks))
     if workers <= 1 or len(tasks) <= 1:
         return [task() for task in tasks]
-    with _make_executor(executor, workers) as pool:
-        futures = [pool.submit(task) for task in tasks]
-        # Collect in submission order: deterministic results independent of
-        # which worker finishes first.
-        return [future.result() for future in futures]
+    if not reuse_pool:
+        with _make_executor(executor, workers) as pool:
+            futures = [pool.submit(task) for task in tasks]
+            return [future.result() for future in futures]
+    pool = _persistent_executor(executor, workers)
+    try:
+        # The cached pool may be larger than this call's n_jobs; windowed
+        # submission keeps at most ``workers`` tasks in flight so the
+        # caller's concurrency cap holds regardless of pool size.  Results
+        # are keyed by task index: deterministic order independent of which
+        # worker finishes first.
+        results: List[T] = [None] * len(tasks)  # type: ignore[list-item]
+        in_flight: Dict[Future, int] = {}
+        next_index = 0
+        while next_index < len(tasks) or in_flight:
+            while next_index < len(tasks) and len(in_flight) < workers:
+                in_flight[pool.submit(tasks[next_index])] = next_index
+                next_index += 1
+            done, _pending = wait(in_flight, return_when=FIRST_COMPLETED)
+            for future in done:
+                results[in_flight.pop(future)] = future.result()
+        return results
+    except BrokenProcessPool:
+        # A dead worker poisons the whole pool; evict it so later calls
+        # start from a fresh one, then surface the failure.
+        _evict_executor(pool)
+        raise
 
 
 # ----------------------------------------------------------------------

@@ -48,6 +48,18 @@ class PeriodSweepResult:
     def penalties(self) -> Dict[float, float]:
         return {point.period_us: point.throughput_penalty for point in self.points}
 
+    def as_arrays(self) -> Dict[str, np.ndarray]:
+        """Column arrays (sorted by period) for plotting/analysis pipelines."""
+        points = sorted(self.points, key=lambda p: p.period_us)
+        return {
+            "period_us": np.array([p.period_us for p in points]),
+            "throughput_penalty": np.array([p.throughput_penalty for p in points]),
+            "settled_peak_celsius": np.array([p.settled_peak_celsius for p in points]),
+            "peak_reduction_celsius": np.array(
+                [p.peak_reduction_celsius for p in points]
+            ),
+        }
+
     def peak_rise_vs_fastest(self) -> Dict[float, float]:
         """Peak temperature increase of each period relative to the shortest.
 

@@ -11,21 +11,37 @@ import csv
 import io
 from typing import Dict, Optional, Tuple
 
+import numpy as np
+
 from ..noc.topology import Coordinate, MeshTopology
+from ..power.trace import vector_to_map
+
+
+def _as_map(topology: MeshTopology, values) -> Dict[Coordinate, float]:
+    """Accept either a per-coordinate dict or a row-major vector.
+
+    Lets the renderers consume rows of the array-native pipeline (power
+    trace rows, batched temperature rows) without the caller building the
+    dict view by hand.
+    """
+    if isinstance(values, dict):
+        return values
+    return vector_to_map(topology, np.asarray(values))
 
 
 def render_grid(
     topology: MeshTopology,
-    values: Dict[Coordinate, float],
+    values,
     title: str = "",
     unit: str = "",
     cell_format: str = "{:7.2f}",
 ) -> str:
-    """Render a per-coordinate value map as an aligned text grid.
+    """Render a per-coordinate value map (dict or row-major vector) as a grid.
 
     Row ``y = height - 1`` is printed first so the output matches the usual
     mathematical orientation (y grows upwards).
     """
+    values = _as_map(topology, values)
     missing = [c for c in topology.coordinates() if c not in values]
     if missing:
         raise ValueError(f"missing values for {len(missing)} coordinates, e.g. {missing[0]}")
@@ -41,10 +57,11 @@ def render_grid(
 
 def render_heat_bar(
     topology: MeshTopology,
-    values: Dict[Coordinate, float],
+    values,
     levels: str = " .:-=+*#%@",
 ) -> str:
     """Coarse character heat map (one character per PE, hotter = denser)."""
+    values = _as_map(topology, values)
     lo = min(values.values())
     hi = max(values.values())
     span = hi - lo if hi > lo else 1.0
@@ -61,10 +78,11 @@ def render_heat_bar(
 
 def to_csv(
     topology: MeshTopology,
-    values: Dict[Coordinate, float],
+    values,
     value_name: str = "value",
 ) -> str:
     """CSV text with columns x, y, <value_name>."""
+    values = _as_map(topology, values)
     buffer = io.StringIO()
     writer = csv.writer(buffer)
     writer.writerow(["x", "y", value_name])

@@ -12,12 +12,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ..chips.configurations import ChipConfiguration
 from ..migration.io_interface import IoAddressTranslator
 from ..migration.transforms import MigrationTransform
 from ..migration.unit import MigrationCost, MigrationUnit
 from ..noc.topology import Coordinate
 from ..placement.mapping import Mapping
+from ..power.trace import vector_to_map
 
 
 @dataclass
@@ -118,26 +121,43 @@ class RuntimeReconfigurationController:
         return self._epoch_index
 
     # ------------------------------------------------------------------
+    def epoch_power_vector(
+        self,
+        period_s: float,
+        migration_cost: Optional[MigrationCost] = None,
+    ) -> np.ndarray:
+        """Row-major per-PE power over one epoch under the current mapping.
+
+        Workload power follows the tasks to their current locations; if a
+        migration happened at the start of the epoch its energy is amortised
+        over the epoch and charged to the units it touched.  This is the
+        native representation: one such vector per epoch forms a row of the
+        experiment's :class:`repro.power.trace.PowerTrace`.
+        """
+        if period_s <= 0:
+            raise ValueError("epoch period must be positive")
+        power = self.configuration.power_vector(self.current_mapping)
+        if migration_cost is not None and self.include_migration_energy:
+            topology = self.topology
+            for coord, energy in migration_cost.energy_per_unit_j.items():
+                if energy == 0.0:
+                    continue
+                power[topology.node_id(coord)] += energy / period_s
+        return power
+
     def epoch_power_map(
         self,
         period_s: float,
         migration_cost: Optional[MigrationCost] = None,
     ) -> Dict[Coordinate, float]:
-        """Per-PE average power over one epoch under the current mapping.
+        """Dict view of :meth:`epoch_power_vector` (for policies/reports)."""
+        return vector_to_map(
+            self.topology, self.epoch_power_vector(period_s, migration_cost)
+        )
 
-        Workload power follows the tasks to their current locations; if a
-        migration happened at the start of the epoch its energy is amortised
-        over the epoch and charged to the units it touched.
-        """
-        if period_s <= 0:
-            raise ValueError("epoch period must be positive")
-        power = self.configuration.power_map(self.current_mapping)
-        if migration_cost is not None and self.include_migration_energy:
-            for coord, energy in migration_cost.energy_per_unit_j.items():
-                if energy == 0.0:
-                    continue
-                power[coord] = power.get(coord, 0.0) + energy / period_s
-        return power
+    def static_power_vector(self) -> np.ndarray:
+        """Power vector of the unmigrated (static) mapping — the baseline."""
+        return self.configuration.power_vector(self.configuration.static_mapping)
 
     def static_power_map(self) -> Dict[Coordinate, float]:
         """Power map of the unmigrated (static) mapping — the baseline."""

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..chips.configurations import ChipConfiguration
 from ..noc.topology import Coordinate
+from ..power.trace import map_to_vector
 from .experiment import ExperimentSettings, ThermalExperiment
 from .policy import PeriodicMigrationPolicy
 
@@ -94,11 +95,23 @@ class StopGoThrottling:
         """Smallest throughput loss that keeps the peak below the target.
 
         The effective power (and hence the temperature rise) is affine in the
-        duty cycle, so the answer is a closed-form interpolation, clamped to
-        (0, 1].
+        duty cycle, so the answer is a closed-form interpolation between the
+        full and gated operating points — evaluated with one batched steady
+        solve — clamped to (0, 1].
         """
-        full = self.operating_point(1.0).peak_celsius
-        idle = self.operating_point(1e-6).peak_celsius  # effectively a gated chip
+        base = map_to_vector(
+            self.configuration.topology, self.configuration.power_map()
+        )
+        idle_fraction = self.idle_fraction_of_power
+        scales = np.array(
+            [d + (1.0 - d) * idle_fraction for d in (1.0, 1e-6)]
+        )
+        peaks = (
+            self.configuration.thermal_model.steady_temperatures(
+                scales[:, np.newaxis] * base[np.newaxis, :]
+            ).max(axis=1)
+        )
+        full, idle = float(peaks[0]), float(peaks[1])
         if target_peak_celsius >= full:
             return 1.0
         if target_peak_celsius <= idle:
@@ -171,21 +184,37 @@ class DvfsThrottling:
     def frequency_for_peak(
         self, target_peak_celsius: float, resolution: float = 0.01
     ) -> float:
-        """Highest frequency ratio whose steady peak stays below the target."""
+        """Highest frequency ratio whose steady peak stays below the target.
+
+        All candidate ratios share the same spatial power shape (the scaling
+        is global), so the whole search grid is one batched multi-RHS steady
+        solve instead of a solve per candidate.
+        """
         if resolution <= 0 or resolution >= 1:
             raise ValueError("resolution must be in (0, 1)")
-        best = None
+        ratios: List[float] = []
         ratio = 1.0
         while ratio > resolution:
-            if self.operating_point(ratio).peak_celsius <= target_peak_celsius:
-                best = ratio
-                break
+            ratios.append(ratio)
             ratio -= resolution
-        if best is None:
-            raise ValueError(
-                f"even the slowest operating point cannot reach {target_peak_celsius:.2f} C"
-            )
-        return best
+        base = map_to_vector(
+            self.configuration.topology, self.configuration.power_map()
+        )
+        leak = self.leakage_fraction_of_power
+        scales = np.array(
+            [leak + (1.0 - leak) * self._power_scale(r) for r in ratios]
+        )
+        peaks = (
+            self.configuration.thermal_model.steady_temperatures(
+                scales[:, np.newaxis] * base[np.newaxis, :]
+            ).max(axis=1)
+        )
+        for candidate, peak in zip(ratios, peaks):
+            if peak <= target_peak_celsius:
+                return candidate
+        raise ValueError(
+            f"even the slowest operating point cannot reach {target_peak_celsius:.2f} C"
+        )
 
 
 @dataclass

@@ -13,22 +13,29 @@ numbers the paper reports:
   integrates the RC network over the actual sequence of epochs starting from
   the settled regime.
 
-Both modes share the epoch loop: at every period boundary the policy decides
-whether (and how) to migrate, the controller applies the transform and
-charges its cycles/energy, and the resulting per-PE power map is handed to
-the thermal model.
+The pipeline is array-native end to end: the policy/controller loop emits a
+:class:`repro.power.trace.PowerTrace` (one row per epoch, row-major
+coordinate index), steady mode evaluates the baseline, every epoch and the
+settled-regime average with **one** multi-RHS solve against the cached
+factorisation, and transient mode routes the whole piecewise-constant trace
+through **one** ``transient_sequence`` call with thermal state carried across
+epochs.  Dict views survive only at the edges (policy contexts and the
+per-epoch records).  Any :class:`repro.thermal.model.ThermalModel` — the
+block-level :class:`repro.thermal.hotspot.HotSpotModel` or the refined
+:class:`repro.thermal.grid.GridThermalModel` — can drive the experiment.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..chips.configurations import ChipConfiguration
 from ..migration.unit import MigrationCost, MigrationUnit
-from ..noc.topology import Coordinate
+from ..power.trace import PowerTrace, vector_to_map
+from ..thermal.model import ThermalModel
 from .controller import RuntimeReconfigurationController
 from .metrics import EpochRecord, ExperimentResult, PerformanceMetrics, ThermalMetrics
 from .policy import NoMigrationPolicy, PolicyContext, ReconfigurationPolicy
@@ -79,7 +86,13 @@ class ExperimentSettings:
 
 
 class ThermalExperiment:
-    """Runs one (configuration, policy) experiment."""
+    """Runs one (configuration, policy) experiment.
+
+    ``thermal_model`` overrides the configuration's default block-level model
+    with any other :class:`repro.thermal.model.ThermalModel` (e.g. a
+    :class:`repro.thermal.grid.GridThermalModel` for the resolution
+    ablation); the batched pipeline is identical either way.
+    """
 
     def __init__(
         self,
@@ -87,10 +100,12 @@ class ThermalExperiment:
         policy: ReconfigurationPolicy,
         settings: Optional[ExperimentSettings] = None,
         migration_unit: Optional[MigrationUnit] = None,
+        thermal_model: Optional[ThermalModel] = None,
     ):
         self.configuration = configuration
         self.policy = policy
         self.settings = settings or ExperimentSettings()
+        self.thermal_model: ThermalModel = thermal_model or configuration.thermal_model
         self.controller = RuntimeReconfigurationController(
             configuration,
             migration_unit=migration_unit,
@@ -111,32 +126,44 @@ class ThermalExperiment:
     # ------------------------------------------------------------------
     def _epoch_sequence(
         self, thermal_feedback: bool
-    ) -> List[Tuple[Dict[Coordinate, float], Optional[MigrationCost], Optional[str]]]:
-        """Run the policy/controller loop and collect per-epoch power maps.
+    ) -> Tuple[PowerTrace, List[Optional[MigrationCost]], List[Optional[str]]]:
+        """Run the policy/controller loop and collect the epoch power trace.
 
-        ``thermal_feedback`` controls whether the policy sees the predicted
-        steady-state temperature of the previous epoch's power map (needed by
-        threshold/adaptive policies); the periodic policies ignore it.
+        Returns the trace (one row per epoch) plus the per-epoch migration
+        cost and transform name.  ``thermal_feedback`` controls whether the
+        policy sees the predicted steady-state temperature of the previous
+        epoch's power map (needed by threshold/adaptive policies, and
+        necessarily a per-epoch solve); the periodic policies ignore it.
         """
         configuration = self.configuration
         controller = self.controller
         period_s = self.policy.period_us * 1e-6
-        thermal_model = configuration.thermal_model
+        thermal_model = self.thermal_model
+        topology = configuration.topology
 
-        epochs: List[Tuple[Dict[Coordinate, float], Optional[MigrationCost], Optional[str]]] = []
+        trace = PowerTrace(topology)
+        costs: List[Optional[MigrationCost]] = []
+        names: List[Optional[str]] = []
         previous_thermal: Optional[ThermalMetrics] = None
-        previous_power = controller.static_power_map()
+        previous_power = controller.static_power_vector()
 
         for epoch_index in range(self.settings.num_epochs):
             if thermal_feedback and previous_thermal is None:
                 previous_thermal = ThermalMetrics.from_map(
-                    thermal_model.steady_state_by_coord(previous_power)
+                    thermal_model.steady_state_by_coord(
+                        vector_to_map(topology, previous_power)
+                    )
                 )
+            # Only feedback policies read the power map; skip the dict view
+            # for the periodic/static policies so the batched loop stays
+            # dict-free per epoch.
             context = PolicyContext(
                 epoch_index=epoch_index,
                 current_thermal=previous_thermal,
-                current_power_map=previous_power,
-                topology=configuration.topology,
+                current_power_map=(
+                    vector_to_map(topology, previous_power) if thermal_feedback else {}
+                ),
+                topology=topology,
             )
             transform = self.policy.decide(context)
             cost: Optional[MigrationCost] = None
@@ -144,16 +171,18 @@ class ThermalExperiment:
             if transform is not None and transform.name != "identity":
                 cost = controller.apply_migration(transform, epoch_index)
                 name = transform.name
-            power = controller.epoch_power_map(period_s, cost)
-            epochs.append((power, cost, name))
+            power = controller.epoch_power_vector(period_s, cost)
+            trace.add_interval(period_s, power)
+            costs.append(cost)
+            names.append(name)
 
             if thermal_feedback:
                 previous_thermal = ThermalMetrics.from_map(
-                    thermal_model.steady_state_by_coord(power)
+                    thermal_model.steady_state_by_coord(vector_to_map(topology, power))
                 )
             previous_power = power
             controller.advance_epoch()
-        return epochs
+        return trace, costs, names
 
     def _needs_thermal_feedback(self) -> bool:
         """Only stateful policies need per-epoch temperature estimates."""
@@ -165,13 +194,6 @@ class ThermalExperiment:
         return isinstance(self.policy, (PeriodicMigrationPolicy, NoMigrationPolicy))
 
     # ------------------------------------------------------------------
-    def _baseline(self) -> Tuple[float, float, Dict[Coordinate, float]]:
-        thermal_model = self.configuration.thermal_model
-        static_power = self.controller.static_power_map()
-        temps = thermal_model.steady_state_by_coord(static_power)
-        metrics = ThermalMetrics.from_map(temps)
-        return metrics.peak_celsius, metrics.mean_celsius, static_power
-
     def _performance(self, period_cycles: int) -> PerformanceMetrics:
         total_cycles = period_cycles * self.settings.num_epochs
         return PerformanceMetrics(
@@ -180,111 +202,127 @@ class ThermalExperiment:
             migrations_performed=self.controller.migrations_performed,
         )
 
+    def _records(
+        self,
+        trace: PowerTrace,
+        costs: List[Optional[MigrationCost]],
+        names: List[Optional[str]],
+        epoch_metrics: List[ThermalMetrics],
+    ) -> List[EpochRecord]:
+        """Per-epoch records (dict views of the trace at the report edge)."""
+        return [
+            EpochRecord(
+                epoch_index=idx,
+                mapping_permutation=[],
+                transform_applied=names[idx],
+                migration_cycles=costs[idx].cycles if costs[idx] else 0,
+                migration_energy_j=costs[idx].total_energy_j if costs[idx] else 0.0,
+                thermal=epoch_metrics[idx],
+                power_map=trace.power_map(idx),
+            )
+            for idx in range(len(trace))
+        ]
+
     # ------------------------------------------------------------------
     def _run_steady(self) -> ExperimentResult:
         configuration = self.configuration
-        thermal_model = configuration.thermal_model
-        period_s = self.policy.period_us * 1e-6
+        thermal_model = self.thermal_model
+        topology = configuration.topology
         period_cycles = configuration.block_period_cycles(self.policy.period_us)
 
-        baseline_peak, baseline_mean, _static_power = self._baseline()
-        epochs_raw = self._epoch_sequence(thermal_feedback=self._needs_thermal_feedback())
+        trace, costs, names = self._epoch_sequence(
+            thermal_feedback=self._needs_thermal_feedback()
+        )
 
-        records: List[EpochRecord] = []
-        for idx, (power, cost, name) in enumerate(epochs_raw):
-            temps = thermal_model.steady_state_by_coord(power)
-            records.append(
-                EpochRecord(
-                    epoch_index=idx,
-                    mapping_permutation=[],
-                    transform_applied=name,
-                    migration_cycles=cost.cycles if cost else 0,
-                    migration_energy_j=cost.total_energy_j if cost else 0.0,
-                    thermal=ThermalMetrics.from_map(temps),
-                    power_map=power,
-                )
-            )
-
-        # Settled regime: the die responds to the time-average of the power
-        # maps over the final epochs (one or more full orbits of the transform).
-        settle_count = self.settings.settled_count(len(epochs_raw))
-        settled_epochs = epochs_raw[-settle_count:]
-        averaged: Dict[Coordinate, float] = {
-            coord: 0.0 for coord in configuration.topology.coordinates()
-        }
-        for power, _cost, _name in settled_epochs:
-            for coord, watts in power.items():
-                averaged[coord] += watts / settle_count
-        settled_temps = thermal_model.steady_state_by_coord(averaged)
-        settled_metrics = ThermalMetrics.from_map(settled_temps)
+        # One batch carries everything steady mode needs: the static
+        # baseline, every epoch's power row, and the settled-regime average
+        # (the time-mean over the final epochs — one or more full orbits of
+        # the transform).  A single multi-RHS solve evaluates all of them.
+        settle_count = self.settings.settled_count(len(trace))
+        settled_power = trace.mean_tail_vector(settle_count)
+        batch = np.vstack(
+            [
+                self.controller.static_power_vector()[np.newaxis, :],
+                trace.powers,
+                settled_power[np.newaxis, :],
+            ]
+        )
+        temperatures = thermal_model.steady_temperatures(batch)
+        baseline = ThermalMetrics.from_vector(topology, temperatures[0])
+        settled = ThermalMetrics.from_vector(topology, temperatures[-1])
+        epoch_metrics = [
+            ThermalMetrics.from_vector(topology, row) for row in temperatures[1:-1]
+        ]
 
         return ExperimentResult(
             configuration_name=configuration.name,
             scheme_name=self.policy.name,
             period_us=self.policy.period_us,
-            baseline_peak_celsius=baseline_peak,
-            baseline_mean_celsius=baseline_mean,
-            epochs=records,
+            baseline_peak_celsius=baseline.peak_celsius,
+            baseline_mean_celsius=baseline.mean_celsius,
+            epochs=self._records(trace, costs, names, epoch_metrics),
             performance=self._performance(period_cycles),
             total_migration_energy_j=self.controller.total_migration_energy_j,
-            settled_peak_celsius=settled_metrics.peak_celsius,
-            settled_mean_celsius=settled_metrics.mean_celsius,
+            settled_peak_celsius=settled.peak_celsius,
+            settled_mean_celsius=settled.mean_celsius,
         )
 
     # ------------------------------------------------------------------
     def _run_transient(self) -> ExperimentResult:
         configuration = self.configuration
-        thermal_model = configuration.thermal_model
+        thermal_model = self.thermal_model
+        topology = configuration.topology
         period_s = self.policy.period_us * 1e-6
         period_cycles = configuration.block_period_cycles(self.policy.period_us)
         time_step = period_s / self.settings.transient_steps_per_epoch
 
-        baseline_peak, baseline_mean, _static_power = self._baseline()
-        epochs_raw = self._epoch_sequence(thermal_feedback=self._needs_thermal_feedback())
+        trace, costs, names = self._epoch_sequence(
+            thermal_feedback=self._needs_thermal_feedback()
+        )
+
+        # The baseline is still a steady solve of the static power.
+        baseline = ThermalMetrics.from_vector(
+            topology,
+            thermal_model.steady_temperatures(
+                self.controller.static_power_vector()[np.newaxis, :]
+            )[0],
+        )
 
         # Start from the settled regime: steady state of the time-averaged
-        # power, so the transient only has to resolve the within-period ripple.
-        averaged: Dict[Coordinate, float] = {
-            coord: 0.0 for coord in configuration.topology.coordinates()
-        }
-        for power, _cost, _name in epochs_raw:
-            for coord, watts in power.items():
-                averaged[coord] += watts / len(epochs_raw)
-        state = thermal_model.warm_state(averaged)
+        # power, so the transient only has to resolve the within-period
+        # ripple.  The whole piecewise-constant trace then goes through one
+        # transient_sequence call with state carried across epochs — no
+        # per-epoch Python round-trip.
+        state = thermal_model.warm_state(trace.powers.mean(axis=0))
+        result = thermal_model.transient_sequence(
+            trace,
+            initial_state=state,
+            time_step_s=time_step,
+            method=self.settings.thermal_method,
+        )
 
-        records: List[EpochRecord] = []
-        peak_by_epoch: List[float] = []
-        mean_by_epoch: List[float] = []
-        for idx, (power, cost, name) in enumerate(epochs_raw):
-            result = thermal_model.transient(
-                power,
-                period_s,
-                initial_state=state,
-                time_step_s=time_step,
-                method=self.settings.thermal_method,
+        # Per-epoch metrics come from segment reductions over the
+        # concatenated series: each epoch's peak is the maximum over its
+        # sample range (initial instant included, matching the per-epoch
+        # reference), and its spatial metrics come from its final instant.
+        if result.interval_ranges is None:
+            raise ValueError(
+                "the thermal model's transient_sequence must populate "
+                "TransientResult.interval_ranges (one (start, stop) sample "
+                "range per epoch) for the batched pipeline"
             )
-            state = result.final_state_kelvin
-            final_map = result.final_map()
-            per_unit = {
-                coord: final_map.block_celsius[f"PE_{coord[0]}_{coord[1]}"]
-                for coord in configuration.topology.coordinates()
-            }
-            metrics = ThermalMetrics.from_map(per_unit)
-            peak_by_epoch.append(result.peak_celsius)
-            mean_by_epoch.append(metrics.mean_celsius)
-            records.append(
-                EpochRecord(
-                    epoch_index=idx,
-                    mapping_permutation=[],
-                    transform_applied=name,
-                    migration_cycles=cost.cycles if cost else 0,
-                    migration_energy_j=cost.total_energy_j if cost else 0.0,
-                    thermal=metrics,
-                    power_map=power,
-                )
-            )
+        series = thermal_model.unit_series(result)
+        starts = np.array([start for start, _stop in result.interval_ranges])
+        ends = np.array([stop for _start, stop in result.interval_ranges])
+        peak_by_epoch = np.maximum.reduceat(series.max(axis=0), starts)
+        final_temps = series[:, ends - 1]
+        epoch_metrics = [
+            ThermalMetrics.from_vector(topology, final_temps[:, idx])
+            for idx in range(len(trace))
+        ]
+        mean_by_epoch = np.array([metric.mean_celsius for metric in epoch_metrics])
 
-        settle_count = self.settings.settled_count(len(records))
+        settle_count = self.settings.settled_count(len(trace))
         settled_peak = float(np.max(peak_by_epoch[-settle_count:]))
         settled_mean = float(np.mean(mean_by_epoch[-settle_count:]))
 
@@ -292,9 +330,9 @@ class ThermalExperiment:
             configuration_name=configuration.name,
             scheme_name=self.policy.name,
             period_us=self.policy.period_us,
-            baseline_peak_celsius=baseline_peak,
-            baseline_mean_celsius=baseline_mean,
-            epochs=records,
+            baseline_peak_celsius=baseline.peak_celsius,
+            baseline_mean_celsius=baseline.mean_celsius,
+            epochs=self._records(trace, costs, names, epoch_metrics),
             performance=self._performance(period_cycles),
             total_migration_energy_j=self.controller.total_migration_energy_j,
             settled_peak_celsius=settled_peak,

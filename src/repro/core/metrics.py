@@ -52,6 +52,29 @@ class ThermalMetrics:
             per_unit_celsius=dict(per_unit_celsius),
         )
 
+    @classmethod
+    def from_vector(cls, topology, per_unit_celsius: np.ndarray) -> "ThermalMetrics":
+        """Metrics from one row of a batched temperature array.
+
+        The vector follows the topology's row-major coordinate index; the
+        per-unit dict view is kept so reports and policies see the same shape
+        as :meth:`from_map` produces.
+        """
+        values = np.asarray(per_unit_celsius, dtype=float)
+        if values.shape != (topology.num_nodes,):
+            raise ValueError(
+                f"expected {topology.num_nodes} unit temperatures, got shape {values.shape}"
+            )
+        return cls(
+            peak_celsius=float(values.max()),
+            mean_celsius=float(values.mean()),
+            min_celsius=float(values.min()),
+            per_unit_celsius={
+                coord: float(values[idx])
+                for idx, coord in enumerate(topology.coordinates())
+            },
+        )
+
 
 @dataclass
 class PerformanceMetrics:

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 import numpy as np
+from scipy.sparse import csr_matrix
 
 from .decoder import BatchDecodeResult, DecodeResult
 from .tanner import TannerGraph
@@ -33,6 +34,12 @@ class EdgeStructure:
     variable index — the order ``np.nonzero`` yields), which is the layout
     the check-node update reduces over.  ``var_order`` permutes edges into
     variable-major order for the variable-node accumulation.
+
+    All index arithmetic the per-iteration reductions need is built once
+    here: the segment pointers, the edge-index ladder the min-sum masking
+    compares against, and a sparse integer parity operator that replaces the
+    per-iteration gather-and-``reduceat`` syndrome computation with one CSR
+    matmul (integer addition, so the result is exactly the segment sums).
     """
 
     def __init__(self, graph: TannerGraph):
@@ -54,6 +61,24 @@ class EdgeStructure:
             ([0], np.cumsum(H.sum(axis=0))[:-1])
         ).astype(np.int64)
         self._edge_index = np.arange(self.num_edges, dtype=np.int64)
+        #: Sparse parity operator: ``hard @ parity_T`` gives the per-check
+        #: bit sums for a ``(num_blocks, n)`` hard-decision matrix.
+        self.parity_T = csr_matrix(
+            (
+                np.ones(self.num_edges, dtype=np.int64),
+                (self.edge_var, self.edge_check),
+            ),
+            shape=(graph.n, graph.m),
+        )
+
+    def syndrome(self, hard: np.ndarray) -> np.ndarray:
+        """Per-check parity sums (mod 2) of hard decisions, batched.
+
+        Equivalent to gathering each check's bits and segment-summing them,
+        but the gather/reduction structure lives in the precomputed CSR
+        operator instead of being rebuilt every iteration.
+        """
+        return np.asarray(hard.astype(np.int64) @ self.parity_T) & 1
 
 
 class _SparseMessagePassingDecoder:
@@ -71,6 +96,15 @@ class _SparseMessagePassingDecoder:
         self.n = graph.n
         #: messages per full iteration = 2 edge traversals (v->c and c->v)
         self.messages_per_iteration = 2 * graph.num_edges
+        # Row-index ladder reused by per-iteration fancy indexing; grown on
+        # demand so no batch size rebuilds it inside the decoding loop.
+        self._row_index = np.arange(0, dtype=np.int64)
+
+    def _rows(self, count: int) -> np.ndarray:
+        """Cached ``arange(count)`` column vector for batched masking."""
+        if self._row_index.size < count:
+            self._row_index = np.arange(count, dtype=np.int64)
+        return self._row_index[:count, np.newaxis]
 
     # ------------------------------------------------------------------
     def decode(
@@ -141,12 +175,7 @@ class _SparseMessagePassingDecoder:
                     per_iteration[block].append(
                         int(np.sum(hard[row] != references[block]))
                     )
-            syndrome = (
-                np.add.reduceat(
-                    hard[:, edges.edge_var].astype(np.int64), edges.check_ptr, axis=1
-                )
-                & 1
-            )
+            syndrome = edges.syndrome(hard)
             converged = ~syndrome.any(axis=1)
             if converged.any():
                 done = active[converged]
@@ -228,7 +257,7 @@ class SparseMinSumDecoder(_SparseMessagePassingDecoder):
         )
         first_min = np.minimum.reduceat(candidates, edges.check_ptr, axis=1)
         masked = magnitudes.copy()
-        masked[np.arange(masked.shape[0])[:, np.newaxis], first_min] = np.inf
+        masked[self._rows(masked.shape[0]), first_min] = np.inf
         min2 = np.minimum.reduceat(masked, edges.check_ptr, axis=1)
 
         use_second = np.isclose(magnitudes, min1_edges)

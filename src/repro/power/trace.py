@@ -1,14 +1,18 @@
-"""Power traces: per-interval, per-unit power vectors over time.
+"""Power traces: epochs x units power arrays with a coordinate index.
 
-The transient thermal solver consumes a sequence of (duration, power vector)
-samples; the experiment driver appends one sample per migration epoch.  The
-trace also provides the aggregate energy/average-power summaries used in the
-migration-energy ablation.
+The experiment driver produces one per-unit power sample per migration epoch
+and the thermal solvers consume the whole piecewise-constant trace at once
+(multi-RHS steady solves, sequenced transients).  :class:`PowerTrace` is the
+array-native contract between those layers: internally it stores a
+``(num_samples, num_units)`` float array plus a parallel duration vector,
+indexed by the topology's row-major coordinate order, while dict views
+(:meth:`PowerTrace.power_map`, :class:`PowerSample`) remain available at the
+edges for policies, reports and hand-written tests.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
@@ -16,9 +20,35 @@ import numpy as np
 from ..noc.topology import Coordinate, MeshTopology
 
 
+# ----------------------------------------------------------------------
+# Coordinate-indexed vector <-> dict conversion (the "edges" of the
+# array-native pipeline: everything inside works on vectors, everything
+# user-facing can still ask for dicts).
+# ----------------------------------------------------------------------
+def map_to_vector(topology: MeshTopology, values: Dict[Coordinate, float]) -> np.ndarray:
+    """Row-major vector over the mesh from a per-coordinate dict.
+
+    Missing coordinates become zero; coordinates outside the mesh raise.
+    """
+    vector = np.zeros(topology.num_nodes)
+    for coord, value in values.items():
+        vector[topology.node_id(coord)] = value
+    return vector
+
+
+def vector_to_map(topology: MeshTopology, vector: np.ndarray) -> Dict[Coordinate, float]:
+    """Per-coordinate dict view of a row-major vector over the mesh."""
+    vector = np.asarray(vector)
+    if vector.shape != (topology.num_nodes,):
+        raise ValueError(
+            f"expected a vector of {topology.num_nodes} values, got shape {vector.shape}"
+        )
+    return {coord: float(vector[idx]) for idx, coord in enumerate(topology.coordinates())}
+
+
 @dataclass
 class PowerSample:
-    """Average per-unit power over one interval."""
+    """Average per-unit power over one interval (dict view of one trace row)."""
 
     duration_s: float
     power_w: Dict[Coordinate, float]
@@ -44,38 +74,180 @@ class PowerSample:
 
     def as_vector(self, topology: MeshTopology) -> np.ndarray:
         """Row-major power vector over the mesh (zeros for missing units)."""
-        vector = np.zeros(topology.num_nodes)
-        for coord, power in self.power_w.items():
-            vector[topology.node_id(coord)] = power
-        return vector
+        return map_to_vector(topology, self.power_w)
 
 
-@dataclass
 class PowerTrace:
-    """A time-ordered sequence of power samples."""
+    """A time-ordered sequence of per-unit power samples, stored as arrays.
 
-    topology: MeshTopology
-    samples: List[PowerSample] = field(default_factory=list)
+    The backing store is a ``(num_samples, num_units)`` float array (row-major
+    coordinate index, i.e. column ``topology.node_id(coord)`` carries
+    ``coord``'s power) and a duration vector.  Rows can be appended
+    incrementally (amortised doubling) or supplied wholesale via
+    :meth:`from_arrays`; every aggregate (energies, averages, settled-regime
+    means) is a vectorised array reduction.
+    """
+
+    def __init__(self, topology: MeshTopology, samples: Optional[List[PowerSample]] = None):
+        self.topology = topology
+        self._num_units = topology.num_nodes
+        self._capacity = 8
+        self._durations = np.zeros(self._capacity)
+        self._powers = np.zeros((self._capacity, self._num_units))
+        self._length = 0
+        for sample in samples or ():
+            self.append(sample)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls,
+        topology: MeshTopology,
+        durations_s: np.ndarray,
+        power_w: np.ndarray,
+    ) -> "PowerTrace":
+        """Build a trace directly from a duration vector and a power matrix."""
+        durations = np.asarray(durations_s, dtype=float)
+        powers = np.asarray(power_w, dtype=float)
+        if durations.ndim != 1:
+            raise ValueError("durations must be a 1-D array")
+        if powers.shape != (durations.size, topology.num_nodes):
+            raise ValueError(
+                f"power matrix must be (num_samples, {topology.num_nodes}), "
+                f"got shape {powers.shape}"
+            )
+        if durations.size and durations.min() <= 0:
+            raise ValueError("sample durations must be positive")
+        if powers.size and powers.min() < 0:
+            raise ValueError("negative power in trace")
+        trace = cls(topology)
+        trace._capacity = max(durations.size, 1)
+        trace._durations = durations.copy() if durations.size else np.zeros(1)
+        trace._powers = (
+            powers.copy() if durations.size else np.zeros((1, topology.num_nodes))
+        )
+        trace._length = durations.size
+        return trace
+
+    def _grow_to(self, capacity: int) -> None:
+        new_capacity = max(capacity, 2 * self._capacity)
+        durations = np.zeros(new_capacity)
+        powers = np.zeros((new_capacity, self._num_units))
+        durations[: self._length] = self._durations[: self._length]
+        powers[: self._length] = self._powers[: self._length]
+        self._capacity = new_capacity
+        self._durations = durations
+        self._powers = powers
 
     def append(self, sample: PowerSample) -> None:
-        self.samples.append(sample)
+        """Append one dict-view sample (validated by :class:`PowerSample`)."""
+        self.add_interval(sample.duration_s, sample.power_w)
 
-    def add_interval(self, duration_s: float, power_w: Dict[Coordinate, float]) -> None:
-        self.append(PowerSample(duration_s=duration_s, power_w=dict(power_w)))
+    def add_interval(self, duration_s: float, power_w) -> None:
+        """Append one interval; ``power_w`` may be a dict or a row vector."""
+        if isinstance(power_w, dict):
+            # PowerSample performs the duration/negativity validation.
+            sample = PowerSample(duration_s=duration_s, power_w=dict(power_w))
+            vector = sample.as_vector(self.topology)
+        else:
+            vector = np.asarray(power_w, dtype=float)
+            if vector.shape != (self._num_units,):
+                raise ValueError(
+                    f"expected a power vector of {self._num_units} units, "
+                    f"got shape {vector.shape}"
+                )
+            if duration_s <= 0:
+                raise ValueError("sample duration must be positive")
+            if vector.size and vector.min() < 0:
+                raise ValueError("negative power in sample")
+        if self._length == self._capacity:
+            self._grow_to(self._length + 1)
+        self._durations[self._length] = duration_s
+        self._powers[self._length] = vector
+        self._length += 1
+
+    # ------------------------------------------------------------------
+    # Array views (the native representation)
+    # ------------------------------------------------------------------
+    @property
+    def durations(self) -> np.ndarray:
+        """Per-sample durations in seconds (read-only view)."""
+        view = self._durations[: self._length]
+        view.flags.writeable = False
+        return view
+
+    @property
+    def powers(self) -> np.ndarray:
+        """``(num_samples, num_units)`` power matrix (read-only view)."""
+        view = self._powers[: self._length]
+        view.flags.writeable = False
+        return view
+
+    def as_matrix(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(durations, powers) array copies; powers has one row per sample."""
+        return self.durations.copy(), self.powers.copy()
+
+    def average_vector(self) -> np.ndarray:
+        """Time-weighted average power per unit as a row-major vector."""
+        if self._length == 0:
+            return np.zeros(self._num_units)
+        durations = self.durations
+        return durations @ self.powers / durations.sum()
+
+    def mean_tail_vector(self, count: int) -> np.ndarray:
+        """Plain mean of the final ``count`` rows (the settled-regime power)."""
+        if not 1 <= count <= self._length:
+            raise ValueError(f"tail count must be in 1..{self._length}, got {count}")
+        return self.powers[-count:].mean(axis=0)
+
+    # ------------------------------------------------------------------
+    # Dict views (the edges)
+    # ------------------------------------------------------------------
+    def power_map(self, index: int) -> Dict[Coordinate, float]:
+        """Dict view of one sample's per-unit power."""
+        return vector_to_map(self.topology, self.powers[index])
+
+    def sample(self, index: int) -> PowerSample:
+        """Dict-view :class:`PowerSample` of one trace row."""
+        return PowerSample(
+            duration_s=float(self.durations[index]), power_w=self.power_map(index)
+        )
+
+    @property
+    def samples(self) -> Tuple[PowerSample, ...]:
+        """All samples as dict views.
+
+        A tuple of freshly-built views: mutating it (the old dataclass's
+        ``samples.append``) fails loudly instead of silently not updating
+        the trace — append through :meth:`append`/:meth:`add_interval`.
+        """
+        return tuple(self.sample(index) for index in range(self._length))
+
+    def intervals(self) -> List[Tuple[float, Dict[Coordinate, float]]]:
+        """(duration, per-unit power dict) pairs for the transient solvers."""
+        return [
+            (float(self.durations[index]), self.power_map(index))
+            for index in range(self._length)
+        ]
 
     def __len__(self) -> int:
-        return len(self.samples)
+        return self._length
 
     def __iter__(self) -> Iterator[PowerSample]:
         return iter(self.samples)
 
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
     @property
     def total_duration_s(self) -> float:
-        return sum(sample.duration_s for sample in self.samples)
+        return float(self.durations.sum())
 
     @property
     def total_energy_j(self) -> float:
-        return sum(sample.energy_j for sample in self.samples)
+        return float(self.durations @ self.powers.sum(axis=1))
 
     @property
     def average_power_w(self) -> float:
@@ -86,25 +258,10 @@ class PowerTrace:
 
     def average_power_per_unit(self) -> Dict[Coordinate, float]:
         """Time-weighted average power of every unit over the whole trace."""
-        duration = self.total_duration_s
-        result: Dict[Coordinate, float] = {
-            coord: 0.0 for coord in self.topology.coordinates()
-        }
-        if duration == 0:
-            return result
-        for sample in self.samples:
-            for coord, power in sample.power_w.items():
-                result[coord] += power * sample.duration_s / duration
-        return result
-
-    def as_matrix(self) -> Tuple[np.ndarray, np.ndarray]:
-        """(durations, powers) arrays; powers has one row per sample."""
-        durations = np.array([sample.duration_s for sample in self.samples])
-        powers = np.vstack(
-            [sample.as_vector(self.topology) for sample in self.samples]
-        ) if self.samples else np.zeros((0, self.topology.num_nodes))
-        return durations, powers
+        return vector_to_map(self.topology, self.average_vector())
 
     def peak_unit_power(self) -> float:
         """Largest instantaneous per-unit power anywhere in the trace."""
-        return max((sample.peak_power_w for sample in self.samples), default=0.0)
+        if self._length == 0:
+            return 0.0
+        return float(self.powers.max())

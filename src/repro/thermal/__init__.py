@@ -9,11 +9,13 @@ built on numpy/scipy.
 from .floorplan import Block, Floorplan, block_name_for, mesh_floorplan
 from .grid import GridTemperatureMap, GridThermalModel, refine_floorplan
 from .hotspot import HotSpotModel
+from .model import ThermalModel
 from .package import DEFAULT_PACKAGE, KELVIN_OFFSET, ThermalPackage
 from .rc_model import ThermalNetwork, build_thermal_network
 from .solver import TemperatureMap, ThermalSolver, TransientResult
 
 __all__ = [
+    "ThermalModel",
     "Block",
     "Floorplan",
     "block_name_for",

@@ -22,9 +22,10 @@ import numpy as np
 
 from ..noc.topology import Coordinate, MeshTopology
 from .floorplan import Block, Floorplan, block_name_for, mesh_floorplan
-from .package import DEFAULT_PACKAGE, ThermalPackage
+from .model import as_solver_intervals, as_solver_power, die_time_constant_s
+from .package import KELVIN_OFFSET, DEFAULT_PACKAGE, ThermalPackage
 from .rc_model import build_thermal_network
-from .solver import TemperatureMap, ThermalSolver
+from .solver import TemperatureMap, ThermalSolver, TransientResult
 
 
 def refine_floorplan(floorplan: Floorplan, resolution: int) -> Floorplan:
@@ -107,6 +108,19 @@ class GridThermalModel:
         self._cells_of_block: Dict[str, list] = {}
         for cell in self.cell_floorplan:
             self._cells_of_block.setdefault(parent_block_name(cell.name), []).append(cell.name)
+        #: ``(num_units, resolution**2)`` die-node indices of each unit's
+        #: cells, in row-major coordinate order — the coordinate index the
+        #: array-native pipeline scatters power through.
+        self.unit_cell_nodes = np.array(
+            [
+                [
+                    self.network.block_node_index[cell]
+                    for cell in self._cells_of_block[block_name_for(coord)]
+                ]
+                for coord in topology.coordinates()
+            ],
+            dtype=np.int64,
+        )
 
     # ------------------------------------------------------------------
     def _cell_power(self, power_by_coord: Dict[Coordinate, float]) -> Dict[str, float]:
@@ -151,6 +165,117 @@ class GridThermalModel:
         return {
             coord: source[block_name_for(coord)] for coord in self.topology.coordinates()
         }
+
+    # ------------------------------------------------------------------
+    # Array-native batch paths (the same fast interface HotSpotModel has:
+    # cached factorisation, multi-RHS steady solves, sequenced transients
+    # with the propagator cache and the spectral sampler of ThermalSolver).
+    # ------------------------------------------------------------------
+    def node_power_matrix(self, power_rows: np.ndarray) -> np.ndarray:
+        """Scatter per-unit power rows uniformly over each unit's cells."""
+        rows = np.atleast_2d(np.asarray(power_rows, dtype=float))
+        if rows.shape[1] != self.topology.num_nodes:
+            raise ValueError(
+                f"expected {self.topology.num_nodes} units per row, "
+                f"got shape {rows.shape}"
+            )
+        cells_per_block = self.resolution**2
+        matrix = np.zeros((rows.shape[0], self.network.num_nodes))
+        matrix[:, self.unit_cell_nodes.ravel()] = np.repeat(
+            rows / cells_per_block, cells_per_block, axis=1
+        )
+        return matrix
+
+    def _reduce_cells(self, cell_values: np.ndarray, statistic: str) -> np.ndarray:
+        """Per-unit reduction (peak or mean over each unit's cells).
+
+        ``cell_values`` has node-space columns; the result keeps all leading
+        axes and replaces the node axis with a unit axis.
+        """
+        per_cell = cell_values[..., self.unit_cell_nodes]
+        if statistic == "peak":
+            return per_cell.max(axis=-1)
+        return per_cell.mean(axis=-1)
+
+    def steady_temperatures(
+        self, power_rows: np.ndarray, statistic: Literal["peak", "mean"] = "peak"
+    ) -> np.ndarray:
+        """Per-unit steady temperatures for many power rows, one solve.
+
+        Each row is reduced over its unit's cells with ``statistic`` (peak by
+        default — the grid model exists to expose the intra-block peak).
+        """
+        kelvin = self.solver.steady_state_batch(self.node_power_matrix(power_rows))
+        return self._reduce_cells(kelvin - KELVIN_OFFSET, statistic)
+
+    def unit_series(
+        self, result: TransientResult, statistic: Literal["peak", "mean"] = "peak"
+    ) -> np.ndarray:
+        """``(num_units, num_samples)`` per-unit series of a transient result."""
+        cell_series = np.array(
+            [
+                [result.block_celsius[cell] for cell in self._cells_of_block[block_name_for(coord)]]
+                for coord in self.topology.coordinates()
+            ]
+        )
+        if statistic == "peak":
+            return cell_series.max(axis=1)
+        return cell_series.mean(axis=1)
+
+    # ------------------------------------------------------------------
+    def transient(
+        self,
+        power_by_coord,
+        duration_s: float,
+        initial_state: Optional[np.ndarray] = None,
+        time_step_s: Optional[float] = None,
+        method: str = "euler",
+    ) -> TransientResult:
+        """Grid-resolution transient under constant power for ``duration_s``."""
+        if isinstance(power_by_coord, dict):
+            power = self._cell_power(power_by_coord)
+        else:
+            power = self.node_power_matrix(power_by_coord)[0]
+        return self.solver.transient(
+            power,
+            duration_s,
+            initial_state=initial_state,
+            time_step_s=time_step_s,
+            method=method,
+        )
+
+    def transient_sequence(
+        self,
+        intervals,
+        initial_state: Optional[np.ndarray] = None,
+        time_step_s: Optional[float] = None,
+        method: str = "euler",
+    ) -> TransientResult:
+        """Grid-resolution transient over a piecewise-constant power trace.
+
+        Accepts a :class:`repro.power.trace.PowerTrace` or a list of
+        (duration, per-unit dict) pairs, exactly like
+        :meth:`repro.thermal.hotspot.HotSpotModel.transient_sequence`.
+        """
+        return self.solver.transient_sequence(
+            as_solver_intervals(self, intervals, self._cell_power),
+            initial_state=initial_state,
+            time_step_s=time_step_s,
+            method=method,
+        )
+
+    def warm_state(self, power) -> np.ndarray:
+        """Steady-state node vector used to start transients already warm."""
+        return self.solver.warm_state(as_solver_power(self, power, self._cell_power))
+
+    # ------------------------------------------------------------------
+    @property
+    def ambient_celsius(self) -> float:
+        return self.package.ambient_celsius
+
+    def thermal_time_constant_s(self) -> float:
+        """Dominant time constant of the die cells (C/G of one cell)."""
+        return die_time_constant_s(self.network, len(self.cell_floorplan))
 
     @property
     def num_cells(self) -> int:

@@ -15,7 +15,8 @@ import numpy as np
 
 from ..noc.topology import Coordinate, MeshTopology
 from .floorplan import Floorplan, block_name_for, mesh_floorplan
-from .package import DEFAULT_PACKAGE, ThermalPackage
+from .model import as_solver_intervals, as_solver_power, die_time_constant_s
+from .package import KELVIN_OFFSET, DEFAULT_PACKAGE, ThermalPackage
 from .rc_model import ThermalNetwork, build_thermal_network
 from .solver import TemperatureMap, ThermalSolver, TransientResult
 
@@ -47,6 +48,15 @@ class HotSpotModel:
         self.floorplan = floorplan or mesh_floorplan(topology, unit_area_mm2)
         self.network: ThermalNetwork = build_thermal_network(self.floorplan, package)
         self.solver = ThermalSolver(self.network)
+        #: Die node carrying each unit's power, in row-major coordinate order
+        #: (the coordinate index shared with :class:`repro.power.trace.PowerTrace`).
+        self.unit_nodes = np.array(
+            [
+                self.network.block_node_index[block_name_for(coord)]
+                for coord in topology.coordinates()
+            ],
+            dtype=np.int64,
+        )
 
     # ------------------------------------------------------------------
     def _to_block_power(self, power_by_coord: Dict[Coordinate, float]) -> Dict[str, float]:
@@ -79,6 +89,39 @@ class HotSpotModel:
         return self.steady_state(power_by_coord).peak_celsius
 
     # ------------------------------------------------------------------
+    # Array-native batch paths
+    # ------------------------------------------------------------------
+    def node_power_matrix(self, power_rows: np.ndarray) -> np.ndarray:
+        """Scatter ``(num_rows, num_units)`` power rows into node space."""
+        rows = np.atleast_2d(np.asarray(power_rows, dtype=float))
+        if rows.shape[1] != self.topology.num_nodes:
+            raise ValueError(
+                f"expected {self.topology.num_nodes} units per row, "
+                f"got shape {rows.shape}"
+            )
+        matrix = np.zeros((rows.shape[0], self.network.num_nodes))
+        matrix[:, self.unit_nodes] = rows
+        return matrix
+
+    def steady_temperatures(self, power_rows: np.ndarray) -> np.ndarray:
+        """Per-unit steady temperatures (Celsius) for many power rows at once.
+
+        One multi-RHS solve against the cached factorisation evaluates every
+        row — the batch path behind the array-native steady experiment.
+        """
+        kelvin = self.solver.steady_state_batch(self.node_power_matrix(power_rows))
+        return kelvin[:, self.unit_nodes] - KELVIN_OFFSET
+
+    def unit_series(self, result: TransientResult) -> np.ndarray:
+        """``(num_units, num_samples)`` per-unit Celsius series of a transient."""
+        return np.vstack(
+            [
+                result.block_celsius[block_name_for(coord)]
+                for coord in self.topology.coordinates()
+            ]
+        )
+
+    # ------------------------------------------------------------------
     def transient(
         self,
         power_by_coord: Dict[Coordinate, float],
@@ -98,25 +141,32 @@ class HotSpotModel:
 
     def transient_sequence(
         self,
-        intervals: "list[tuple[float, Dict[Coordinate, float]]]",
+        intervals,
         initial_state: Optional[np.ndarray] = None,
         time_step_s: Optional[float] = None,
         method: str = "euler",
     ) -> TransientResult:
-        """Transient evolution under a piecewise-constant power trace."""
-        block_intervals = [
-            (duration, self._to_block_power(power)) for duration, power in intervals
-        ]
+        """Transient evolution under a piecewise-constant power trace.
+
+        ``intervals`` is a :class:`repro.power.trace.PowerTrace` (the
+        array-native path: one scatter builds every node power vector) or a
+        list of (duration, per-unit dict) pairs.
+        """
         return self.solver.transient_sequence(
-            block_intervals,
+            as_solver_intervals(self, intervals, self._to_block_power),
             initial_state=initial_state,
             time_step_s=time_step_s,
             method=method,
         )
 
-    def warm_state(self, power_by_coord: Dict[Coordinate, float]) -> np.ndarray:
-        """Steady-state node vector used to start transients already warm."""
-        return self.solver.warm_state(self._to_block_power(power_by_coord))
+    def warm_state(self, power) -> np.ndarray:
+        """Steady-state node vector used to start transients already warm.
+
+        Accepts a per-coordinate dict or a row-major per-unit power vector.
+        """
+        return self.solver.warm_state(
+            as_solver_power(self, power, self._to_block_power)
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -128,8 +178,4 @@ class HotSpotModel:
 
         Used by the experiment driver to choose sensible transient horizons.
         """
-        n_blocks = len(self.floorplan)
-        die_caps = self.network.capacitance[:n_blocks]
-        A = self.network.system_matrix()
-        die_conductance = np.diag(A)[:n_blocks]
-        return float(np.mean(die_caps / die_conductance))
+        return die_time_constant_s(self.network, len(self.floorplan))

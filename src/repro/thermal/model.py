@@ -1,0 +1,133 @@
+"""The shared thermal-model protocol of the array-native epoch pipeline.
+
+:class:`repro.thermal.hotspot.HotSpotModel` (block resolution) and
+:class:`repro.thermal.grid.GridThermalModel` (refined grid resolution) both
+implement this interface, so the experiment driver, the DTM baselines and the
+CLI can swap resolutions without code changes.  The contract has three tiers:
+
+* **dict edges** — ``steady_state_by_coord`` / ``peak_temperature`` keep the
+  per-coordinate dict views that policies and reports consume;
+* **steady batch** — ``steady_temperatures`` evaluates a whole
+  ``(num_rows, num_units)`` power matrix (one trace row per epoch, plus the
+  baseline and settled-average rows) with a single multi-RHS solve against
+  the model's cached factorisation;
+* **sequenced transient** — ``transient_sequence`` integrates a
+  piecewise-constant :class:`repro.power.trace.PowerTrace` (or explicit
+  interval list) in one call with thermal state carried across epochs, and
+  ``unit_series`` reduces the result back to a per-unit sample matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+from ..noc.topology import Coordinate, MeshTopology
+from ..power.trace import PowerTrace
+from .solver import TransientResult
+
+
+@runtime_checkable
+class ThermalModel(Protocol):
+    """What the experiment pipeline requires of a thermal model."""
+
+    topology: MeshTopology
+
+    # -- dict edges ----------------------------------------------------
+    def steady_state_by_coord(
+        self, power_by_coord: Dict[Coordinate, float]
+    ) -> Dict[Coordinate, float]:
+        """Steady-state per-unit temperatures (Celsius) for one power map."""
+        ...
+
+    def peak_temperature(self, power_by_coord: Dict[Coordinate, float]) -> float:
+        """Peak steady-state temperature (Celsius) for one power map."""
+        ...
+
+    # -- steady batch --------------------------------------------------
+    def steady_temperatures(self, power_rows: np.ndarray) -> np.ndarray:
+        """Per-unit steady temperatures for many power rows at once.
+
+        ``power_rows`` is ``(num_rows, num_units)`` in the topology's
+        row-major coordinate order; the result has the same shape, in
+        Celsius, computed with one multi-RHS solve.
+        """
+        ...
+
+    # -- sequenced transient -------------------------------------------
+    def transient_sequence(
+        self,
+        intervals,
+        initial_state=None,
+        time_step_s=None,
+        method: str = "euler",
+    ) -> TransientResult:
+        """Integrate a piecewise-constant power trace with carried state.
+
+        The returned result MUST populate
+        :attr:`repro.thermal.solver.TransientResult.interval_ranges` (one
+        ``(start, stop)`` sample range per interval) — the experiment driver
+        reduces per-epoch metrics from those segments.
+        """
+        ...
+
+    def unit_series(self, result: TransientResult) -> np.ndarray:
+        """``(num_units, num_samples)`` per-unit series of a transient result."""
+        ...
+
+    def warm_state(self, power) -> np.ndarray:
+        """Steady-state node vector used to start transients already warm."""
+        ...
+
+    def thermal_time_constant_s(self) -> float:
+        """Dominant die-level time constant (for choosing horizons)."""
+        ...
+
+
+# ----------------------------------------------------------------------
+# Shared implementation helpers (both concrete models scatter unit power
+# into RC-node space through a ``node_power_matrix`` method; these keep the
+# trace/dict dispatch in one place).
+# ----------------------------------------------------------------------
+def as_solver_intervals(
+    model,
+    intervals,
+    block_power_of: Callable[[Dict[Coordinate, float]], Dict[str, float]],
+) -> List[Tuple[float, object]]:
+    """(duration, solver power) pairs from a PowerTrace or dict intervals.
+
+    A :class:`PowerTrace` takes the array path: one scatter through
+    ``model.node_power_matrix`` builds every node power vector.  Dict
+    intervals go through the model's per-map converter.
+    """
+    if isinstance(intervals, PowerTrace):
+        node_rows = model.node_power_matrix(intervals.powers)
+        return [
+            (float(duration), node_rows[index])
+            for index, duration in enumerate(intervals.durations)
+        ]
+    return [(duration, block_power_of(power)) for duration, power in intervals]
+
+
+def as_solver_power(
+    model,
+    power,
+    block_power_of: Callable[[Dict[Coordinate, float]], Dict[str, float]],
+):
+    """One solver power input from a per-coordinate dict or a unit vector."""
+    if isinstance(power, dict):
+        return block_power_of(power)
+    return model.node_power_matrix(power)[0]
+
+
+def die_time_constant_s(network, num_die_nodes: int) -> float:
+    """Rough dominant time constant of the die nodes (mean C/G).
+
+    Shared by the block and grid models: the first ``num_die_nodes`` RC
+    nodes are the die layer, and C over the diagonal conductance of the
+    system matrix estimates each node's local time constant.
+    """
+    die_caps = network.capacitance[:num_die_nodes]
+    die_conductance = np.diag(network.system_matrix())[:num_die_nodes]
+    return float(np.mean(die_caps / die_conductance))

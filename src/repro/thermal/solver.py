@@ -73,6 +73,10 @@ class TransientResult:
     times_s: np.ndarray
     block_celsius: Dict[str, np.ndarray]
     final_state_kelvin: np.ndarray
+    #: Sample-row ranges ``[start, stop)`` of each power interval, populated
+    #: by :meth:`ThermalSolver.transient_sequence` so callers can reduce
+    #: per-interval metrics straight from the concatenated arrays.
+    interval_ranges: Optional[List[Tuple[int, int]]] = None
 
     @property
     def peak_celsius(self) -> float:
@@ -123,6 +127,16 @@ class ThermalSolver:
         #: Number of step-matrix LU factorisations performed (regression
         #: guard: one per distinct time step when caching is enabled).
         self.step_factorization_count = 0
+        #: Number of solves against the steady-state factorisation.  A
+        #: multi-RHS batch counts once, so a fully batched steady experiment
+        #: shows exactly one solve (regression guard for the epoch pipeline).
+        self.steady_solve_count = 0
+        #: Number of *external* ``transient()`` calls (the per-epoch Python
+        #: round-trip the array-native pipeline retires; intervals stepped
+        #: inside ``transient_sequence`` do not count).
+        self.transient_count = 0
+        #: Number of ``transient_sequence()`` calls.
+        self.transient_sequence_count = 0
         self._spectral_basis: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
         # Solvers are shared across the thread executor of the parallel
         # runner; guard the lazily-built caches.
@@ -195,17 +209,55 @@ class ThermalSolver:
         return fixed_point[np.newaxis, :] + deviations / c_sqrt[np.newaxis, :]
 
     # ------------------------------------------------------------------
-    def steady_state(self, block_power_w: Dict[str, float]) -> TemperatureMap:
-        """Steady-state temperatures for a constant power assignment."""
-        power = self.network.power_vector(block_power_w)
+    def _power_vector_of(self, block_power_w) -> np.ndarray:
+        """Node-space power vector from a per-block dict or a node vector."""
+        if isinstance(block_power_w, dict):
+            return self.network.power_vector(block_power_w)
+        power = np.asarray(block_power_w, dtype=float)
+        if power.shape != (self.network.num_nodes,):
+            raise ValueError(
+                f"expected a node power vector of {self.network.num_nodes} entries, "
+                f"got shape {power.shape}"
+            )
+        if power.size and power.min() < 0:
+            raise ValueError("negative power in node vector")
+        return power
+
+    # ------------------------------------------------------------------
+    def steady_state(self, block_power_w) -> TemperatureMap:
+        """Steady-state temperatures for a constant power assignment.
+
+        ``block_power_w`` is a per-block dict or a node-space power vector.
+        """
+        power = self._power_vector_of(block_power_w)
         rhs = power + self._boundary
+        self.steady_solve_count += 1
         temps_kelvin = lu_solve(self._A_factor, rhs)
         return self._to_map(temps_kelvin)
+
+    def steady_state_batch(self, node_power_matrix: np.ndarray) -> np.ndarray:
+        """Steady-state node temperatures for many power vectors at once.
+
+        ``node_power_matrix`` has one node-space power vector per row; the
+        result is a matching ``(num_rows, num_nodes)`` kelvin array computed
+        with a single multi-RHS solve against the cached factorisation.
+        """
+        power = np.asarray(node_power_matrix, dtype=float)
+        if power.ndim != 2 or power.shape[1] != self.network.num_nodes:
+            raise ValueError(
+                f"expected a (num_rows, {self.network.num_nodes}) power matrix, "
+                f"got shape {power.shape}"
+            )
+        if power.size and power.min() < 0:
+            raise ValueError("negative power in batch")
+        rhs = power + self._boundary[np.newaxis, :]
+        self.steady_solve_count += 1
+        return lu_solve(self._A_factor, rhs.T).T
 
     # ------------------------------------------------------------------
     def transient(
         self,
-        block_power_w: Dict[str, float],
+        block_power_w,
         duration_s: float,
         initial_state: Optional[np.ndarray] = None,
         time_step_s: Optional[float] = None,
@@ -216,6 +268,8 @@ class ThermalSolver:
 
         Parameters
         ----------
+        block_power_w:
+            Per-block power dict, or a node-space power vector.
         initial_state:
             Node temperatures in kelvin to start from; defaults to ambient
             everywhere (a cold chip).
@@ -231,6 +285,25 @@ class ThermalSolver:
             straight to the recorded instants (identical trajectory up to
             floating-point roundoff, no per-step loop).
         """
+        self.transient_count += 1
+        return self._transient(
+            block_power_w,
+            duration_s,
+            initial_state=initial_state,
+            time_step_s=time_step_s,
+            record_every=record_every,
+            method=method,
+        )
+
+    def _transient(
+        self,
+        block_power_w,
+        duration_s: float,
+        initial_state: Optional[np.ndarray] = None,
+        time_step_s: Optional[float] = None,
+        record_every: int = 1,
+        method: str = "euler",
+    ) -> TransientResult:
         if duration_s <= 0:
             raise ValueError("duration must be positive")
         if record_every < 1:
@@ -238,7 +311,7 @@ class ThermalSolver:
         if method not in TRANSIENT_METHODS:
             raise ValueError(f"method must be one of {TRANSIENT_METHODS}")
         network = self.network
-        power = network.power_vector(block_power_w)
+        power = self._power_vector_of(block_power_w)
         rhs_const = power + self._boundary
 
         if initial_state is None:
@@ -300,21 +373,28 @@ class ThermalSolver:
     ) -> TransientResult:
         """Integrate a piecewise-constant power trace.
 
-        ``intervals`` is a list of (duration, per-block power) pairs — exactly
-        the shape of a :class:`repro.power.trace.PowerTrace`.  All intervals
-        sharing a time step reuse one cached factorisation (``"euler"``) or
-        one eigendecomposition (``"spectral"``).
+        ``intervals`` is a list of (duration, power) pairs where each power is
+        a per-block dict or a node-space vector — exactly the shape of a
+        :class:`repro.power.trace.PowerTrace`.  All intervals sharing a time
+        step reuse one cached factorisation (``"euler"``) or one
+        eigendecomposition (``"spectral"``); thermal state is carried across
+        interval boundaries.  The result's :attr:`TransientResult.interval_ranges`
+        records each interval's sample-row range so per-interval metrics can
+        be reduced from the concatenated series without re-integrating.
         """
         if not intervals:
             raise ValueError("at least one interval is required")
+        self.transient_sequence_count += 1
         state = initial_state
         all_times: List[np.ndarray] = []
         series: Dict[str, List[np.ndarray]] = {
             name: [] for name in self.network.block_node_index
         }
         offset = 0.0
+        row_offset = 0
+        ranges: List[Tuple[int, int]] = []
         for duration, power in intervals:
-            result = self.transient(
+            result = self._transient(
                 power,
                 duration,
                 initial_state=state,
@@ -325,6 +405,9 @@ class ThermalSolver:
             state = result.final_state_kelvin
             all_times.append(result.times_s + offset)
             offset += duration
+            num_rows = result.times_s.size
+            ranges.append((row_offset, row_offset + num_rows))
+            row_offset += num_rows
             for name, values in result.block_celsius.items():
                 series[name].append(values)
         times = np.concatenate(all_times)
@@ -333,17 +416,20 @@ class ThermalSolver:
             times_s=times,
             block_celsius=block_series,
             final_state_kelvin=state,
+            interval_ranges=ranges,
         )
 
     # ------------------------------------------------------------------
-    def warm_state(self, block_power_w: Dict[str, float]) -> np.ndarray:
+    def warm_state(self, block_power_w) -> np.ndarray:
         """Node state (kelvin) corresponding to steady state under a power map.
 
         Useful as the initial condition of transient runs so experiments do
-        not spend simulated seconds heating a cold chip.
+        not spend simulated seconds heating a cold chip.  Accepts a per-block
+        dict or a node-space power vector.
         """
-        power = self.network.power_vector(block_power_w)
+        power = self._power_vector_of(block_power_w)
         rhs = power + self._boundary
+        self.steady_solve_count += 1
         return lu_solve(self._A_factor, rhs)
 
     def _to_map(self, temps_kelvin: np.ndarray) -> TemperatureMap:

@@ -5,10 +5,13 @@ from functools import partial
 import pytest
 
 from repro.analysis.runner import (
+    _POOLS,
+    _persistent_executor,
     resolve_jobs,
     run_experiment_grid,
     run_parallel,
     run_single_experiment,
+    shutdown_executors,
 )
 from repro.analysis.sweep import run_energy_ablation, run_period_sweep
 from repro.chips import get_configuration
@@ -63,6 +66,60 @@ class TestRunParallel:
 
     def test_empty_task_list(self):
         assert run_parallel([], n_jobs=4) == []
+
+
+class TestPersistentPools:
+    def test_pool_is_reused_across_calls(self):
+        shutdown_executors()
+        tasks = [partial(_square, value) for value in range(4)]
+        run_parallel(tasks, n_jobs=2, executor="thread")
+        first = _persistent_executor("thread", 2)
+        run_parallel(tasks, n_jobs=2, executor="thread")
+        assert _persistent_executor("thread", 2) is first
+        shutdown_executors()
+
+    def test_larger_pool_serves_smaller_requests(self):
+        shutdown_executors()
+        big = _persistent_executor("thread", 4)
+        # A smaller request reuses the big pool; only one pool per kind.
+        assert _persistent_executor("thread", 2) is big
+        assert len(_POOLS) == 1
+        # A bigger request replaces it.
+        bigger = _persistent_executor("thread", 6)
+        assert bigger is not big
+        assert _persistent_executor("thread", 3) is bigger
+        assert len(_POOLS) == 1
+        shutdown_executors()
+
+    def test_one_shot_pool_not_cached(self):
+        shutdown_executors()
+        tasks = [partial(_square, value) for value in range(4)]
+        assert run_parallel(
+            tasks, n_jobs=2, executor="thread", reuse_pool=False
+        ) == [0, 1, 4, 9]
+        assert _POOLS == {}
+
+    def test_shutdown_is_idempotent(self):
+        run_parallel(
+            [partial(_square, value) for value in range(4)],
+            n_jobs=2,
+            executor="thread",
+        )
+        shutdown_executors()
+        shutdown_executors()
+        assert _POOLS == {}
+
+    def test_pool_usable_after_task_exception(self):
+        shutdown_executors()
+        with pytest.raises(RuntimeError, match="worker failure"):
+            run_parallel([_fail, _fail], n_jobs=2, executor="thread")
+        # An ordinary task exception must not poison the cached pool.
+        assert run_parallel(
+            [partial(_square, value) for value in range(4)],
+            n_jobs=2,
+            executor="thread",
+        ) == [0, 1, 4, 9]
+        shutdown_executors()
 
 
 class TestExperimentHelpers:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.power.trace import PowerSample, PowerTrace
+from repro.power.trace import PowerSample, PowerTrace, map_to_vector, vector_to_map
 
 
 class TestPowerSample:
@@ -71,3 +71,82 @@ class TestPowerTrace:
         trace.add_interval(1.0, {(0, 0): 1.0, (1, 1): 5.0})
         trace.add_interval(1.0, {(2, 2): 3.0})
         assert trace.peak_unit_power() == 5.0
+
+
+class TestArrayNativeTrace:
+    def test_from_arrays_round_trip(self, mesh4):
+        durations = np.array([1e-3, 2e-3, 3e-3])
+        powers = np.arange(3 * 16, dtype=float).reshape(3, 16)
+        trace = PowerTrace.from_arrays(mesh4, durations, powers)
+        assert len(trace) == 3
+        out_durations, out_powers = trace.as_matrix()
+        assert np.array_equal(out_durations, durations)
+        assert np.array_equal(out_powers, powers)
+
+    def test_from_arrays_validation(self, mesh4):
+        with pytest.raises(ValueError):
+            PowerTrace.from_arrays(mesh4, np.array([0.0]), np.zeros((1, 16)))
+        with pytest.raises(ValueError):
+            PowerTrace.from_arrays(mesh4, np.array([1.0]), -np.ones((1, 16)))
+        with pytest.raises(ValueError):
+            PowerTrace.from_arrays(mesh4, np.array([1.0]), np.zeros((1, 7)))
+
+    def test_add_interval_accepts_vector(self, mesh4):
+        trace = PowerTrace(mesh4)
+        vector = np.linspace(0.0, 3.0, 16)
+        trace.add_interval(1e-3, vector)
+        assert np.array_equal(trace.powers[0], vector)
+        assert trace.power_map(0) == vector_to_map(mesh4, vector)
+
+    def test_vector_rejects_negative_and_bad_shape(self, mesh4):
+        trace = PowerTrace(mesh4)
+        with pytest.raises(ValueError):
+            trace.add_interval(1e-3, -np.ones(16))
+        with pytest.raises(ValueError):
+            trace.add_interval(1e-3, np.ones(9))
+        with pytest.raises(ValueError):
+            trace.add_interval(0.0, np.ones(16))
+
+    def test_views_are_read_only(self, mesh4, uniform_power4):
+        trace = PowerTrace(mesh4)
+        trace.add_interval(1e-3, uniform_power4)
+        with pytest.raises(ValueError):
+            trace.powers[0, 0] = 99.0
+        with pytest.raises(ValueError):
+            trace.durations[0] = 99.0
+
+    def test_capacity_growth_preserves_rows(self, mesh4):
+        trace = PowerTrace(mesh4)
+        rows = [np.full(16, float(index)) for index in range(30)]
+        for row in rows:
+            trace.add_interval(1e-3, row)
+        assert len(trace) == 30
+        for index, row in enumerate(rows):
+            assert np.array_equal(trace.powers[index], row)
+
+    def test_mean_tail_vector(self, mesh4):
+        powers = np.vstack([np.full(16, 1.0), np.full(16, 3.0), np.full(16, 5.0)])
+        trace = PowerTrace.from_arrays(mesh4, np.ones(3), powers)
+        assert np.allclose(trace.mean_tail_vector(2), np.full(16, 4.0))
+        assert np.allclose(trace.mean_tail_vector(3), np.full(16, 3.0))
+        with pytest.raises(ValueError):
+            trace.mean_tail_vector(0)
+        with pytest.raises(ValueError):
+            trace.mean_tail_vector(4)
+
+    def test_intervals_edge_view(self, mesh4, uniform_power4):
+        trace = PowerTrace(mesh4)
+        trace.add_interval(1e-3, uniform_power4)
+        intervals = trace.intervals()
+        assert len(intervals) == 1
+        duration, power = intervals[0]
+        assert duration == 1e-3
+        assert power == uniform_power4
+
+    def test_map_vector_helpers(self, mesh4):
+        mapping = {coord: float(mesh4.node_id(coord)) for coord in mesh4.coordinates()}
+        vector = map_to_vector(mesh4, mapping)
+        assert np.array_equal(vector, np.arange(16.0))
+        assert vector_to_map(mesh4, vector) == mapping
+        with pytest.raises(ValueError):
+            vector_to_map(mesh4, np.zeros(5))

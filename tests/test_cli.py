@@ -66,6 +66,14 @@ class TestExperimentCommand:
         )
         assert code == 0
 
+    def test_grid_model_flag(self, capsys):
+        code = main(
+            ["experiment", "-c", "A", "-s", "xy-shift", "--epochs", "7", "--grid", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "peak reduction (C)" in out
+
 
 class TestSweepCommand:
     def test_custom_periods(self, capsys):
