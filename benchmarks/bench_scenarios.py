@@ -1,0 +1,124 @@
+"""Experiment S1 — the scenario suite rides the batched epoch pipeline.
+
+Runs every registered scenario end to end (steady and transient) and guards
+the property that makes scenario diversity nearly free: **each scenario
+costs exactly one batched thermal evaluation** — one multi-RHS steady solve
+in steady mode, one ``transient_sequence`` call (plus the baseline solve and
+the warm start) in transient mode, and never a per-epoch ``transient()``
+round-trip.  Also times the whole-registry comparison and checks the
+controller's migration-cost cache is engaged across the suite.
+"""
+
+import pytest
+
+import perf_utils
+from conftest import print_rows
+
+from repro.analysis.report import compare_scenarios
+from repro.chips import get_configuration
+from repro.scenarios import all_scenarios, run_scenario
+
+
+def test_every_scenario_is_one_batched_evaluation():
+    """The acceptance guard: >= 8 scenarios, one thermal evaluation each."""
+    specs = all_scenarios()
+    assert len(specs) >= 8
+    modes = {spec.mode for spec in specs}
+    assert modes == {"steady", "transient"}
+
+    rows = []
+    for spec in specs:
+        solver = get_configuration(spec.configuration).thermal_model.solver
+        steady_before = solver.steady_solve_count
+        transients_before = solver.transient_count
+        sequences_before = solver.transient_sequence_count
+
+        result = run_scenario(spec)
+
+        steady_delta = solver.steady_solve_count - steady_before
+        sequence_delta = solver.transient_sequence_count - sequences_before
+        # No per-epoch transient() round-trips, ever.
+        assert solver.transient_count == transients_before
+        if spec.mode == "steady":
+            assert steady_delta == 1, f"{spec.name}: {steady_delta} steady solves"
+            assert sequence_delta == 0
+        else:
+            # Baseline + warm start are steady solves; one sequenced integration.
+            assert steady_delta == 2, f"{spec.name}: {steady_delta} steady solves"
+            assert sequence_delta == 1, f"{spec.name}: {sequence_delta} sequences"
+        rows.append(
+            {
+                "scenario": spec.name,
+                "mode": spec.mode,
+                "steady_solves": steady_delta,
+                "sequences": sequence_delta,
+                "settled_peak_c": round(result.experiment.settled_peak_celsius, 2),
+            }
+        )
+    print_rows("Thermal evaluations per scenario (guard: one batch each)", rows)
+
+
+def test_scenario_compare_registry(benchmark):
+    """Time the whole-registry comparison (the `scenario compare` CLI path)."""
+    specs = all_scenarios()
+    with perf_utils.timed() as timer:
+        comparison = benchmark.pedantic(
+            compare_scenarios, args=(specs,), rounds=1, iterations=1
+        )
+    assert comparison.names() == [spec.name for spec in specs]
+
+    perf_utils.record_perf(
+        "scenarios.compare.registry",
+        timer.seconds,
+        throughput=len(specs) / timer.seconds,
+        throughput_unit="scenarios/s",
+        scenarios=len(specs),
+    )
+    print_rows(
+        "Scenario registry comparison",
+        [
+            {
+                "scenarios": len(specs),
+                "total_ms": round(1e3 * timer.seconds, 1),
+                "per_scenario_ms": round(1e3 * timer.seconds / len(specs), 1),
+            }
+        ],
+    )
+
+
+def test_migration_cost_cache_engaged(chip_a):
+    """A long periodic scenario computes only orbit-length migration costs."""
+    from repro.core.experiment import ExperimentSettings, ThermalExperiment
+    from repro.core.policy import PeriodicMigrationPolicy
+
+    policy = PeriodicMigrationPolicy(chip_a.topology, "xy-shift", period_us=109.0)
+    settings = ExperimentSettings(num_epochs=41, mode="steady", settle_epochs=40)
+
+    with perf_utils.timed() as cached_timer:
+        experiment = ThermalExperiment(chip_a, policy, settings=settings)
+        experiment.run()
+    controller = experiment.controller
+    # xy-shift has order 4 on the 4x4 mesh: 40 migrations, 4 computations.
+    assert controller.migrations_performed == 40
+    assert controller.migration_cost_computations <= 4
+    assert controller.migration_cache_hits >= 36
+
+    perf_utils.record_perf(
+        "experiment.steady.migration_cost_cached",
+        cached_timer.seconds,
+        throughput=settings.num_epochs / cached_timer.seconds,
+        throughput_unit="epochs/s",
+        cost_computations=controller.migration_cost_computations,
+        cache_hits=controller.migration_cache_hits,
+    )
+    print_rows(
+        "Migration-cost cache over a 41-epoch periodic experiment (chip A)",
+        [
+            {
+                "migrations": controller.migrations_performed,
+                "cost_computations": controller.migration_cost_computations,
+                "cache_hits": controller.migration_cache_hits,
+                "wall_ms": round(1e3 * cached_timer.seconds, 1),
+            }
+        ],
+    )

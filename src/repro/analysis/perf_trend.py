@@ -1,0 +1,127 @@
+"""Render the BENCH_perf.json per-SHA history as per-benchmark trends.
+
+``benchmarks/perf_utils.py`` appends one snapshot per benchmark session to
+``BENCH_perf.json`` (schema 2), keyed by git SHA and UTC timestamp.  This
+module turns that append-only history into something a human reads at a
+glance — one trend block per hot path, oldest snapshot first, with the
+wall-clock delta against the previous measurement — behind
+``python -m repro perf-trend``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Wall-clock changes smaller than this fraction are rendered as "~" (noise).
+NOISE_FLOOR_FRACTION = 0.05
+
+
+def load_perf_history(path: Path) -> Dict[str, object]:
+    """Parse a BENCH_perf.json file, validating the schema."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        raise FileNotFoundError(
+            f"no benchmark record at {path}; run `pytest benchmarks/` first"
+        ) from None
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path} is not valid JSON: {error}") from error
+    if not isinstance(payload, dict) or "hot_paths" not in payload:
+        raise ValueError(f"{path} does not look like a BENCH_perf.json file")
+    return payload
+
+
+def _delta_label(wall_s: float, previous_wall_s: Optional[float]) -> str:
+    """Relative wall-clock change vs the previous snapshot of the same path."""
+    if previous_wall_s is None:
+        return "-"
+    if previous_wall_s <= 0:
+        return "?"
+    change = (wall_s - previous_wall_s) / previous_wall_s
+    if abs(change) < NOISE_FLOOR_FRACTION:
+        return "~"
+    return f"{100 * change:+.0f}%"
+
+
+def trend_rows(
+    payload: Dict[str, object], benchmark: Optional[str] = None
+) -> List[Dict[str, object]]:
+    """Flat trend rows: one per (hot path, history snapshot), oldest first.
+
+    A schema-1 file (no ``history``) degrades to one row per hot path from
+    the level view.  ``benchmark`` filters by substring match on the hot-path
+    name.
+    """
+    history = payload.get("history") or []
+    if not history:
+        history = [
+            {
+                "git_sha": "latest",
+                "timestamp_utc": None,
+                "hot_paths": payload.get("hot_paths", {}),
+            }
+        ]
+    names: List[str] = []
+    for snapshot in history:
+        for name in snapshot.get("hot_paths", {}):
+            if name not in names:
+                names.append(name)
+    if benchmark is not None:
+        names = [name for name in names if benchmark in name]
+        if not names:
+            raise ValueError(f"no benchmark matching {benchmark!r} in the history")
+
+    rows: List[Dict[str, object]] = []
+    for name in sorted(names):
+        previous_wall: Optional[float] = None
+        for snapshot in history:
+            entry = snapshot.get("hot_paths", {}).get(name)
+            if entry is None:
+                continue
+            wall_s = float(entry["wall_s"])
+            throughput = entry.get("throughput")
+            unit = entry.get("throughput_unit", "items/s")
+            rows.append(
+                {
+                    "benchmark": name,
+                    "git_sha": snapshot.get("git_sha", "unknown"),
+                    "when_utc": snapshot.get("timestamp_utc") or "-",
+                    "wall_ms": round(1e3 * wall_s, 3),
+                    "speedup": entry.get("speedup", "-"),
+                    "throughput": (
+                        f"{throughput:g} {unit}" if throughput is not None else "-"
+                    ),
+                    "vs_prev": _delta_label(wall_s, previous_wall),
+                }
+            )
+            previous_wall = wall_s
+    return rows
+
+
+def format_trend(payload: Dict[str, object], benchmark: Optional[str] = None) -> str:
+    """Per-benchmark trend blocks as plain text."""
+    rows = trend_rows(payload, benchmark)
+    columns = ("git_sha", "when_utc", "wall_ms", "speedup", "throughput", "vs_prev")
+    widths = {
+        key: max(len(key), max((len(str(row[key])) for row in rows), default=0))
+        for key in columns
+    }
+    lines: List[str] = []
+    current: Optional[str] = None
+    for row in rows:
+        if row["benchmark"] != current:
+            current = str(row["benchmark"])
+            if lines:
+                lines.append("")
+            lines.append(current)
+            lines.append(
+                "  " + "  ".join(key.ljust(widths[key]) for key in columns)
+            )
+        lines.append(
+            "  " + "  ".join(str(row[key]).ljust(widths[key]) for key in columns)
+        )
+    if not lines:
+        lines.append("(no benchmark history)")
+    return "\n".join(lines)

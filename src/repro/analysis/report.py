@@ -17,11 +17,35 @@ from ..core.experiment import ExperimentSettings, ThermalExperiment
 from ..core.metrics import ExperimentResult
 from ..core.policy import NoMigrationPolicy, PeriodicMigrationPolicy
 from ..migration.transforms import FIGURE1_SCHEMES
+from ..scenarios.compile import ScenarioResult
+from ..scenarios.registry import all_scenarios
+from ..scenarios.spec import ScenarioSpec
 
 #: Experiment settings used for the Figure 1 reproduction: one static epoch
 #: followed by 40 migrated epochs (40 divides the orbit length of every
 #: Figure 1 transform on both the 4x4 and 5x5 meshes).
 FIGURE1_SETTINGS = ExperimentSettings(num_epochs=41, mode="steady", settle_epochs=40)
+
+
+def format_rows(rows: List[Dict[str, object]]) -> str:
+    """Fixed-width text table of flat dict rows.
+
+    The one renderer behind every tabular report (the CLI's table output and
+    the scenario comparison): header, separator, one ljust-joined line per
+    row.
+    """
+    if not rows:
+        return "(no rows)"
+    keys = list(rows[0].keys())
+    widths = {
+        key: max(len(str(key)), max(len(str(row[key])) for row in rows))
+        for key in keys
+    }
+    header = "  ".join(str(key).ljust(widths[key]) for key in keys)
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append("  ".join(str(row[key]).ljust(widths[key]) for key in keys))
+    return "\n".join(lines)
 
 
 @dataclass
@@ -161,6 +185,67 @@ def generate_figure1(
                 )
             )
     return Figure1Report(cells=cells, period_us=period_us)
+
+
+@dataclass
+class ScenarioComparison:
+    """A scenario suite's results, side by side.
+
+    The scenario counterpart of :class:`Figure1Report`: one row per scenario
+    with the thermal outcome (settled/peak temperature, reduction vs the
+    static baseline), the DTM interventions (migrations performed and their
+    throughput cost) and the decoder-side throughput factor where the
+    scenario drifts the channel.
+    """
+
+    results: List[ScenarioResult]
+
+    def result(self, name: str) -> ScenarioResult:
+        for entry in self.results:
+            if entry.spec.name == name:
+                return entry
+        raise KeyError(f"no scenario named {name!r} in this comparison")
+
+    def names(self) -> List[str]:
+        return [entry.spec.name for entry in self.results]
+
+    def hottest_scenario(self) -> str:
+        """Scenario with the highest settled peak (the one to worry about)."""
+        if not self.results:
+            raise ValueError("the comparison holds no scenarios")
+        return max(
+            self.results, key=lambda entry: entry.experiment.settled_peak_celsius
+        ).spec.name
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        return [entry.to_row() for entry in self.results]
+
+    def format_table(self) -> str:
+        if not self.results:
+            return "Scenario comparison (no scenarios)"
+        header = (
+            "Scenario comparison "
+            f"({len(self.results)} scenarios; hottest: {self.hottest_scenario()})"
+        )
+        return header + "\n" + format_rows(self.to_rows())
+
+
+def compare_scenarios(
+    specs: Optional[Sequence[ScenarioSpec]] = None,
+    n_jobs: Optional[int] = None,
+    executor: str = "process",
+) -> ScenarioComparison:
+    """Run a scenario suite (default: the whole registry) and collect rows.
+
+    The suite fans out across the persistent worker pools when ``n_jobs``
+    asks for parallelism; results keep suite order either way.
+    """
+    from .runner import ScenarioRunner
+
+    if specs is None:
+        specs = all_scenarios()
+    runner = ScenarioRunner(n_jobs=n_jobs, executor=executor)
+    return ScenarioComparison(results=runner.run(list(specs)))
 
 
 def table1_rows(mesh_size: int = 4) -> List[Dict[str, str]]:

@@ -47,6 +47,8 @@ from ..chips.configurations import ChipConfiguration
 from ..core.experiment import ExperimentSettings, ThermalExperiment
 from ..core.metrics import ExperimentResult
 from ..core.policy import make_policy
+from ..scenarios.compile import ScenarioResult, run_scenario
+from ..scenarios.spec import ScenarioSpec
 
 T = TypeVar("T")
 
@@ -224,3 +226,35 @@ def run_experiment_grid(
         for period in periods_us
     ]
     return run_parallel(tasks, n_jobs=n_jobs, executor=executor)
+
+
+# ----------------------------------------------------------------------
+# Scenario suites
+# ----------------------------------------------------------------------
+class ScenarioRunner:
+    """Fans a scenario suite across the persistent worker pools.
+
+    Each task compiles and runs one :class:`repro.scenarios.spec.ScenarioSpec`
+    end to end (specs are small frozen dataclasses, so they pickle cheaply to
+    process workers; each worker's configuration cache keeps the chip builds
+    amortised across the suite).  Results come back in suite order.
+    """
+
+    def __init__(
+        self,
+        n_jobs: Optional[int] = None,
+        executor: str = "process",
+        reuse_pool: bool = True,
+    ):
+        self.n_jobs = n_jobs
+        self.executor = executor
+        self.reuse_pool = reuse_pool
+
+    def run(self, specs: Sequence[ScenarioSpec]) -> List[ScenarioResult]:
+        tasks = [partial(run_scenario, spec) for spec in specs]
+        return run_parallel(
+            tasks,
+            n_jobs=self.n_jobs,
+            executor=self.executor,
+            reuse_pool=self.reuse_pool,
+        )

@@ -8,6 +8,10 @@ Gives downstream users a no-code path to every experiment::
     python -m repro ablation -c E -s rotation  # migration-energy ablation
     python -m repro dtm -c A                   # compare against stop-go / DVFS
     python -m repro chips                      # list configurations
+    python -m repro scenario list              # named time-varying scenarios
+    python -m repro scenario run diurnal-load  # run one scenario
+    python -m repro scenario compare           # whole scenario suite
+    python -m repro perf-trend                 # BENCH_perf.json history
 
 Every subcommand prints plain text (and optionally CSV via ``--csv``), so the
 output can be piped into further analysis.
@@ -19,15 +23,24 @@ import argparse
 import csv
 import io
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
-from .analysis.report import FIGURE1_SETTINGS, generate_figure1, run_figure1_cell
+from .analysis.perf_trend import format_trend, load_perf_history, trend_rows
+from .analysis.report import (
+    FIGURE1_SETTINGS,
+    compare_scenarios,
+    format_rows,
+    generate_figure1,
+    run_figure1_cell,
+)
 from .analysis.sweep import PAPER_PERIODS_US, run_energy_ablation, run_period_sweep
 from .chips import all_configurations, get_configuration
 from .core.dtm import compare_with_migration
 from .core.experiment import ExperimentSettings, ThermalExperiment
 from .core.policy import make_policy
 from .migration.transforms import FIGURE1_SCHEMES
+from .scenarios import ScenarioSpec, all_scenarios, get_scenario, run_scenario
 from .thermal.grid import GridThermalModel
 
 
@@ -45,16 +58,7 @@ def _print_rows(rows: List[dict], as_csv: bool) -> None:
     if as_csv:
         print(_rows_to_csv(rows), end="")
         return
-    if not rows:
-        print("(no rows)")
-        return
-    keys = list(rows[0].keys())
-    widths = {key: max(len(str(key)), max(len(str(row[key])) for row in rows)) for key in keys}
-    header = "  ".join(str(key).ljust(widths[key]) for key in keys)
-    print(header)
-    print("-" * len(header))
-    for row in rows:
-        print("  ".join(str(row[key]).ljust(widths[key]) for key in keys))
+    print(format_rows(rows))
 
 
 # ----------------------------------------------------------------------
@@ -199,6 +203,103 @@ def cmd_dtm(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenario_list(args: argparse.Namespace) -> int:
+    rows = []
+    for spec in all_scenarios():
+        rows.append(
+            {
+                "scenario": spec.name,
+                "config": spec.configuration,
+                "scheme": spec.scheme,
+                "mode": spec.mode,
+                "epochs": spec.num_epochs,
+                "description": spec.description,
+            }
+        )
+    _print_rows(rows, args.csv)
+    return 0
+
+
+def _load_scenario(args: argparse.Namespace) -> ScenarioSpec:
+    if args.spec is not None:
+        return ScenarioSpec.from_json(Path(args.spec).read_text())
+    if args.name is None:
+        raise SystemExit("scenario run needs a NAME or --spec FILE")
+    return get_scenario(args.name)
+
+
+def cmd_scenario_run(args: argparse.Namespace) -> int:
+    try:
+        spec = _load_scenario(args)
+    except (OSError, ValueError) as error:
+        # Unknown name, missing/unreadable spec file, malformed JSON or an
+        # invalid spec — a one-line error, matching perf-trend.
+        print(error, file=sys.stderr)
+        return 1
+    if args.show_spec:
+        print(spec.to_json())
+        return 0
+    result = run_scenario(spec)
+    experiment = result.experiment
+    rows = [
+        {"metric": "baseline peak (C)", "value": round(experiment.baseline_peak_celsius, 2)},
+        {"metric": "settled peak (C)", "value": round(experiment.settled_peak_celsius, 2)},
+        {"metric": "peak reduction (C)", "value": round(experiment.peak_reduction_celsius, 2)},
+        {"metric": "settled mean (C)", "value": round(experiment.settled_mean_celsius, 2)},
+        {"metric": "migrations", "value": experiment.migrations_performed},
+        {
+            "metric": "throughput penalty (%)",
+            "value": round(100 * experiment.throughput_penalty, 3),
+        },
+        {
+            "metric": "ambient offset span (C)",
+            "value": round(
+                result.ambient_offset_max_celsius - result.ambient_offset_min_celsius, 2
+            ),
+        },
+    ]
+    if result.decoder is not None:
+        rows.append(
+            {
+                "metric": "decoder iterations / block",
+                "value": round(result.decoder.mean_iterations, 2),
+            }
+        )
+        rows.append(
+            {
+                "metric": "decoder throughput factor",
+                "value": round(result.decoder.throughput_factor, 3),
+            }
+        )
+    _print_rows(rows, args.csv)
+    return 0
+
+
+def cmd_scenario_compare(args: argparse.Namespace) -> int:
+    specs = None
+    if args.names:
+        specs = [get_scenario(name) for name in args.names]
+    comparison = compare_scenarios(specs, n_jobs=args.n_jobs)
+    if args.csv:
+        _print_rows(comparison.to_rows(), True)
+    else:
+        print(comparison.format_table())
+    return 0
+
+
+def cmd_perf_trend(args: argparse.Namespace) -> int:
+    try:
+        payload = load_perf_history(Path(args.path))
+        if args.csv:
+            _print_rows(trend_rows(payload, args.benchmark), True)
+        else:
+            print(format_trend(payload, args.benchmark))
+    except (FileNotFoundError, ValueError) as error:
+        print(error, file=sys.stderr)
+        return 1
+    return 0
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -259,6 +360,38 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(sub)
     add_jobs(sub)
     sub.set_defaults(func=cmd_dtm)
+
+    sub = subparsers.add_parser(
+        "scenario", help="declarative time-varying workload scenarios"
+    )
+    scenario_subparsers = sub.add_subparsers(dest="scenario_command", required=True)
+
+    scen = scenario_subparsers.add_parser("list", help="list the named scenarios")
+    scen.set_defaults(func=cmd_scenario_list)
+
+    scen = scenario_subparsers.add_parser("run", help="run one scenario")
+    scen.add_argument("name", nargs="?", help="named scenario (see `scenario list`)")
+    scen.add_argument("--spec", help="JSON scenario spec file instead of a name")
+    scen.add_argument("--show-spec", action="store_true",
+                      help="print the scenario's JSON spec instead of running it")
+    scen.set_defaults(func=cmd_scenario_run)
+
+    scen = scenario_subparsers.add_parser(
+        "compare", help="run a scenario suite and compare outcomes"
+    )
+    scen.add_argument("names", nargs="*",
+                      help="scenario names (default: the whole registry)")
+    add_jobs(scen)
+    scen.set_defaults(func=cmd_scenario_compare)
+
+    sub = subparsers.add_parser(
+        "perf-trend", help="per-benchmark trend table from BENCH_perf.json history"
+    )
+    sub.add_argument("--path", default="BENCH_perf.json",
+                     help="benchmark record to read (default: ./BENCH_perf.json)")
+    sub.add_argument("-b", "--benchmark", default=None,
+                     help="only hot paths whose name contains this substring")
+    sub.set_defaults(func=cmd_perf_trend)
 
     return parser
 

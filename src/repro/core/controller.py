@@ -49,6 +49,14 @@ class RuntimeReconfigurationController:
         When False the controller reports zero migration energy — the
         ablation the paper implicitly performs when it notes that rotation's
         energy penalty raises the average temperature by 0.3 °C.
+    cache_migration_costs:
+        Memoize the migration cost per (transform, mapping) pair (the
+        default).  A migration's cost is a pure function of which transform
+        is applied to which mapping, and periodic policies cycle one
+        transform around a short orbit, so a long experiment computes only
+        ``orbit length`` distinct costs instead of rebuilding the
+        ``tanner_nodes_per_pe`` dict and the congestion-free schedule every
+        epoch.  Disable only to time the uncached reference behaviour.
     """
 
     def __init__(
@@ -56,6 +64,7 @@ class RuntimeReconfigurationController:
         configuration: ChipConfiguration,
         migration_unit: Optional[MigrationUnit] = None,
         include_migration_energy: bool = True,
+        cache_migration_costs: bool = True,
     ):
         self.configuration = configuration
         self.topology = configuration.topology
@@ -63,11 +72,27 @@ class RuntimeReconfigurationController:
             self.topology, library=configuration.library
         )
         self.include_migration_energy = include_migration_energy
+        self.cache_migration_costs = cache_migration_costs
 
         self.current_mapping: Mapping = configuration.static_mapping.copy()
         self.io_translator = IoAddressTranslator(self.topology)
         self.events: List[MigrationEvent] = []
         self._epoch_index = 0
+        #: (transform key, mapping permutation) -> (cost, resulting mapping,
+        #: moved-task count).  Mappings are treated as immutable everywhere
+        #: (mutation goes through ``apply_transform``, which returns a new
+        #: one), so the cached result mapping is safe to share.  The cache
+        #: survives :meth:`reset` — costs are independent of history.
+        self._migration_cache: Dict[
+            Tuple[Tuple[int, ...], Tuple[int, ...]], Tuple[MigrationCost, Mapping, int]
+        ] = {}
+        #: Transform instance -> node-id permutation key (holds a strong
+        #: reference so an ``id()`` is never reused while cached).
+        self._transform_keys: Dict[int, Tuple[MigrationTransform, Tuple[int, ...]]] = {}
+        #: Number of full migration-cost computations (cache misses).
+        self.migration_cost_computations = 0
+        #: Number of migrations served from the cache.
+        self.migration_cache_hits = 0
 
     # ------------------------------------------------------------------
     @property
@@ -90,17 +115,53 @@ class RuntimeReconfigurationController:
         self._epoch_index = 0
 
     # ------------------------------------------------------------------
+    def _transform_key(self, transform: MigrationTransform) -> Tuple[int, ...]:
+        """Node-id permutation identifying a transform (memoized by instance)."""
+        entry = self._transform_keys.get(id(transform))
+        if entry is not None and entry[0] is transform:
+            return entry[1]
+        topology = self.topology
+        key = tuple(
+            topology.node_id(transform(coord)) for coord in topology.coordinates()
+        )
+        self._transform_keys[id(transform)] = (transform, key)
+        return key
+
+    def _migration_outcome(
+        self, transform: MigrationTransform
+    ) -> Tuple[MigrationCost, Mapping, int]:
+        """(cost, new mapping, moved tasks) of applying ``transform`` now.
+
+        The triple is a pure function of (transform, current mapping); with
+        caching enabled a repeated pair skips the ``tanner_nodes_per_pe``
+        rebuild and the scheduler entirely.
+        """
+        key = (
+            self._transform_key(transform),
+            tuple(self.current_mapping.to_permutation()),
+        )
+        cached = self._migration_cache.get(key) if self.cache_migration_costs else None
+        if cached is not None:
+            self.migration_cache_hits += 1
+            return cached
+        nodes_per_pe = self.configuration.tanner_nodes_per_pe(self.current_mapping)
+        cost = self.migration_unit.migration_cost(transform, nodes_per_pe)
+        new_mapping = self.current_mapping.apply_transform(transform)
+        moved = len(self.current_mapping.moved_tasks(new_mapping))
+        self.migration_cost_computations += 1
+        outcome = (cost, new_mapping, moved)
+        if self.cache_migration_costs:
+            self._migration_cache[key] = outcome
+        return outcome
+
     def apply_migration(
         self, transform: MigrationTransform, epoch_index: Optional[int] = None
     ) -> MigrationCost:
         """Apply ``transform`` to the current mapping and account its cost."""
         if epoch_index is None:
             epoch_index = self._epoch_index
-        nodes_per_pe = self.configuration.tanner_nodes_per_pe(self.current_mapping)
-        cost = self.migration_unit.migration_cost(transform, nodes_per_pe)
-
-        previous = self.current_mapping
-        self.current_mapping = previous.apply_transform(transform)
+        cost, new_mapping, moved = self._migration_outcome(transform)
+        self.current_mapping = new_mapping
         self.io_translator.record_migration(transform)
 
         energy = cost.total_energy_j if self.include_migration_energy else 0.0
@@ -110,7 +171,7 @@ class RuntimeReconfigurationController:
                 transform_name=transform.name,
                 cycles=cost.cycles,
                 energy_j=energy,
-                moved_tasks=len(previous.moved_tasks(self.current_mapping)),
+                moved_tasks=moved,
             )
         )
         return cost

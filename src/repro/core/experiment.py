@@ -92,6 +92,17 @@ class ThermalExperiment:
     with any other :class:`repro.thermal.model.ThermalModel` (e.g. a
     :class:`repro.thermal.grid.GridThermalModel` for the resolution
     ablation); the batched pipeline is identical either way.
+
+    ``power_modulation`` and ``ambient_offsets_celsius`` are the scenario
+    hooks (see :mod:`repro.scenarios`): the modulation matrix scales each
+    epoch's power row as the controller emits it (so feedback policies see
+    the modulated chip), and the ambient offsets shift each epoch's solved
+    temperatures.  The RC network's conduction block conserves energy, so a
+    uniform ambient change moves every steady temperature by exactly that
+    amount — adding the offset after the solve is exact in steady mode (and
+    a quasi-static approximation in transient mode) and keeps the one-solve
+    batched pipeline intact.  The static baseline is always reported at the
+    nominal ambient with unmodulated load.
     """
 
     def __init__(
@@ -101,6 +112,8 @@ class ThermalExperiment:
         settings: Optional[ExperimentSettings] = None,
         migration_unit: Optional[MigrationUnit] = None,
         thermal_model: Optional[ThermalModel] = None,
+        power_modulation: Optional[np.ndarray] = None,
+        ambient_offsets_celsius: Optional[np.ndarray] = None,
     ):
         self.configuration = configuration
         self.policy = policy
@@ -111,6 +124,30 @@ class ThermalExperiment:
             migration_unit=migration_unit,
             include_migration_energy=self.settings.include_migration_energy,
         )
+        num_epochs = self.settings.num_epochs
+        num_units = configuration.topology.num_nodes
+        self.power_modulation: Optional[np.ndarray] = None
+        if power_modulation is not None:
+            modulation = np.asarray(power_modulation, dtype=float)
+            if modulation.shape != (num_epochs, num_units):
+                raise ValueError(
+                    f"power_modulation must be ({num_epochs}, {num_units}), "
+                    f"got shape {modulation.shape}"
+                )
+            if not np.all(np.isfinite(modulation)) or modulation.min() < 0:
+                raise ValueError("power_modulation must be finite and non-negative")
+            self.power_modulation = modulation
+        self.ambient_offsets: Optional[np.ndarray] = None
+        if ambient_offsets_celsius is not None:
+            offsets = np.asarray(ambient_offsets_celsius, dtype=float)
+            if offsets.shape != (num_epochs,):
+                raise ValueError(
+                    f"ambient_offsets_celsius must have {num_epochs} entries, "
+                    f"got shape {offsets.shape}"
+                )
+            if not np.all(np.isfinite(offsets)):
+                raise ValueError("ambient offsets must be finite")
+            self.ambient_offsets = offsets
 
     # ------------------------------------------------------------------
     def run(self) -> ExperimentResult:
@@ -147,13 +184,20 @@ class ThermalExperiment:
         previous_thermal: Optional[ThermalMetrics] = None
         previous_power = controller.static_power_vector()
 
+        def feedback_metrics(power: np.ndarray, epoch_index: int) -> ThermalMetrics:
+            # Feedback policies must see the scenario's ambient too: a
+            # uniform ambient shift moves every steady temperature by the
+            # same amount, so the epoch's offset is added to the solved map
+            # before the policy reads it.
+            temps = thermal_model.steady_state_by_coord(vector_to_map(topology, power))
+            if self.ambient_offsets is not None:
+                offset = float(self.ambient_offsets[epoch_index])
+                temps = {coord: value + offset for coord, value in temps.items()}
+            return ThermalMetrics.from_map(temps)
+
         for epoch_index in range(self.settings.num_epochs):
             if thermal_feedback and previous_thermal is None:
-                previous_thermal = ThermalMetrics.from_map(
-                    thermal_model.steady_state_by_coord(
-                        vector_to_map(topology, previous_power)
-                    )
-                )
+                previous_thermal = feedback_metrics(previous_power, epoch_index)
             # Only feedback policies read the power map; skip the dict view
             # for the periodic/static policies so the batched loop stays
             # dict-free per epoch.
@@ -172,14 +216,17 @@ class ThermalExperiment:
                 cost = controller.apply_migration(transform, epoch_index)
                 name = transform.name
             power = controller.epoch_power_vector(period_s, cost)
+            if self.power_modulation is not None:
+                # Scenario hook: scale this epoch's row as it is emitted, so
+                # the trace, the feedback path and the records all see the
+                # modulated chip.
+                power = power * self.power_modulation[epoch_index]
             trace.add_interval(period_s, power)
             costs.append(cost)
             names.append(name)
 
             if thermal_feedback:
-                previous_thermal = ThermalMetrics.from_map(
-                    thermal_model.steady_state_by_coord(vector_to_map(topology, power))
-                )
+                previous_thermal = feedback_metrics(power, epoch_index)
             previous_power = power
             controller.advance_epoch()
         return trace, costs, names
@@ -248,6 +295,14 @@ class ThermalExperiment:
             ]
         )
         temperatures = thermal_model.steady_temperatures(batch)
+        if self.ambient_offsets is not None:
+            # A uniform ambient shift moves every steady temperature by the
+            # same amount (the conduction block conserves energy), so adding
+            # the per-epoch offsets after the one batched solve is exact.
+            # The settled row solved the mean tail power, so it gets the mean
+            # tail offset; the baseline stays at nominal ambient.
+            temperatures[1:-1] += self.ambient_offsets[:, np.newaxis]
+            temperatures[-1] += float(np.mean(self.ambient_offsets[-settle_count:]))
         baseline = ThermalMetrics.from_vector(topology, temperatures[0])
         settled = ThermalMetrics.from_vector(topology, temperatures[-1])
         epoch_metrics = [
@@ -316,6 +371,12 @@ class ThermalExperiment:
         ends = np.array([stop for _start, stop in result.interval_ranges])
         peak_by_epoch = np.maximum.reduceat(series.max(axis=0), starts)
         final_temps = series[:, ends - 1]
+        if self.ambient_offsets is not None:
+            # Quasi-static scenario ambient: each epoch's reported metrics
+            # are shifted by that epoch's offset (the die follows a slow
+            # ambient drift far faster than the drift itself changes).
+            peak_by_epoch = peak_by_epoch + self.ambient_offsets
+            final_temps = final_temps + self.ambient_offsets[np.newaxis, :]
         epoch_metrics = [
             ThermalMetrics.from_vector(topology, final_temps[:, idx])
             for idx in range(len(trace))

@@ -202,6 +202,29 @@ class PowerTrace:
             raise ValueError(f"tail count must be in 1..{self._length}, got {count}")
         return self.powers[-count:].mean(axis=0)
 
+    def scaled(self, factors: np.ndarray) -> "PowerTrace":
+        """New trace with every row multiplied by per-sample factors.
+
+        ``factors`` is ``(num_samples,)`` (chip-wide per-sample multiplier)
+        or ``(num_samples, num_units)`` (per-unit modulation).  This is the
+        whole-trace equivalent of the experiment driver's in-loop
+        ``power_modulation`` (the driver scales rows as the controller emits
+        them so feedback policies see the modulated chip; the scenario tests
+        pin the two transforms equal on feedback-free policies).  Durations
+        are unchanged; the scaled powers are re-validated, so a negative
+        modulation fails loudly.
+        """
+        factors = np.asarray(factors, dtype=float)
+        if factors.ndim == 1:
+            factors = factors[:, np.newaxis]
+        if factors.ndim != 2 or factors.shape[0] != self._length:
+            raise ValueError(
+                f"expected factors for {self._length} samples, got shape {factors.shape}"
+            )
+        return PowerTrace.from_arrays(
+            self.topology, self.durations, self.powers * factors
+        )
+
     # ------------------------------------------------------------------
     # Dict views (the edges)
     # ------------------------------------------------------------------

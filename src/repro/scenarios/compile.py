@@ -1,0 +1,272 @@
+"""Compile declarative scenarios onto the batched epoch pipeline.
+
+:func:`compile_scenario` turns a :class:`repro.scenarios.spec.ScenarioSpec`
+into concrete arrays: the ``(num_epochs, num_units)`` **load modulation** of
+the controller's power rows, the ``(num_epochs,)`` **ambient offset** and
+**SNR** schedules.  :func:`run_scenario` threads those through
+:class:`repro.core.experiment.ThermalExperiment` — the modulation scales each
+epoch's power row as it is emitted, so steady mode still evaluates the whole
+scenario with **one** multi-RHS solve and transient mode still issues **one**
+``transient_sequence`` call.  Scenario diversity is nearly free at run time:
+the thermal work per scenario is identical to the plain experiment's.
+
+The decoder-effort coupling: an SNR schedule maps to per-epoch mean decoder
+iterations (measured by actually decoding a small batch of codewords through
+the configuration's own LDPC code at each distinct quantized SNR, cached
+process-wide), which the report surfaces as a throughput factor relative to
+the workload's nominal iterations-per-block budget.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..chips.configurations import ChipConfiguration, get_configuration
+from ..core.experiment import ExperimentSettings, ThermalExperiment
+from ..core.metrics import ExperimentResult
+from ..core.policy import ReconfigurationPolicy, make_policy
+from ..ldpc import BpskAwgnChannel, LdpcEncoder, make_decoder
+from ..thermal.model import ThermalModel
+from .spec import ScenarioSpec
+
+#: SNR schedules are quantized to this grid (dB) before the decoder-effort
+#: measurement, so a smooth drift costs a handful of decode batches, not one
+#: per epoch.
+SNR_QUANTUM_DB = 0.25
+
+#: Codewords decoded per distinct SNR value for the effort estimate.
+DECODER_PROBE_BLOCKS = 24
+
+#: Decoder iteration cap for the effort estimate.
+DECODER_PROBE_MAX_ITERATIONS = 25
+
+
+@dataclass
+class CompiledScenario:
+    """A spec resolved against a real chip: policy, settings and schedules."""
+
+    spec: ScenarioSpec
+    configuration: ChipConfiguration
+    policy: ReconfigurationPolicy
+    settings: ExperimentSettings
+    #: ``(num_epochs, num_units)`` multiplier of the per-epoch power rows,
+    #: or None when the scenario leaves the load untouched.
+    load_modulation: Optional[np.ndarray]
+    #: ``(num_epochs,)`` ambient offsets in deg C, or None.
+    ambient_offsets: Optional[np.ndarray]
+    #: ``(num_epochs,)`` absolute channel SNR in dB, or None.
+    snr_schedule: Optional[np.ndarray]
+
+    def experiment(self, thermal_model: Optional[ThermalModel] = None) -> ThermalExperiment:
+        """The fully-wired experiment this scenario compiles to."""
+        return ThermalExperiment(
+            self.configuration,
+            self.policy,
+            settings=self.settings,
+            thermal_model=thermal_model,
+            power_modulation=self.load_modulation,
+            ambient_offsets_celsius=self.ambient_offsets,
+        )
+
+
+@dataclass
+class DecoderEffort:
+    """Decoder-side summary of a scenario's SNR schedule."""
+
+    #: Mean decoder iterations per block over the horizon.
+    mean_iterations: float
+    #: Fraction of probed blocks that converged to a codeword.
+    success_rate: float
+    #: Nominal iterations-per-block budget divided by the mean iterations:
+    #: >1 means the channel lets the decoder finish early (headroom), <1
+    #: means blocks overrun the budget and decoding throughput drops.
+    throughput_factor: float
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario run (experiment result + scenario context)."""
+
+    spec: ScenarioSpec
+    experiment: ExperimentResult
+    ambient_offset_min_celsius: float
+    ambient_offset_max_celsius: float
+    decoder: Optional[DecoderEffort]
+
+    def to_row(self) -> Dict[str, object]:
+        """Flat comparison-table row."""
+        result = self.experiment
+        row: Dict[str, object] = {
+            "scenario": self.spec.name,
+            "config": self.spec.configuration,
+            "scheme": self.spec.scheme,
+            "mode": self.spec.mode,
+            "settled_peak_c": round(result.settled_peak_celsius, 2),
+            "reduction_c": round(result.peak_reduction_celsius, 2),
+            "migrations": result.migrations_performed,
+            "throughput_penalty_pct": round(100 * result.throughput_penalty, 3),
+            "ambient_span_c": round(
+                self.ambient_offset_max_celsius - self.ambient_offset_min_celsius, 2
+            ),
+            "decoder_throughput_x": (
+                round(float(self.decoder.throughput_factor), 3) if self.decoder else "-"
+            ),
+        }
+        return row
+
+
+# ----------------------------------------------------------------------
+# Compilation
+# ----------------------------------------------------------------------
+def _temporal_schedule(spec: ScenarioSpec, channel: str) -> Optional[np.ndarray]:
+    """Evaluate a chip-global channel's pattern to a ``(num_epochs,)`` array."""
+    pattern = getattr(spec, channel)
+    if pattern is None:
+        return None
+    values = np.asarray(pattern.evaluate(spec.num_epochs), dtype=float)
+    if values.shape != (spec.num_epochs,):
+        raise ValueError(
+            f"{channel} pattern produced shape {values.shape}, "
+            f"expected ({spec.num_epochs},)"
+        )
+    if not np.all(np.isfinite(values)):
+        raise ValueError(f"{channel} pattern produced non-finite values")
+    return values
+
+
+def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
+    """Resolve a spec against its chip and evaluate every pattern."""
+    configuration = get_configuration(spec.configuration)
+    policy = make_policy(spec.scheme, configuration.topology, period_us=spec.period_us)
+    settings = ExperimentSettings(
+        num_epochs=spec.num_epochs,
+        mode=spec.mode,
+        settle_epochs=spec.settle_epochs,
+        include_migration_energy=spec.include_migration_energy,
+        transient_steps_per_epoch=spec.transient_steps_per_epoch,
+        thermal_method=spec.thermal_method,
+    )
+
+    modulation: Optional[np.ndarray] = None
+    if spec.load is not None:
+        values = np.asarray(
+            spec.load.evaluate(spec.num_epochs, configuration.topology), dtype=float
+        )
+        if values.ndim == 1:
+            values = np.broadcast_to(
+                values[:, np.newaxis], (spec.num_epochs, configuration.num_units)
+            ).copy()
+        if values.shape != (spec.num_epochs, configuration.num_units):
+            raise ValueError(
+                f"load pattern produced shape {values.shape}, expected "
+                f"({spec.num_epochs}, {configuration.num_units})"
+            )
+        if not np.all(np.isfinite(values)):
+            raise ValueError("load pattern produced non-finite values")
+        if values.min() < 0:
+            raise ValueError("load modulation must be non-negative")
+        modulation = values
+
+    return CompiledScenario(
+        spec=spec,
+        configuration=configuration,
+        policy=policy,
+        settings=settings,
+        load_modulation=modulation,
+        ambient_offsets=_temporal_schedule(spec, "ambient_celsius"),
+        snr_schedule=_temporal_schedule(spec, "snr_db"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Decoder-effort estimation
+# ----------------------------------------------------------------------
+#: (parity-matrix digest, quantized SNR) -> (mean iterations, success rate).
+#: Keyed by the code itself, not the configuration name, so custom chip
+#: variants are probed correctly and identical codes share probes.
+_PROBE_CACHE: Dict[Tuple[str, float], Tuple[float, float]] = {}
+
+
+def _decode_probe(graph, code_digest: str, snr_q: float) -> Tuple[float, float]:
+    """(mean iterations, success rate) of one LDPC code at one SNR.
+
+    Decodes :data:`DECODER_PROBE_BLOCKS` random codewords through the sparse
+    batched decoder; cached process-wide so drifting schedules and whole
+    scenario suites share probes.
+    """
+    key = (code_digest, snr_q)
+    cached = _PROBE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    encoder = LdpcEncoder(graph.H)
+    channel = BpskAwgnChannel(snr_db=snr_q, rate=encoder.rate, seed=97)
+    codewords = [
+        encoder.random_codeword(seed=seed) for seed in range(DECODER_PROBE_BLOCKS)
+    ]
+    llrs = np.stack([channel.transmit_llr(word) for word in codewords])
+    decoder = make_decoder(
+        "min-sum", graph, max_iterations=DECODER_PROBE_MAX_ITERATIONS, backend="sparse"
+    )
+    result = decoder.decode_batch(llrs)
+    outcome = (float(result.iterations.mean()), float(result.success.mean()))
+    _PROBE_CACHE[key] = outcome
+    return outcome
+
+
+def decoder_effort(
+    configuration: ChipConfiguration, snr_schedule: np.ndarray
+) -> DecoderEffort:
+    """Per-horizon decoder effort under a per-epoch SNR schedule."""
+    graph = configuration.workload.partition.graph
+    code_digest = hashlib.sha1(
+        np.ascontiguousarray(graph.H, dtype=np.uint8).tobytes()
+    ).hexdigest()
+    quantized = np.round(np.asarray(snr_schedule, dtype=float) / SNR_QUANTUM_DB)
+    values, counts = np.unique(quantized, return_counts=True)
+    iterations = 0.0
+    successes = 0.0
+    for value, count in zip(values, counts):
+        mean_iters, success = _decode_probe(
+            graph, code_digest, float(value) * SNR_QUANTUM_DB
+        )
+        iterations += count * mean_iters
+        successes += count * success
+    mean_iterations = iterations / len(quantized)
+    nominal = configuration.workload.parameters.iterations_per_block
+    return DecoderEffort(
+        mean_iterations=mean_iterations,
+        success_rate=successes / len(quantized),
+        throughput_factor=nominal / mean_iterations,
+    )
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def run_scenario(
+    scenario: "ScenarioSpec | CompiledScenario",
+    thermal_model: Optional[ThermalModel] = None,
+) -> ScenarioResult:
+    """Compile (if needed) and run one scenario end to end."""
+    compiled = (
+        scenario if isinstance(scenario, CompiledScenario) else compile_scenario(scenario)
+    )
+    result = compiled.experiment(thermal_model=thermal_model).run()
+
+    offsets = compiled.ambient_offsets
+    effort = (
+        decoder_effort(compiled.configuration, compiled.snr_schedule)
+        if compiled.snr_schedule is not None
+        else None
+    )
+    return ScenarioResult(
+        spec=compiled.spec,
+        experiment=result,
+        ambient_offset_min_celsius=float(offsets.min()) if offsets is not None else 0.0,
+        ambient_offset_max_celsius=float(offsets.max()) if offsets is not None else 0.0,
+        decoder=effort,
+    )

@@ -1,0 +1,457 @@
+"""Composable per-epoch modulators — the scenario pattern catalog.
+
+A :class:`Pattern` maps the epoch axis of an experiment to a modulation
+series, evaluated **vectorized over all epochs at once**:
+
+* *temporal* patterns (constant, step, ramp, burst, diurnal, duty-cycle)
+  return a ``(num_epochs,)`` series and describe load multipliers, ambient
+  offsets or SNR trajectories;
+* *spatial* patterns (hotspot, fault) return a ``(num_epochs, num_units)``
+  matrix in the topology's row-major coordinate order and describe per-PE
+  effects (a localized hotspot multiplier, a PE whose load collapses).
+
+Patterns compose with ``+`` and ``*`` (a temporal series broadcasts across
+units when combined with a spatial one), so ``DiurnalPattern(...) *
+HotspotPattern(...)`` is a hotspot that breathes with the day cycle.  Every
+pattern is a frozen dataclass that round-trips through
+:meth:`Pattern.to_dict` / :func:`pattern_from_dict`, which is what makes
+:class:`repro.scenarios.spec.ScenarioSpec` JSON-serializable.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import asdict, dataclass
+from typing import ClassVar, Dict, Optional, Tuple, Type
+
+import numpy as np
+
+from ..noc.topology import Coordinate, MeshTopology
+
+#: Registry of concrete pattern classes, keyed by their ``kind`` tag
+#: (populated automatically by ``Pattern.__init_subclass__``).
+_PATTERN_KINDS: Dict[str, Type["Pattern"]] = {}
+
+
+class Pattern(ABC):
+    """One modulation series over the epoch axis of a scenario."""
+
+    #: Serialization tag; unique per concrete class.
+    kind: ClassVar[str] = "abstract"
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        tag = cls.__dict__.get("kind")
+        if tag is not None:
+            if tag in _PATTERN_KINDS:
+                raise TypeError(f"duplicate pattern kind {tag!r}")
+            _PATTERN_KINDS[tag] = cls
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def evaluate(
+        self, num_epochs: int, topology: Optional[MeshTopology] = None
+    ) -> np.ndarray:
+        """Modulation values over ``num_epochs`` epochs.
+
+        Temporal patterns return shape ``(num_epochs,)``; spatial patterns
+        return ``(num_epochs, topology.num_nodes)`` and require ``topology``.
+        """
+
+    @property
+    def is_spatial(self) -> bool:
+        """Whether :meth:`evaluate` produces a per-unit matrix."""
+        return False
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Pattern") -> "SumPattern":
+        if not isinstance(other, Pattern):
+            return NotImplemented
+        return SumPattern(terms=_flatten(SumPattern, self) + _flatten(SumPattern, other))
+
+    def __mul__(self, other: "Pattern") -> "ProductPattern":
+        if not isinstance(other, Pattern):
+            return NotImplemented
+        return ProductPattern(
+            factors=_flatten(ProductPattern, self) + _flatten(ProductPattern, other)
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable representation (``kind`` plus the parameters)."""
+        payload: Dict[str, object] = {"kind": self.kind}
+        payload.update(asdict(self))  # type: ignore[call-overload]
+        return payload
+
+    @classmethod
+    def _from_params(cls, params: Dict[str, object]) -> "Pattern":
+        """Rebuild from :meth:`to_dict` parameters (sans ``kind``).
+
+        Subclasses with non-primitive fields (coordinates, nested patterns)
+        override this to coerce JSON lists back to tuples.
+        """
+        return cls(**params)  # type: ignore[call-arg]
+
+
+def pattern_from_dict(payload: Dict[str, object]) -> Pattern:
+    """Inverse of :meth:`Pattern.to_dict`."""
+    if not isinstance(payload, dict) or "kind" not in payload:
+        raise ValueError(f"pattern payload must be a dict with a 'kind': {payload!r}")
+    params = dict(payload)
+    kind = params.pop("kind")
+    cls = _PATTERN_KINDS.get(kind)  # type: ignore[arg-type]
+    if cls is None:
+        raise ValueError(
+            f"unknown pattern kind {kind!r}; known kinds: {sorted(_PATTERN_KINDS)}"
+        )
+    return cls._from_params(params)
+
+
+def _flatten(combiner: type, pattern: Pattern) -> Tuple[Pattern, ...]:
+    """Merge nested combinators of the same type into one flat term list."""
+    if isinstance(pattern, combiner):
+        return pattern.terms if combiner is SumPattern else pattern.factors
+    return (pattern,)
+
+
+def _as_columns(values: np.ndarray) -> np.ndarray:
+    """Normalize an evaluate() result to 2-D for broadcasting."""
+    return values[:, np.newaxis] if values.ndim == 1 else values
+
+
+# ----------------------------------------------------------------------
+# Combinators
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SumPattern(Pattern):
+    """Pointwise sum of component patterns (e.g. baseline + drift)."""
+
+    terms: Tuple[Pattern, ...]
+    kind: ClassVar[str] = "sum"
+
+    def __post_init__(self) -> None:
+        if len(self.terms) < 1:
+            raise ValueError("a sum needs at least one term")
+
+    @property
+    def is_spatial(self) -> bool:
+        return any(term.is_spatial for term in self.terms)
+
+    def evaluate(
+        self, num_epochs: int, topology: Optional[MeshTopology] = None
+    ) -> np.ndarray:
+        parts = [_as_columns(term.evaluate(num_epochs, topology)) for term in self.terms]
+        total = parts[0]
+        for part in parts[1:]:
+            total = total + part
+        return total if self.is_spatial else total[:, 0]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "terms": [term.to_dict() for term in self.terms]}
+
+    @classmethod
+    def _from_params(cls, params: Dict[str, object]) -> "SumPattern":
+        return cls(terms=tuple(pattern_from_dict(term) for term in params["terms"]))
+
+
+@dataclass(frozen=True)
+class ProductPattern(Pattern):
+    """Pointwise product of component patterns (e.g. diurnal x hotspot)."""
+
+    factors: Tuple[Pattern, ...]
+    kind: ClassVar[str] = "product"
+
+    def __post_init__(self) -> None:
+        if len(self.factors) < 1:
+            raise ValueError("a product needs at least one factor")
+
+    @property
+    def is_spatial(self) -> bool:
+        return any(factor.is_spatial for factor in self.factors)
+
+    def evaluate(
+        self, num_epochs: int, topology: Optional[MeshTopology] = None
+    ) -> np.ndarray:
+        parts = [
+            _as_columns(factor.evaluate(num_epochs, topology)) for factor in self.factors
+        ]
+        total = parts[0]
+        for part in parts[1:]:
+            total = total * part
+        return total if self.is_spatial else total[:, 0]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "factors": [factor.to_dict() for factor in self.factors],
+        }
+
+    @classmethod
+    def _from_params(cls, params: Dict[str, object]) -> "ProductPattern":
+        return cls(
+            factors=tuple(pattern_from_dict(factor) for factor in params["factors"])
+        )
+
+
+# ----------------------------------------------------------------------
+# Temporal patterns
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ConstantPattern(Pattern):
+    """The same value at every epoch (the degenerate scenario)."""
+
+    value: float = 1.0
+    kind: ClassVar[str] = "constant"
+
+    def evaluate(
+        self, num_epochs: int, topology: Optional[MeshTopology] = None
+    ) -> np.ndarray:
+        return np.full(num_epochs, float(self.value))
+
+
+@dataclass(frozen=True)
+class StepPattern(Pattern):
+    """``before`` until ``step_epoch``, ``after`` from then on (a load shock)."""
+
+    before: float
+    after: float
+    step_epoch: int
+    kind: ClassVar[str] = "step"
+
+    def evaluate(
+        self, num_epochs: int, topology: Optional[MeshTopology] = None
+    ) -> np.ndarray:
+        epochs = np.arange(num_epochs)
+        return np.where(epochs < self.step_epoch, float(self.before), float(self.after))
+
+
+@dataclass(frozen=True)
+class RampPattern(Pattern):
+    """Linear interpolation from ``start`` to ``end`` over an epoch window.
+
+    The value is held at ``start`` before the window and at ``end`` after it;
+    ``end_epoch`` of ``None`` ramps over the whole horizon.
+    """
+
+    start: float
+    end: float
+    start_epoch: int = 0
+    end_epoch: Optional[int] = None
+    kind: ClassVar[str] = "ramp"
+
+    def __post_init__(self) -> None:
+        if self.end_epoch is not None and self.end_epoch <= self.start_epoch:
+            raise ValueError("ramp end_epoch must be after start_epoch")
+
+    def evaluate(
+        self, num_epochs: int, topology: Optional[MeshTopology] = None
+    ) -> np.ndarray:
+        # The defaulted window ramps over the whole horizon; when the horizon
+        # ends at or before start_epoch the window degenerates to a one-epoch
+        # ramp (hold ``start`` through start_epoch, ``end`` after) rather
+        # than dividing by zero or leaking the end value before the start.
+        end_epoch = self.end_epoch
+        if end_epoch is None:
+            end_epoch = max(num_epochs - 1, self.start_epoch + 1)
+        epochs = np.arange(num_epochs, dtype=float)
+        progress = np.clip(
+            (epochs - self.start_epoch) / (end_epoch - self.start_epoch), 0.0, 1.0
+        )
+        return float(self.start) + (float(self.end) - float(self.start)) * progress
+
+
+@dataclass(frozen=True)
+class BurstPattern(Pattern):
+    """``peak`` for ``length`` epochs starting at ``start_epoch``, else ``base``.
+
+    With ``every`` set, the burst recurs with that period (Megaphone's
+    "Sudden"/"Batched" load patterns): epochs where
+    ``(epoch - start_epoch) mod every < length`` are bursting.
+    """
+
+    base: float
+    peak: float
+    start_epoch: int
+    length: int
+    every: Optional[int] = None
+    kind: ClassVar[str] = "burst"
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ValueError("burst length must be at least one epoch")
+        if self.every is not None and self.every < self.length:
+            raise ValueError("burst recurrence must be at least the burst length")
+
+    def evaluate(
+        self, num_epochs: int, topology: Optional[MeshTopology] = None
+    ) -> np.ndarray:
+        epochs = np.arange(num_epochs)
+        offset = epochs - self.start_epoch
+        if self.every is None:
+            bursting = (offset >= 0) & (offset < self.length)
+        else:
+            bursting = (offset >= 0) & (offset % self.every < self.length)
+        return np.where(bursting, float(self.peak), float(self.base))
+
+
+@dataclass(frozen=True)
+class DiurnalPattern(Pattern):
+    """Sinusoidal modulation: ``mean + amplitude * sin(2 pi (e - phase)/period)``.
+
+    The classic traffic shape of a service facing human users (Megaphone's
+    "Fluid" pattern); one ``period_epochs`` is a full day.
+    """
+
+    mean: float
+    amplitude: float
+    period_epochs: float
+    phase_epochs: float = 0.0
+    kind: ClassVar[str] = "diurnal"
+
+    def __post_init__(self) -> None:
+        if self.period_epochs <= 0:
+            raise ValueError("diurnal period must be positive")
+
+    def evaluate(
+        self, num_epochs: int, topology: Optional[MeshTopology] = None
+    ) -> np.ndarray:
+        epochs = np.arange(num_epochs, dtype=float)
+        phase = 2.0 * np.pi * (epochs - self.phase_epochs) / self.period_epochs
+        return float(self.mean) + float(self.amplitude) * np.sin(phase)
+
+
+@dataclass(frozen=True)
+class DutyCyclePattern(Pattern):
+    """Alternate ``on_value`` for ``on_epochs`` and ``off_value`` for ``off_epochs``."""
+
+    on_value: float
+    off_value: float
+    on_epochs: int
+    off_epochs: int
+    start_epoch: int = 0
+    kind: ClassVar[str] = "duty-cycle"
+
+    def __post_init__(self) -> None:
+        if self.on_epochs < 1 or self.off_epochs < 1:
+            raise ValueError("duty-cycle phases must last at least one epoch")
+
+    def evaluate(
+        self, num_epochs: int, topology: Optional[MeshTopology] = None
+    ) -> np.ndarray:
+        epochs = np.arange(num_epochs)
+        cycle = self.on_epochs + self.off_epochs
+        phase = (epochs - self.start_epoch) % cycle
+        # Before the cycling starts the chip runs normally (on), matching
+        # BurstPattern's treatment of its start epoch.
+        on = (epochs < self.start_epoch) | (phase < self.on_epochs)
+        return np.where(on, float(self.on_value), float(self.off_value))
+
+
+# ----------------------------------------------------------------------
+# Spatial patterns
+# ----------------------------------------------------------------------
+def _require_topology(pattern: Pattern, topology: Optional[MeshTopology]) -> MeshTopology:
+    if topology is None:
+        raise ValueError(
+            f"{pattern.kind!r} is a spatial pattern and needs the mesh topology "
+            "to evaluate (compile it through a ScenarioSpec)"
+        )
+    return topology
+
+
+@dataclass(frozen=True)
+class HotspotPattern(Pattern):
+    """Gaussian per-PE multiplier peaking at ``center`` (hotspot injection).
+
+    Unit ``u`` gets ``background + (peak - background) * exp(-d^2 / 2 sigma^2)``
+    with ``d`` the Euclidean mesh distance from ``center``, at every epoch.
+    Multiply by a temporal pattern for a hotspot that comes and goes.
+    """
+
+    center: Coordinate
+    peak: float
+    sigma: float = 1.0
+    background: float = 1.0
+    kind: ClassVar[str] = "hotspot"
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0:
+            raise ValueError("hotspot sigma must be positive")
+
+    @property
+    def is_spatial(self) -> bool:
+        return True
+
+    def evaluate(
+        self, num_epochs: int, topology: Optional[MeshTopology] = None
+    ) -> np.ndarray:
+        topology = _require_topology(self, topology)
+        center = tuple(self.center)
+        if not topology.contains(center):
+            raise ValueError(f"hotspot center {center} outside the mesh")
+        coords = np.array(list(topology.coordinates()), dtype=float)
+        squared = ((coords - np.asarray(center, dtype=float)) ** 2).sum(axis=1)
+        profile = float(self.background) + (
+            float(self.peak) - float(self.background)
+        ) * np.exp(-squared / (2.0 * self.sigma**2))
+        return np.tile(profile, (num_epochs, 1))
+
+    @classmethod
+    def _from_params(cls, params: Dict[str, object]) -> "HotspotPattern":
+        params = dict(params)
+        params["center"] = tuple(params["center"])  # type: ignore[arg-type]
+        return cls(**params)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class FaultPattern(Pattern):
+    """Per-PE fault injection: listed units drop to ``level`` from ``start_epoch``.
+
+    ``level=0`` is a dead PE (its workload power vanishes); a partial level
+    models a degraded unit.  ``end_epoch`` of ``None`` keeps the fault for the
+    rest of the horizon; otherwise the fault clears at ``end_epoch``.
+    """
+
+    units: Tuple[Coordinate, ...]
+    level: float = 0.0
+    start_epoch: int = 0
+    end_epoch: Optional[int] = None
+    kind: ClassVar[str] = "fault"
+
+    def __post_init__(self) -> None:
+        if not self.units:
+            raise ValueError("fault needs at least one unit")
+        if self.level < 0:
+            raise ValueError("fault level cannot be negative")
+        if self.end_epoch is not None and self.end_epoch <= self.start_epoch:
+            raise ValueError("fault end_epoch must be after start_epoch")
+
+    @property
+    def is_spatial(self) -> bool:
+        return True
+
+    def evaluate(
+        self, num_epochs: int, topology: Optional[MeshTopology] = None
+    ) -> np.ndarray:
+        topology = _require_topology(self, topology)
+        matrix = np.ones((num_epochs, topology.num_nodes))
+        epochs = np.arange(num_epochs)
+        active = epochs >= self.start_epoch
+        if self.end_epoch is not None:
+            active &= epochs < self.end_epoch
+        for unit in self.units:
+            coord = tuple(unit)
+            if not topology.contains(coord):
+                raise ValueError(f"faulted unit {coord} outside the mesh")
+            matrix[active, topology.node_id(coord)] = float(self.level)
+        return matrix
+
+    @classmethod
+    def _from_params(cls, params: Dict[str, object]) -> "FaultPattern":
+        params = dict(params)
+        params["units"] = tuple(tuple(unit) for unit in params["units"])  # type: ignore[arg-type]
+        return cls(**params)  # type: ignore[arg-type]

@@ -1,0 +1,193 @@
+"""The built-in named scenarios behind ``python -m repro scenario``.
+
+Nine scenarios spanning the five chip configurations, both experiment modes
+and every pattern family.  All of them use feedback-free policies (periodic
+or static), so each compiles to exactly one batched steady solve or one
+``transient_sequence`` call — the property the scenario benchmark guards.
+
+``steady-baseline`` is deliberately the degenerate scenario (constant load
+1.0, no ambient or SNR drift): the test suite pins it to the plain
+:class:`repro.core.experiment.ThermalExperiment` result to 1e-9, anchoring
+the whole scenario layer to the paper's reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from .patterns import (
+    BurstPattern,
+    ConstantPattern,
+    DiurnalPattern,
+    DutyCyclePattern,
+    FaultPattern,
+    HotspotPattern,
+    RampPattern,
+)
+from .spec import ScenarioSpec
+
+
+def _steady_baseline() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="steady-baseline",
+        configuration="A",
+        scheme="xy-shift",
+        mode="steady",
+        num_epochs=41,
+        settle_epochs=40,
+        load=ConstantPattern(1.0),
+        description="Constant unit load: the paper's Figure 1 cell, pinned "
+        "to the plain experiment by the parity tests",
+    )
+
+
+def _diurnal_load() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="diurnal-load",
+        configuration="A",
+        scheme="xy-shift",
+        mode="steady",
+        num_epochs=48,
+        settle_epochs=24,
+        load=DiurnalPattern(mean=1.0, amplitude=0.3, period_epochs=24.0),
+        description="Human-facing traffic: load breathes +-30% over a "
+        "24-epoch day cycle",
+    )
+
+
+def _morning_rush_ramp() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="morning-rush-ramp",
+        configuration="C",
+        scheme="xy-shift",
+        mode="steady",
+        num_epochs=41,
+        settle_epochs=20,
+        load=RampPattern(start=0.6, end=1.25, start_epoch=5, end_epoch=30),
+        description="Load ramps 0.6x -> 1.25x over epochs 5..30 and holds "
+        "(Megaphone's Fluid pattern)",
+    )
+
+
+def _burst_overload() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="burst-overload",
+        configuration="B",
+        scheme="xy-shift",
+        mode="steady",
+        num_epochs=40,
+        settle_epochs=20,
+        load=BurstPattern(base=1.0, peak=1.5, start_epoch=8, length=4, every=12),
+        description="Recurring 4-epoch 1.5x overload bursts every 12 epochs "
+        "(Megaphone's Sudden pattern)",
+    )
+
+
+def _duty_cycle_idle() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="duty-cycle-idle",
+        configuration="D",
+        scheme="right-shift",
+        mode="steady",
+        num_epochs=40,
+        settle_epochs=20,
+        load=DutyCyclePattern(on_value=1.0, off_value=0.35, on_epochs=6, off_epochs=2),
+        description="Batch workload duty-cycled 6 epochs on / 2 epochs "
+        "near-idle at 0.35x",
+    )
+
+
+def _heatwave_ambient() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="heatwave-ambient",
+        configuration="A",
+        scheme="xy-shift",
+        mode="steady",
+        num_epochs=41,
+        settle_epochs=10,
+        load=DiurnalPattern(mean=1.0, amplitude=0.1, period_epochs=20.0),
+        ambient_celsius=RampPattern(start=0.0, end=8.0, start_epoch=0, end_epoch=40),
+        description="Ambient climbs +8 C over the horizon while load "
+        "breathes +-10%: a datacenter heatwave",
+    )
+
+
+def _hotspot_attack() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="hotspot-attack",
+        configuration="E",
+        scheme="rotation",
+        mode="transient",
+        num_epochs=32,
+        settle_epochs=16,
+        thermal_method="spectral",
+        load=HotspotPattern(center=(2, 2), peak=1.6, sigma=1.0)
+        * BurstPattern(base=1.0, peak=1.15, start_epoch=12, length=8),
+        description="A 1.6x hotspot pinned on E's central PE (rotation's "
+        "fixed point) with a mid-run chip-wide burst, integrated "
+        "transiently through the spectral jump",
+    )
+
+
+def _pe_fault_transient() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="pe-fault-transient",
+        configuration="A",
+        scheme="xy-shift",
+        mode="transient",
+        num_epochs=40,
+        settle_epochs=16,
+        load=FaultPattern(units=((1, 2), (2, 2)), level=0.2, start_epoch=20),
+        description="Two hot-row PEs degrade to 0.2x power from epoch 20 "
+        "(fault injection); the transient shows the die cooling "
+        "around the dead units",
+    )
+
+
+def _snr_fade() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="snr-fade",
+        configuration="A",
+        scheme="xy-shift",
+        mode="steady",
+        num_epochs=41,
+        settle_epochs=20,
+        load=ConstantPattern(1.0),
+        snr_db=RampPattern(start=3.0, end=1.25, start_epoch=5, end_epoch=35),
+        description="Channel quality fades 3.0 -> 1.25 dB mid-run; the "
+        "decoder burns more iterations per block and the report "
+        "shows the throughput cost",
+    )
+
+
+_REGISTRY: Dict[str, Callable[[], ScenarioSpec]] = {
+    "steady-baseline": _steady_baseline,
+    "diurnal-load": _diurnal_load,
+    "morning-rush-ramp": _morning_rush_ramp,
+    "burst-overload": _burst_overload,
+    "duty-cycle-idle": _duty_cycle_idle,
+    "heatwave-ambient": _heatwave_ambient,
+    "hotspot-attack": _hotspot_attack,
+    "pe-fault-transient": _pe_fault_transient,
+    "snr-fade": _snr_fade,
+}
+
+
+def scenario_names() -> Tuple[str, ...]:
+    """Registered scenario names, in registry order."""
+    return tuple(_REGISTRY)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Named scenario spec (freshly built; specs are immutable anyway)."""
+    builder = _REGISTRY.get(name)
+    if builder is None:
+        raise ValueError(
+            f"unknown scenario {name!r}; choose from {', '.join(_REGISTRY)}"
+        )
+    return builder()
+
+
+def all_scenarios() -> List[ScenarioSpec]:
+    """Every registered scenario, in registry order."""
+    return [builder() for builder in _REGISTRY.values()]

@@ -1,0 +1,124 @@
+"""The declarative scenario specification.
+
+A :class:`ScenarioSpec` is everything needed to reproduce one time-varying
+experiment: which chip, which reconfiguration policy, how long, and which
+patterns modulate the workload, the ambient conditions and the channel over
+the horizon.  Specs are plain frozen dataclasses that round-trip through JSON
+(:meth:`ScenarioSpec.to_json` / :meth:`ScenarioSpec.from_json`), so scenario
+suites can live in version-controlled files and be fanned out across worker
+processes untouched.
+
+The three pattern channels:
+
+``load``
+    Multiplies the controller's per-epoch power rows (temporal patterns apply
+    chip-wide; spatial patterns modulate individual PEs).  Values must be
+    non-negative.
+``ambient_celsius``
+    Per-epoch **offsets** (deg C) of the ambient temperature relative to the
+    package nominal.  The RC network's conduction block conserves energy, so
+    a uniform ambient shift moves every steady temperature by exactly the
+    same amount — the offsets are added to the solved epoch temperatures and
+    the single batched solve is preserved (quasi-static in transient mode).
+``snr_db``
+    Per-epoch channel quality (absolute Eb/N0 in dB) seen by the LDPC
+    workload; drives the decoder-effort estimate in the scenario report.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .patterns import Pattern, pattern_from_dict
+
+#: Channels a spec may bind a pattern to, with whether spatial patterns are
+#: permitted there (ambient and SNR are chip-global scalars).
+PATTERN_CHANNELS: Dict[str, bool] = {
+    "load": True,
+    "ambient_celsius": False,
+    "snr_db": False,
+}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative scenario over a fixed horizon of migration epochs."""
+
+    name: str
+    configuration: str
+    scheme: str = "xy-shift"
+    period_us: float = 109.0
+    mode: str = "steady"
+    num_epochs: int = 41
+    settle_epochs: Optional[int] = None
+    thermal_method: str = "euler"
+    transient_steps_per_epoch: int = 8
+    include_migration_energy: bool = True
+    load: Optional[Pattern] = None
+    ambient_celsius: Optional[Pattern] = None
+    snr_db: Optional[Pattern] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a scenario needs a name")
+        if self.mode not in ("steady", "transient"):
+            raise ValueError("mode must be 'steady' or 'transient'")
+        if self.num_epochs < 1:
+            raise ValueError("at least one epoch is required")
+        if self.period_us <= 0:
+            raise ValueError("migration period must be positive")
+        for channel, allow_spatial in PATTERN_CHANNELS.items():
+            pattern = getattr(self, channel)
+            if pattern is None:
+                continue
+            if not isinstance(pattern, Pattern):
+                raise TypeError(f"{channel} must be a Pattern, got {type(pattern)}")
+            if pattern.is_spatial and not allow_spatial:
+                raise ValueError(
+                    f"{channel} is a chip-global channel; spatial patterns "
+                    "are only valid for 'load'"
+                )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "name": self.name,
+            "configuration": self.configuration,
+            "scheme": self.scheme,
+            "period_us": self.period_us,
+            "mode": self.mode,
+            "num_epochs": self.num_epochs,
+            "settle_epochs": self.settle_epochs,
+            "thermal_method": self.thermal_method,
+            "transient_steps_per_epoch": self.transient_steps_per_epoch,
+            "include_migration_energy": self.include_migration_energy,
+            "description": self.description,
+        }
+        for channel in PATTERN_CHANNELS:
+            pattern = getattr(self, channel)
+            payload[channel] = pattern.to_dict() if pattern is not None else None
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ScenarioSpec":
+        params = dict(payload)
+        for channel in PATTERN_CHANNELS:
+            value = params.get(channel)
+            if value is not None:
+                params[channel] = pattern_from_dict(value)  # type: ignore[arg-type]
+        unknown = set(params) - {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        if unknown:
+            raise ValueError(f"unknown scenario fields: {sorted(unknown)}")
+        return cls(**params)  # type: ignore[arg-type]
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))

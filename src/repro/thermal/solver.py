@@ -137,6 +137,10 @@ class ThermalSolver:
         self.transient_count = 0
         #: Number of ``transient_sequence()`` calls.
         self.transient_sequence_count = 0
+        #: Number of sequences served by the vectorised spectral jump (one
+        #: eigenbasis transform covering the whole trace; regression guard
+        #: for the fast path staying engaged on shared-dt traces).
+        self.spectral_jump_count = 0
         self._spectral_basis: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
         # Solvers are shared across the thread executor of the parallel
         # runner; guard the lazily-built caches.
@@ -381,10 +385,27 @@ class ThermalSolver:
         interval boundaries.  The result's :attr:`TransientResult.interval_ranges`
         records each interval's sample-row range so per-interval metrics can
         be reduced from the concatenated series without re-integrating.
+
+        With ``method="spectral"`` and every interval resolving to the same
+        time step (the migration-epoch case: equal durations, one dt), the
+        whole trace is evaluated through **one** eigenbasis transform: the
+        per-interval weight projections collapse into a propagation of the
+        modal coordinates across interval boundaries plus a single matrix
+        multiply over all sampled instants — identical trajectory to the
+        per-interval path up to floating-point roundoff.
         """
         if not intervals:
             raise ValueError("at least one interval is required")
         self.transient_sequence_count += 1
+        if method == "spectral":
+            jumped = self._spectral_sequence_jump(
+                intervals,
+                initial_state=initial_state,
+                time_step_s=time_step_s,
+                record_every=record_every,
+            )
+            if jumped is not None:
+                return jumped
         state = initial_state
         all_times: List[np.ndarray] = []
         series: Dict[str, List[np.ndarray]] = {
@@ -416,6 +437,141 @@ class ThermalSolver:
             times_s=times,
             block_celsius=block_series,
             final_state_kelvin=state,
+            interval_ranges=ranges,
+        )
+
+    # ------------------------------------------------------------------
+    def _spectral_sequence_jump(
+        self,
+        intervals: List[Tuple[float, Dict[str, float]]],
+        initial_state: Optional[np.ndarray],
+        time_step_s: Optional[float],
+        record_every: int,
+    ) -> Optional[TransientResult]:
+        """Whole-trace spectral evaluation when every interval shares one dt.
+
+        Returns None when the intervals resolve to different time steps (the
+        caller then falls back to the per-interval loop).  Otherwise the
+        implicit-Euler trajectory of the whole piecewise-constant trace is
+        produced from a single eigendecomposition: the modal coordinates
+        ``z_i`` of the deviation from each interval's fixed point obey
+
+        ``z_{i+1} = mu^{n_i} z_i + U^T C^{1/2} (T*_i - T*_{i+1})``
+
+        (``mu = 1/(1 + dt lambda)``, ``n_i`` steps in interval ``i``), so one
+        multi-RHS solve yields every fixed point, one short recurrence
+        propagates the modal state across interval boundaries, and one matrix
+        multiply evaluates every recorded instant of every interval.
+        """
+        if record_every < 1:
+            raise ValueError("record_every must be at least 1")
+        network = self.network
+
+        durations = []
+        steps_list = []
+        recorded_list = []
+        shared_dt: Optional[float] = None
+        for duration, _power in intervals:
+            if duration <= 0:
+                raise ValueError("duration must be positive")
+            dt = time_step_s if time_step_s is not None else min(duration / 200.0, 1e-3)
+            dt = min(dt, duration)
+            if shared_dt is None:
+                shared_dt = dt
+            elif dt != shared_dt:
+                return None
+            steps = max(1, int(round(duration / dt)))
+            recorded = np.arange(record_every - 1, steps, record_every, dtype=np.int64)
+            if recorded.size == 0 or recorded[-1] != steps - 1:
+                recorded = np.append(recorded, steps - 1)
+            durations.append(duration)
+            steps_list.append(steps)
+            recorded_list.append(recorded)
+        assert shared_dt is not None
+        self.spectral_jump_count += 1
+
+        powers = np.vstack([self._power_vector_of(power) for _dur, power in intervals])
+        rhs = powers + self._boundary[np.newaxis, :]
+        fixed_points = lu_solve(self._A_factor, rhs.T).T  # (num_intervals, n)
+
+        if initial_state is None:
+            state = np.full(network.num_nodes, network.ambient_kelvin, dtype=float)
+        else:
+            state = np.asarray(initial_state, dtype=float).copy()
+            if state.shape != (network.num_nodes,):
+                raise ValueError("initial state has wrong number of nodes")
+
+        c_sqrt, eigenvalues, eigenvectors = self._spectral()
+        decay = 1.0 / (1.0 + shared_dt * eigenvalues)
+        num_intervals = len(intervals)
+        steps_arr = np.asarray(steps_list, dtype=np.int64)
+        # Modal decay over each interval's full step count, and the modal
+        # jumps induced by the fixed point changing at each boundary.
+        interval_decay = decay[np.newaxis, :] ** steps_arr[:, np.newaxis]
+        if num_intervals > 1:
+            boundary_jumps = (
+                (fixed_points[:-1] - fixed_points[1:]) * c_sqrt[np.newaxis, :]
+            ) @ eigenvectors
+        z_starts = np.empty((num_intervals, network.num_nodes))
+        z = eigenvectors.T @ (c_sqrt * (state - fixed_points[0]))
+        for index in range(num_intervals):
+            z_starts[index] = z
+            if index + 1 < num_intervals:
+                z = z * interval_decay[index] + boundary_jumps[index]
+
+        # Every recorded instant of every interval in one matrix multiply.
+        # Equal-duration traces (the migration-epoch case) share one recorded
+        # step structure, so the modal decay powers are computed once and
+        # broadcast across intervals instead of materialised per sample row.
+        counts = np.array([recorded.size for recorded in recorded_list])
+        first = recorded_list[0]
+        uniform = all(
+            np.array_equal(recorded, first) for recorded in recorded_list[1:]
+        )
+        if uniform:
+            base_pow = decay[np.newaxis, :] ** (first + 1)[:, np.newaxis]
+            modal = base_pow[np.newaxis, :, :] * z_starts[:, np.newaxis, :]
+        else:
+            step_numbers = np.concatenate(recorded_list) + 1
+            modal = (
+                decay[np.newaxis, :] ** step_numbers[:, np.newaxis]
+            ) * np.repeat(z_starts, counts, axis=0)
+        recorded_temps = np.repeat(fixed_points, counts, axis=0) + (
+            modal.reshape(-1, network.num_nodes) @ eigenvectors.T
+        ) / c_sqrt[np.newaxis, :]
+
+        # Assemble per-interval blocks: the interval's t=0 row is the carried
+        # state (exactly the previous interval's final sample), then its
+        # recorded rows — the same layout the per-interval loop produces.
+        total_rows = int(counts.sum()) + num_intervals
+        history = np.empty((total_rows, network.num_nodes))
+        all_times: List[np.ndarray] = []
+        ranges: List[Tuple[int, int]] = []
+        offset = 0.0
+        row = 0
+        sample_row = 0
+        for index in range(num_intervals):
+            block = recorded_temps[sample_row : sample_row + counts[index]]
+            history[row] = state
+            history[row + 1 : row + 1 + counts[index]] = block
+            state = block[-1]
+            times = np.concatenate(
+                ([0.0], (recorded_list[index] + 1) * shared_dt)
+            )
+            all_times.append(times + offset)
+            offset += durations[index]
+            ranges.append((row, row + counts[index] + 1))
+            row += counts[index] + 1
+            sample_row += counts[index]
+
+        block_series = {
+            name: history[:, idx] - KELVIN_OFFSET
+            for name, idx in network.block_node_index.items()
+        }
+        return TransientResult(
+            times_s=np.concatenate(all_times),
+            block_celsius=block_series,
+            final_state_kelvin=state.copy(),
             interval_ranges=ranges,
         )
 

@@ -54,6 +54,59 @@ class TestMigrationApplication:
         assert controller_a.io_translator.migrations_applied == 0
 
 
+class TestMigrationCostCache:
+    def test_orbit_computes_each_mapping_once(self, controller_a, chip_a):
+        """A periodic transform revisits its orbit: one computation per step.
+
+        xy-shift on the 4x4 mesh has order 4, so 12 applications see only 4
+        distinct (transform, mapping) pairs — the rest are cache hits.
+        """
+        transform = XYShiftTransform(chip_a.topology)
+        for _ in range(12):
+            controller_a.apply_migration(transform)
+        assert controller_a.migration_cost_computations == 4
+        assert controller_a.migration_cache_hits == 8
+        assert controller_a.migrations_performed == 12
+
+    def test_cache_survives_reset(self, controller_a, chip_a):
+        """Costs are pure functions of (transform, mapping): reuse across runs."""
+        transform = XYShiftTransform(chip_a.topology)
+        for _ in range(4):
+            controller_a.apply_migration(transform)
+        computed = controller_a.migration_cost_computations
+        controller_a.reset()
+        for _ in range(4):
+            controller_a.apply_migration(transform)
+        assert controller_a.migration_cost_computations == computed
+
+    def test_cached_results_match_uncached(self, chip_a):
+        cached = RuntimeReconfigurationController(chip_a)
+        uncached = RuntimeReconfigurationController(chip_a, cache_migration_costs=False)
+        transform = XYShiftTransform(chip_a.topology)
+        for _ in range(8):
+            cost_cached = cached.apply_migration(transform)
+            cost_uncached = uncached.apply_migration(transform)
+            assert cost_cached.cycles == cost_uncached.cycles
+            assert cost_cached.total_energy_j == cost_uncached.total_energy_j
+            assert cost_cached.energy_per_unit_j == cost_uncached.energy_per_unit_j
+            assert cached.current_mapping == uncached.current_mapping
+        assert uncached.migration_cache_hits == 0
+        assert uncached.migration_cost_computations == 8
+        assert cached.migration_cost_computations == 4
+
+    def test_distinct_transforms_not_conflated(self, controller_a, chip_a):
+        """Two transforms from the same mapping must cache separately."""
+        shift = XYShiftTransform(chip_a.topology)
+        rotation = RotationTransform(chip_a.topology)
+        cost_shift = controller_a.apply_migration(shift)
+        controller_a.reset()
+        cost_rotation = controller_a.apply_migration(rotation)
+        assert controller_a.migration_cost_computations == 2
+        assert cost_shift.cycles != cost_rotation.cycles or (
+            cost_shift.total_energy_j != cost_rotation.total_energy_j
+        )
+
+
 class TestEnergyAccounting:
     def test_energy_disabled_when_requested(self, chip_a):
         controller = RuntimeReconfigurationController(chip_a, include_migration_energy=False)

@@ -1,0 +1,145 @@
+"""Property-based tests for scenario pattern composition and serialization.
+
+The algebra the scenario compiler relies on: composition is pointwise (sum
+and product of the component series), combinators flatten associatively, and
+every pattern survives a JSON round-trip bit-for-bit.
+"""
+
+import json
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.noc.topology import MeshTopology
+from repro.scenarios.patterns import (
+    BurstPattern,
+    ConstantPattern,
+    DiurnalPattern,
+    DutyCyclePattern,
+    FaultPattern,
+    HotspotPattern,
+    RampPattern,
+    StepPattern,
+    pattern_from_dict,
+)
+
+_MESH = MeshTopology(4, 4)
+_COORDS = list(_MESH.coordinates())
+
+finite = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+positive = st.floats(min_value=0.1, max_value=10.0, allow_nan=False, allow_infinity=False)
+epochs = st.integers(min_value=1, max_value=40)
+epoch_index = st.integers(min_value=0, max_value=32)
+coords = st.sampled_from(_COORDS)
+
+temporal_patterns = st.one_of(
+    st.builds(ConstantPattern, value=finite),
+    st.builds(StepPattern, before=finite, after=finite, step_epoch=epoch_index),
+    st.builds(
+        RampPattern,
+        start=finite,
+        end=finite,
+        start_epoch=st.integers(min_value=0, max_value=10),
+        end_epoch=st.integers(min_value=11, max_value=40),
+    ),
+    st.builds(
+        BurstPattern,
+        base=finite,
+        peak=finite,
+        start_epoch=epoch_index,
+        length=st.integers(min_value=1, max_value=6),
+        every=st.one_of(st.none(), st.integers(min_value=6, max_value=12)),
+    ),
+    st.builds(
+        DiurnalPattern,
+        mean=finite,
+        amplitude=finite,
+        period_epochs=positive,
+        phase_epochs=finite,
+    ),
+    st.builds(
+        DutyCyclePattern,
+        on_value=finite,
+        off_value=finite,
+        on_epochs=st.integers(min_value=1, max_value=6),
+        off_epochs=st.integers(min_value=1, max_value=6),
+        start_epoch=epoch_index,
+    ),
+)
+
+spatial_patterns = st.one_of(
+    st.builds(
+        HotspotPattern,
+        center=coords,
+        peak=finite,
+        sigma=positive,
+        background=finite,
+    ),
+    st.builds(
+        FaultPattern,
+        units=st.lists(coords, min_size=1, max_size=4, unique=True).map(tuple),
+        level=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+        start_epoch=epoch_index,
+    ),
+)
+
+any_pattern = st.one_of(temporal_patterns, spatial_patterns)
+
+
+class TestCompositionAlgebra:
+    @given(a=temporal_patterns, b=temporal_patterns, num_epochs=epochs)
+    @settings(max_examples=60, deadline=None)
+    def test_sum_is_pointwise(self, a, b, num_epochs):
+        combined = (a + b).evaluate(num_epochs)
+        expected = a.evaluate(num_epochs) + b.evaluate(num_epochs)
+        assert np.allclose(combined, expected, atol=0, rtol=0)
+
+    @given(a=temporal_patterns, b=temporal_patterns, num_epochs=epochs)
+    @settings(max_examples=60, deadline=None)
+    def test_product_is_pointwise(self, a, b, num_epochs):
+        combined = (a * b).evaluate(num_epochs)
+        expected = a.evaluate(num_epochs) * b.evaluate(num_epochs)
+        assert np.allclose(combined, expected, atol=0, rtol=0)
+
+    @given(a=temporal_patterns, b=spatial_patterns, num_epochs=epochs)
+    @settings(max_examples=40, deadline=None)
+    def test_temporal_broadcasts_over_spatial(self, a, b, num_epochs):
+        combined = (a * b).evaluate(num_epochs, _MESH)
+        expected = a.evaluate(num_epochs)[:, np.newaxis] * b.evaluate(num_epochs, _MESH)
+        assert combined.shape == (num_epochs, _MESH.num_nodes)
+        assert np.allclose(combined, expected, atol=0, rtol=0)
+
+    @given(a=any_pattern, b=any_pattern, c=any_pattern, num_epochs=epochs)
+    @settings(max_examples=40, deadline=None)
+    def test_flattened_operators_associate(self, a, b, c, num_epochs):
+        left = ((a + b) + c).evaluate(num_epochs, _MESH)
+        right = (a + (b + c)).evaluate(num_epochs, _MESH)
+        assert np.allclose(left, right, atol=1e-12)
+
+    @given(pattern=any_pattern, num_epochs=epochs)
+    @settings(max_examples=60, deadline=None)
+    def test_evaluate_shape_and_finiteness(self, pattern, num_epochs):
+        values = pattern.evaluate(num_epochs, _MESH)
+        if pattern.is_spatial:
+            assert values.shape == (num_epochs, _MESH.num_nodes)
+        else:
+            assert values.shape == (num_epochs,)
+        assert np.all(np.isfinite(values))
+
+
+class TestSerializationProperties:
+    @given(pattern=any_pattern)
+    @settings(max_examples=80, deadline=None)
+    def test_json_round_trip_is_identity(self, pattern):
+        payload = json.loads(json.dumps(pattern.to_dict()))
+        rebuilt = pattern_from_dict(payload)
+        assert rebuilt == pattern
+
+    @given(a=any_pattern, b=any_pattern)
+    @settings(max_examples=40, deadline=None)
+    def test_composed_round_trip_preserves_series(self, a, b):
+        pattern = a * b + ConstantPattern(0.5)
+        payload = json.loads(json.dumps(pattern.to_dict()))
+        rebuilt = pattern_from_dict(payload)
+        original = pattern.evaluate(11, _MESH)
+        assert np.array_equal(rebuilt.evaluate(11, _MESH), original)

@@ -1,0 +1,311 @@
+"""Scenario compilation and execution: parity, modulation and schedules.
+
+The anchor test pins a constant-pattern scenario to the plain
+:class:`ThermalExperiment` result on configurations A, C and E to <1e-9 —
+the scenario layer must be a strict generalisation of the paper's
+experiments, not a parallel implementation.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.chips import get_configuration
+from repro.core.experiment import ExperimentSettings, ThermalExperiment
+from repro.core.policy import PeriodicMigrationPolicy, make_policy
+from repro.power.trace import PowerTrace
+from repro.scenarios.compile import compile_scenario, decoder_effort, run_scenario
+from repro.scenarios.patterns import (
+    ConstantPattern,
+    FaultPattern,
+    HotspotPattern,
+    RampPattern,
+    StepPattern,
+)
+from repro.scenarios.registry import all_scenarios, get_scenario
+from repro.scenarios.spec import ScenarioSpec
+from repro.thermal.hotspot import HotSpotModel
+
+PARITY_CONFIGURATIONS = ("A", "C", "E")
+
+
+def _constant_spec(configuration: str, mode: str = "steady") -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"parity-{configuration}-{mode}",
+        configuration=configuration,
+        scheme="xy-shift",
+        mode=mode,
+        num_epochs=13,
+        settle_epochs=12,
+        transient_steps_per_epoch=4,
+        load=ConstantPattern(1.0),
+    )
+
+
+class TestConstantPatternParity:
+    @pytest.mark.parametrize("config_name", PARITY_CONFIGURATIONS)
+    def test_steady_matches_plain_experiment(self, config_name):
+        spec = _constant_spec(config_name)
+        scenario = run_scenario(spec).experiment
+
+        chip = get_configuration(config_name)
+        policy = PeriodicMigrationPolicy(chip.topology, "xy-shift", period_us=109.0)
+        settings = ExperimentSettings(num_epochs=13, mode="steady", settle_epochs=12)
+        plain = ThermalExperiment(chip, policy, settings=settings).run()
+
+        assert scenario.settled_peak_celsius == pytest.approx(
+            plain.settled_peak_celsius, abs=1e-9
+        )
+        assert scenario.settled_mean_celsius == pytest.approx(
+            plain.settled_mean_celsius, abs=1e-9
+        )
+        assert scenario.baseline_peak_celsius == pytest.approx(
+            plain.baseline_peak_celsius, abs=1e-9
+        )
+        for ours, theirs in zip(scenario.epochs, plain.epochs):
+            assert ours.thermal.peak_celsius == pytest.approx(
+                theirs.thermal.peak_celsius, abs=1e-9
+            )
+            assert ours.thermal.mean_celsius == pytest.approx(
+                theirs.thermal.mean_celsius, abs=1e-9
+            )
+
+    @pytest.mark.parametrize("config_name", PARITY_CONFIGURATIONS)
+    def test_transient_matches_plain_experiment(self, config_name):
+        spec = _constant_spec(config_name, mode="transient")
+        scenario = run_scenario(spec).experiment
+
+        chip = get_configuration(config_name)
+        policy = PeriodicMigrationPolicy(chip.topology, "xy-shift", period_us=109.0)
+        settings = ExperimentSettings(
+            num_epochs=13, mode="transient", settle_epochs=12,
+            transient_steps_per_epoch=4,
+        )
+        plain = ThermalExperiment(chip, policy, settings=settings).run()
+
+        assert scenario.settled_peak_celsius == pytest.approx(
+            plain.settled_peak_celsius, abs=1e-9
+        )
+        for ours, theirs in zip(scenario.epochs, plain.epochs):
+            assert ours.thermal.peak_celsius == pytest.approx(
+                theirs.thermal.peak_celsius, abs=1e-9
+            )
+
+
+class TestCompilation:
+    def test_temporal_load_broadcasts_to_units(self):
+        spec = ScenarioSpec(
+            name="x", configuration="A", num_epochs=6,
+            load=StepPattern(before=1.0, after=0.5, step_epoch=3),
+        )
+        compiled = compile_scenario(spec)
+        assert compiled.load_modulation.shape == (6, 16)
+        assert np.all(compiled.load_modulation[0] == 1.0)
+        assert np.all(compiled.load_modulation[5] == 0.5)
+
+    def test_negative_load_rejected(self):
+        spec = ScenarioSpec(
+            name="x", configuration="A", num_epochs=4,
+            load=ConstantPattern(1.0) + ConstantPattern(-2.0),
+        )
+        with pytest.raises(ValueError, match="non-negative"):
+            compile_scenario(spec)
+
+    def test_channels_default_to_none(self):
+        compiled = compile_scenario(ScenarioSpec(name="x", configuration="A"))
+        assert compiled.load_modulation is None
+        assert compiled.ambient_offsets is None
+        assert compiled.snr_schedule is None
+
+    def test_policy_and_settings_follow_spec(self):
+        spec = ScenarioSpec(
+            name="x", configuration="C", scheme="static", mode="transient",
+            num_epochs=7, thermal_method="spectral",
+        )
+        compiled = compile_scenario(spec)
+        assert compiled.policy.name == "static"
+        assert compiled.settings.mode == "transient"
+        assert compiled.settings.thermal_method == "spectral"
+        assert compiled.configuration.name == "C"
+
+
+class TestModulationSemantics:
+    def test_fault_zeroes_unit_power(self):
+        coord = (1, 2)
+        spec = ScenarioSpec(
+            name="x", configuration="A", scheme="static", num_epochs=6,
+            load=FaultPattern(units=(coord,), level=0.0, start_epoch=3),
+        )
+        result = run_scenario(spec).experiment
+        healthy = result.epochs[0].power_map[coord]
+        faulted = result.epochs[5].power_map[coord]
+        assert healthy > 0
+        assert faulted == 0.0
+
+    def test_modulated_trace_matches_scaled_trace(self):
+        """In-loop modulation == PowerTrace.scaled of the unmodulated trace.
+
+        Periodic policies ignore the power feedback, so modulating each row
+        as it is emitted must agree exactly with scaling the finished trace —
+        the property that lets the scenario compiler reason about modulation
+        as a pure array transform.
+        """
+        chip = get_configuration("A")
+        settings = ExperimentSettings(num_epochs=8, mode="steady", settle_epochs=4)
+        modulation = np.linspace(0.5, 1.5, 8)[:, np.newaxis] * np.ones(
+            (8, chip.num_units)
+        )
+
+        policy = PeriodicMigrationPolicy(chip.topology, "xy-shift", period_us=109.0)
+        plain = ThermalExperiment(chip, policy, settings=settings)
+        plain_trace, _costs, _names = plain._epoch_sequence(thermal_feedback=False)
+
+        policy = PeriodicMigrationPolicy(chip.topology, "xy-shift", period_us=109.0)
+        modulated = ThermalExperiment(
+            chip, policy, settings=settings, power_modulation=modulation
+        )
+        modulated_trace, _costs, _names = modulated._epoch_sequence(
+            thermal_feedback=False
+        )
+
+        scaled = plain_trace.scaled(modulation)
+        assert np.array_equal(modulated_trace.powers, scaled.powers)
+        assert np.array_equal(modulated_trace.durations, scaled.durations)
+
+    def test_hotspot_raises_local_temperature(self):
+        base = run_scenario(
+            ScenarioSpec(name="base", configuration="A", scheme="static", num_epochs=5)
+        ).experiment
+        hot = run_scenario(
+            ScenarioSpec(
+                name="hot", configuration="A", scheme="static", num_epochs=5,
+                load=HotspotPattern(center=(0, 0), peak=2.0, sigma=0.8),
+            )
+        ).experiment
+        assert hot.settled_peak_celsius > base.settled_peak_celsius
+
+
+class TestAmbientOffsets:
+    def test_uniform_shift_is_exact_in_steady_mode(self):
+        """Per-epoch ambient offsets must equal re-solving at that ambient.
+
+        The conduction block conserves energy, so a uniform ambient change
+        shifts every steady temperature by the same amount; the scenario
+        pipeline relies on that to keep one batched solve per scenario.
+        """
+        chip = get_configuration("A")
+        offset = 6.5
+        spec = ScenarioSpec(
+            name="x", configuration="A", scheme="static", num_epochs=3,
+            ambient_celsius=ConstantPattern(offset),
+        )
+        result = run_scenario(spec).experiment
+
+        package = dataclasses.replace(
+            chip.thermal_model.package,
+            ambient_celsius=chip.thermal_model.package.ambient_celsius + offset,
+        )
+        shifted_model = HotSpotModel(
+            chip.topology, package=package, floorplan=chip.thermal_model.floorplan
+        )
+        expected = shifted_model.steady_temperatures(
+            chip.power_vector()[np.newaxis, :]
+        )[0]
+        assert result.settled_peak_celsius == pytest.approx(expected.max(), abs=1e-9)
+
+    def test_baseline_stays_at_nominal_ambient(self):
+        plain = run_scenario(
+            ScenarioSpec(name="p", configuration="A", scheme="static", num_epochs=3)
+        ).experiment
+        heated = run_scenario(
+            ScenarioSpec(
+                name="h", configuration="A", scheme="static", num_epochs=3,
+                ambient_celsius=ConstantPattern(5.0),
+            )
+        ).experiment
+        assert heated.baseline_peak_celsius == pytest.approx(
+            plain.baseline_peak_celsius, abs=1e-12
+        )
+        assert heated.settled_peak_celsius == pytest.approx(
+            plain.settled_peak_celsius + 5.0, abs=1e-9
+        )
+
+    def test_feedback_policies_see_ambient_offsets(self):
+        """A threshold policy must react to the scenario's ambient, not nominal.
+
+        The trigger sits between the nominal steady peak and the +6 C shifted
+        peak: without the offset reaching the feedback path the policy never
+        fires; with it, every epoch fires.
+        """
+        from repro.core.policy import ThresholdMigrationPolicy
+
+        chip = get_configuration("A")
+        nominal_peak = chip.base_peak_temperature()
+        settings = ExperimentSettings(num_epochs=4, mode="steady", settle_epochs=3)
+        offsets = np.full(4, 6.0)
+
+        def run_with(offsets_or_none):
+            policy = ThresholdMigrationPolicy(
+                chip.topology, "xy-shift", trigger_celsius=nominal_peak + 3.0
+            )
+            ThermalExperiment(
+                chip, policy, settings=settings,
+                ambient_offsets_celsius=offsets_or_none,
+            ).run()
+            return policy.migrations_triggered
+
+        assert run_with(None) == 0
+        assert run_with(offsets) > 0
+
+    def test_ramp_offsets_tracked_per_epoch(self):
+        spec = ScenarioSpec(
+            name="x", configuration="A", scheme="static", num_epochs=5,
+            ambient_celsius=RampPattern(start=0.0, end=4.0),
+        )
+        result = run_scenario(spec)
+        peaks = [epoch.thermal.peak_celsius for epoch in result.experiment.epochs]
+        assert peaks[4] - peaks[0] == pytest.approx(4.0, abs=1e-9)
+        assert result.ambient_offset_min_celsius == 0.0
+        assert result.ambient_offset_max_celsius == 4.0
+
+
+class TestDecoderEffort:
+    def test_lower_snr_needs_more_iterations(self):
+        chip = get_configuration("A")
+        good = decoder_effort(chip, np.full(8, 3.0))
+        bad = decoder_effort(chip, np.full(8, 1.0))
+        assert bad.mean_iterations > good.mean_iterations
+        assert bad.throughput_factor < good.throughput_factor
+        assert 0.0 <= good.success_rate <= 1.0
+
+    def test_snr_scenario_reports_decoder(self):
+        result = run_scenario(get_scenario("snr-fade"))
+        assert result.decoder is not None
+        assert result.decoder.mean_iterations > 0
+        row = result.to_row()
+        assert isinstance(row["decoder_throughput_x"], float)
+
+
+class TestSingleSolveGuarantee:
+    """Every registry scenario costs exactly one thermal evaluation."""
+
+    @pytest.mark.parametrize(
+        "spec", all_scenarios(), ids=lambda spec: spec.name
+    )
+    def test_one_batched_evaluation_per_scenario(self, spec):
+        solver = get_configuration(spec.configuration).thermal_model.solver
+        steady_before = solver.steady_solve_count
+        transients_before = solver.transient_count
+        sequences_before = solver.transient_sequence_count
+
+        run_scenario(spec)
+
+        assert solver.transient_count == transients_before
+        if spec.mode == "steady":
+            assert solver.steady_solve_count - steady_before == 1
+            assert solver.transient_sequence_count == sequences_before
+        else:
+            # Baseline steady solve + warm start, then one sequence.
+            assert solver.steady_solve_count - steady_before == 2
+            assert solver.transient_sequence_count - sequences_before == 1

@@ -1,0 +1,114 @@
+"""Tests for the declarative scenario spec and its JSON round-trip."""
+
+import json
+
+import pytest
+
+from repro.scenarios.patterns import (
+    ConstantPattern,
+    DiurnalPattern,
+    HotspotPattern,
+    RampPattern,
+)
+from repro.scenarios.registry import all_scenarios, get_scenario, scenario_names
+from repro.scenarios.spec import ScenarioSpec
+
+
+class TestValidation:
+    def test_minimal_spec(self):
+        spec = ScenarioSpec(name="x", configuration="A")
+        assert spec.mode == "steady"
+        assert spec.load is None
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            ScenarioSpec(name="x", configuration="A", mode="warp")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="name"):
+            ScenarioSpec(name="", configuration="A")
+
+    def test_rejects_nonpositive_horizon(self):
+        with pytest.raises(ValueError, match="epoch"):
+            ScenarioSpec(name="x", configuration="A", num_epochs=0)
+
+    def test_rejects_spatial_ambient(self):
+        with pytest.raises(ValueError, match="chip-global"):
+            ScenarioSpec(
+                name="x",
+                configuration="A",
+                ambient_celsius=HotspotPattern(center=(0, 0), peak=2.0),
+            )
+
+    def test_rejects_spatial_snr(self):
+        with pytest.raises(ValueError, match="chip-global"):
+            ScenarioSpec(
+                name="x",
+                configuration="A",
+                snr_db=HotspotPattern(center=(0, 0), peak=2.0),
+            )
+
+    def test_rejects_non_pattern_channel(self):
+        with pytest.raises(TypeError):
+            ScenarioSpec(name="x", configuration="A", load=1.5)
+
+
+class TestJsonRoundTrip:
+    def test_full_spec_round_trips(self):
+        spec = ScenarioSpec(
+            name="everything",
+            configuration="C",
+            scheme="rotation",
+            period_us=437.2,
+            mode="transient",
+            num_epochs=17,
+            settle_epochs=8,
+            thermal_method="spectral",
+            transient_steps_per_epoch=4,
+            include_migration_energy=False,
+            load=ConstantPattern(1.1) * HotspotPattern(center=(2, 2), peak=1.5),
+            ambient_celsius=RampPattern(start=0.0, end=5.0),
+            snr_db=DiurnalPattern(mean=2.5, amplitude=0.5, period_epochs=8.0),
+            description="kitchen sink",
+        )
+        rebuilt = ScenarioSpec.from_json(spec.to_json())
+        assert rebuilt == spec
+
+    def test_json_is_plain_data(self):
+        payload = json.loads(get_scenario("hotspot-attack").to_json())
+        assert payload["configuration"] == "E"
+        assert payload["load"]["kind"] == "product"
+
+    def test_none_channels_round_trip(self):
+        spec = ScenarioSpec(name="bare", configuration="B")
+        rebuilt = ScenarioSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.load is None and rebuilt.snr_db is None
+
+    def test_unknown_fields_rejected(self):
+        payload = ScenarioSpec(name="x", configuration="A").to_dict()
+        payload["frobnicate"] = True
+        with pytest.raises(ValueError, match="unknown scenario fields"):
+            ScenarioSpec.from_dict(payload)
+
+
+class TestRegistry:
+    def test_at_least_eight_scenarios(self):
+        assert len(scenario_names()) >= 8
+
+    def test_both_modes_present(self):
+        modes = {spec.mode for spec in all_scenarios()}
+        assert modes == {"steady", "transient"}
+
+    def test_every_scenario_round_trips(self):
+        for spec in all_scenarios():
+            assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_get_scenario_unknown(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            get_scenario("nope")
+
+    def test_names_unique_and_match_specs(self):
+        names = scenario_names()
+        assert len(set(names)) == len(names)
+        assert [spec.name for spec in all_scenarios()] == list(names)

@@ -113,3 +113,108 @@ class TestFigure1Command:
         assert main(["--csv", "figure1", "-C", "A"]) == 0
         out = capsys.readouterr().out
         assert out.startswith("configuration,")
+
+
+class TestScenarioCommand:
+    def test_list_names_all_scenarios(self, capsys):
+        from repro.scenarios import scenario_names
+
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+    def test_run_named_scenario(self, capsys):
+        assert main(["scenario", "run", "steady-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "settled peak (C)" in out
+        assert "migrations" in out
+
+    def test_run_requires_name_or_spec(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "run"])
+
+    def test_show_spec_prints_json(self, capsys):
+        assert main(["scenario", "run", "diurnal-load", "--show-spec"]) == 0
+        out = capsys.readouterr().out
+        assert '"kind": "diurnal"' in out
+
+    def test_run_spec_file(self, capsys, tmp_path):
+        from repro.scenarios import get_scenario
+
+        spec_file = tmp_path / "scenario.json"
+        spec_file.write_text(get_scenario("steady-baseline").to_json())
+        assert main(["scenario", "run", "--spec", str(spec_file)]) == 0
+        out = capsys.readouterr().out
+        assert "settled peak (C)" in out
+
+    def test_compare_selected_scenarios(self, capsys):
+        code = main(
+            ["--csv", "scenario", "compare", "steady-baseline", "duty-cycle-idle"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("scenario,")
+        assert "steady-baseline" in out and "duty-cycle-idle" in out
+
+    def test_unknown_scenario_is_clean_error(self, capsys):
+        assert main(["scenario", "run", "frobnicate"]) == 1
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_missing_spec_file_is_clean_error(self, capsys, tmp_path):
+        assert main(["scenario", "run", "--spec", str(tmp_path / "nope.json")]) == 1
+        assert capsys.readouterr().err.strip() != ""
+
+
+class TestPerfTrendCommand:
+    PAYLOAD = {
+        "schema": 2,
+        "hot_paths": {"x.y": {"wall_s": 0.01}},
+        "history": [
+            {
+                "git_sha": "aaa111",
+                "timestamp_utc": "2026-01-01T00:00:00Z",
+                "hot_paths": {
+                    "x.y": {"wall_s": 0.02, "throughput": 50.0,
+                            "throughput_unit": "items/s"}
+                },
+            },
+            {
+                "git_sha": "bbb222",
+                "timestamp_utc": "2026-02-01T00:00:00Z",
+                "hot_paths": {"x.y": {"wall_s": 0.01, "speedup": 2.0}},
+            },
+        ],
+    }
+
+    def test_renders_history(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps(self.PAYLOAD))
+        assert main(["perf-trend", "--path", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "x.y" in out
+        assert "aaa111" in out and "bbb222" in out
+        assert "-50%" in out  # 20 ms -> 10 ms between snapshots
+
+    def test_missing_file_is_an_error(self, capsys, tmp_path):
+        assert main(["perf-trend", "--path", str(tmp_path / "nope.json")]) == 1
+        assert "run `pytest benchmarks/`" in capsys.readouterr().err
+
+    def test_benchmark_filter_unknown(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps(self.PAYLOAD))
+        assert main(["perf-trend", "--path", str(path), "-b", "zzz"]) == 1
+        assert "no benchmark matching" in capsys.readouterr().err
+
+    def test_csv_rows(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps(self.PAYLOAD))
+        assert main(["--csv", "perf-trend", "--path", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("benchmark,")

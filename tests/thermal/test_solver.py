@@ -224,3 +224,82 @@ class TestSpectralMethod:
     def test_unknown_method_rejected(self, solver4, mesh4):
         with pytest.raises(ValueError, match="method"):
             solver4.transient(_uniform_power(mesh4, 1.0), duration_s=1e-3, method="rk4")
+
+
+class TestSpectralSequenceJump:
+    """The vectorised whole-trace spectral path (one eigenbasis transform)."""
+
+    def test_shared_dt_takes_jump_path(self, solver4, mesh4):
+        intervals = _alternating_intervals(mesh4, epochs=9)
+        solver4.transient_sequence(intervals, method="spectral")
+        assert solver4.spectral_jump_count == 1
+        assert solver4.transient_sequence_count == 1
+
+    def test_mixed_dt_falls_back_to_loop(self, solver4, mesh4):
+        intervals = _alternating_intervals(mesh4, epochs=4)
+        intervals.append((7e-3, _uniform_power(mesh4, 1.5)))
+        result = solver4.transient_sequence(intervals, method="spectral")
+        assert solver4.spectral_jump_count == 0
+        assert len(result.interval_ranges) == 5
+
+    def test_euler_never_jumps(self, solver4, mesh4):
+        solver4.transient_sequence(_alternating_intervals(mesh4, epochs=5))
+        assert solver4.spectral_jump_count == 0
+
+    def test_jump_matches_per_interval_spectral_loop(self, solver4, mesh4):
+        """<1e-9 parity with chaining transient(method="spectral") by hand.
+
+        The hand-rolled chain is exactly what transient_sequence did before
+        the vectorised jump: one weight projection per interval with state
+        carried across boundaries.
+        """
+        intervals = _alternating_intervals(mesh4, epochs=13)
+        jumped = solver4.transient_sequence(intervals, method="spectral")
+        assert solver4.spectral_jump_count == 1
+
+        state = None
+        looped_blocks = {name: [] for name in solver4.network.block_node_index}
+        for duration, power in intervals:
+            step = solver4.transient(
+                power, duration, initial_state=state, method="spectral"
+            )
+            state = step.final_state_kelvin
+            for name, series in step.block_celsius.items():
+                looped_blocks[name].append(series)
+
+        for name, chunks in looped_blocks.items():
+            reference = np.concatenate(chunks)
+            assert np.allclose(jumped.block_celsius[name], reference, atol=1e-9)
+        assert np.allclose(jumped.final_state_kelvin, state, atol=1e-9)
+
+    def test_jump_with_warm_start_and_record_every(self, solver4, mesh4):
+        intervals = _alternating_intervals(mesh4, epochs=7)
+        warm = solver4.warm_state(_uniform_power(mesh4, 1.2))
+        jumped = solver4.transient_sequence(
+            intervals, initial_state=warm, record_every=3, method="spectral"
+        )
+        euler = solver4.transient_sequence(
+            intervals, initial_state=warm, record_every=3
+        )
+        assert np.allclose(jumped.times_s, euler.times_s)
+        assert jumped.interval_ranges == euler.interval_ranges
+        for name in euler.block_celsius:
+            assert np.allclose(
+                jumped.block_celsius[name], euler.block_celsius[name], atol=1e-9
+            )
+
+    def test_jump_respects_explicit_time_step(self, solver4, mesh4):
+        intervals = [
+            (1e-3, _uniform_power(mesh4, 2.0)),
+            (2e-3, _uniform_power(mesh4, 0.5)),
+        ]
+        # Different durations but one explicit dt: still eligible to jump.
+        jumped = solver4.transient_sequence(
+            intervals, time_step_s=2.5e-4, method="spectral"
+        )
+        assert solver4.spectral_jump_count == 1
+        euler = solver4.transient_sequence(intervals, time_step_s=2.5e-4)
+        for name in euler.block_celsius:
+            assert np.allclose(
+                jumped.block_celsius[name], euler.block_celsius[name], atol=1e-9
+            )
