@@ -16,7 +16,7 @@ from conftest import print_rows
 
 from repro.analysis.report import compare_scenarios
 from repro.chips import get_configuration
-from repro.scenarios import all_scenarios, run_scenario
+from repro.scenarios import all_scenarios, get_scenario, run_scenario
 
 
 def test_every_scenario_is_one_batched_evaluation():
@@ -32,11 +32,13 @@ def test_every_scenario_is_one_batched_evaluation():
         steady_before = solver.steady_solve_count
         transients_before = solver.transient_count
         sequences_before = solver.transient_sequence_count
+        jumps_before = solver.spectral_jump_count
 
         result = run_scenario(spec)
 
         steady_delta = solver.steady_solve_count - steady_before
         sequence_delta = solver.transient_sequence_count - sequences_before
+        jump_delta = solver.spectral_jump_count - jumps_before
         # No per-epoch transient() round-trips, ever.
         assert solver.transient_count == transients_before
         if spec.mode == "steady":
@@ -46,16 +48,71 @@ def test_every_scenario_is_one_batched_evaluation():
             # Baseline + warm start are steady solves; one sequenced integration.
             assert steady_delta == 2, f"{spec.name}: {steady_delta} steady solves"
             assert sequence_delta == 1, f"{spec.name}: {sequence_delta} sequences"
+        # Spectral transients (ambient-scheduled or not) must stay on the
+        # whole-trace jump: the affine boundary term costs zero extra solves.
+        expected_jumps = 1 if spec.mode == "transient" and spec.thermal_method == "spectral" else 0
+        assert jump_delta == expected_jumps, f"{spec.name}: {jump_delta} spectral jumps"
         rows.append(
             {
                 "scenario": spec.name,
                 "mode": spec.mode,
                 "steady_solves": steady_delta,
                 "sequences": sequence_delta,
+                "spectral_jumps": jump_delta,
                 "settled_peak_c": round(result.experiment.settled_peak_celsius, 2),
             }
         )
     print_rows("Thermal evaluations per scenario (guard: one batch each)", rows)
+
+
+def test_exact_ambient_transient_rides_the_spectral_jump():
+    """Experiment S2 — the exact time-varying ambient path, bench-guarded.
+
+    ``ambient-swing-transient`` drives a diurnal + burst ambient schedule
+    through the transient pipeline.  The per-interval boundary term
+    ``G_amb * (T_amb + dT_i)`` must not change the evaluation structure:
+    one ``transient_sequence``, one spectral jump, zero per-epoch
+    ``transient()`` calls — identical counts to an ambient-free run.
+    """
+    spec = get_scenario("ambient-swing-transient")
+    assert spec.mode == "transient" and spec.thermal_method == "spectral"
+    solver = get_configuration(spec.configuration).thermal_model.solver
+    sequences_before = solver.transient_sequence_count
+    jumps_before = solver.spectral_jump_count
+    transients_before = solver.transient_count
+
+    with perf_utils.timed() as timer:
+        result = run_scenario(spec)
+
+    assert solver.transient_sequence_count - sequences_before == 1
+    assert solver.spectral_jump_count - jumps_before == 1
+    assert solver.transient_count == transients_before
+    # The schedule spans ~11 C; the low-passed die must move with it but
+    # stay well inside the quasi-static envelope (offset applied instantly).
+    swings = [record.thermal.peak_celsius for record in result.experiment.epochs]
+    assert max(swings) - min(swings) > 1.0
+
+    perf_utils.record_perf(
+        "scenarios.transient.exact_ambient",
+        timer.seconds,
+        throughput=spec.num_epochs / timer.seconds,
+        throughput_unit="epochs/s",
+        epochs=spec.num_epochs,
+        transient_sequences=1,
+        spectral_jumps=1,
+    )
+    print_rows(
+        "Exact ambient transient (ambient-swing-transient, spectral jump)",
+        [
+            {
+                "epochs": spec.num_epochs,
+                "wall_ms": round(1e3 * timer.seconds, 1),
+                "peak_swing_c": round(max(swings) - min(swings), 2),
+                "sequences": 1,
+                "spectral_jumps": 1,
+            }
+        ],
+    )
 
 
 def test_scenario_compare_registry(benchmark):

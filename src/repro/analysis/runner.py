@@ -156,6 +156,7 @@ def run_parallel(
             futures = [pool.submit(task) for task in tasks]
             return [future.result() for future in futures]
     pool = _persistent_executor(executor, workers)
+    in_flight: Dict[Future, int] = {}
     try:
         # The cached pool may be larger than this call's n_jobs; windowed
         # submission keeps at most ``workers`` tasks in flight so the
@@ -163,7 +164,6 @@ def run_parallel(
         # are keyed by task index: deterministic order independent of which
         # worker finishes first.
         results: List[T] = [None] * len(tasks)  # type: ignore[list-item]
-        in_flight: Dict[Future, int] = {}
         next_index = 0
         while next_index < len(tasks) or in_flight:
             while next_index < len(tasks) and len(in_flight) < workers:
@@ -177,6 +177,18 @@ def run_parallel(
         # A dead worker poisons the whole pool; evict it so later calls
         # start from a fresh one, then surface the failure.
         _evict_executor(pool)
+        raise
+    except Exception:
+        # The pool is persistent and shared: a raising task must not leave
+        # this call's siblings running in it, where they would interleave
+        # with the next caller's work.  Cancel whatever has not started and
+        # drain whatever has, then surface the original failure.  Only
+        # ordinary task failures drain: KeyboardInterrupt must keep
+        # propagating immediately instead of blocking on running tasks.
+        for future in in_flight:
+            future.cancel()
+        if in_flight:
+            wait(list(in_flight))
         raise
 
 

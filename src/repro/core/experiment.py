@@ -96,13 +96,17 @@ class ThermalExperiment:
     ``power_modulation`` and ``ambient_offsets_celsius`` are the scenario
     hooks (see :mod:`repro.scenarios`): the modulation matrix scales each
     epoch's power row as the controller emits it (so feedback policies see
-    the modulated chip), and the ambient offsets shift each epoch's solved
-    temperatures.  The RC network's conduction block conserves energy, so a
-    uniform ambient change moves every steady temperature by exactly that
-    amount — adding the offset after the solve is exact in steady mode (and
-    a quasi-static approximation in transient mode) and keeps the one-solve
-    batched pipeline intact.  The static baseline is always reported at the
-    nominal ambient with unmodulated load.
+    the modulated chip), and the ambient offsets shift each epoch's ambient
+    boundary.  Both modes are exact.  In steady mode the RC network's
+    conduction block conserves energy, so a uniform ambient change moves
+    every steady temperature by exactly that amount — the per-epoch offsets
+    are added after the one batched solve.  In transient mode the ambient
+    forcing ``G_amb * T_amb(t)`` is affine in the RHS, so the offsets ride
+    into the single ``transient_sequence`` call as a per-interval boundary
+    term (and the warm start uses the epoch-0 ambient): the RC network
+    actually integrates the time-varying ambient, at no extra solves.  The
+    static baseline is always reported at the nominal ambient with
+    unmodulated load.
     """
 
     def __init__(
@@ -343,17 +347,26 @@ class ThermalExperiment:
             )[0],
         )
 
-        # Start from the settled regime: steady state of the time-averaged
-        # power, so the transient only has to resolve the within-period
+        # Start from the settled regime: steady state of the time-weighted
+        # average power (equal-duration epochs reduce this to the plain mean,
+        # but variable-duration traces need the weighting) at the epoch-0
+        # ambient, so the transient only has to resolve the within-period
         # ripple.  The whole piecewise-constant trace then goes through one
         # transient_sequence call with state carried across epochs — no
-        # per-epoch Python round-trip.
-        state = thermal_model.warm_state(trace.powers.mean(axis=0))
+        # per-epoch Python round-trip; the per-epoch ambient offsets enter as
+        # an affine boundary term, so time-varying ambient is exact here.
+        state = thermal_model.warm_state(
+            trace.average_vector(),
+            ambient_offset_kelvin=(
+                float(self.ambient_offsets[0]) if self.ambient_offsets is not None else 0.0
+            ),
+        )
         result = thermal_model.transient_sequence(
             trace,
             initial_state=state,
             time_step_s=time_step,
             method=self.settings.thermal_method,
+            ambient_offsets_kelvin=self.ambient_offsets,
         )
 
         # Per-epoch metrics come from segment reductions over the
@@ -371,12 +384,6 @@ class ThermalExperiment:
         ends = np.array([stop for _start, stop in result.interval_ranges])
         peak_by_epoch = np.maximum.reduceat(series.max(axis=0), starts)
         final_temps = series[:, ends - 1]
-        if self.ambient_offsets is not None:
-            # Quasi-static scenario ambient: each epoch's reported metrics
-            # are shifted by that epoch's offset (the die follows a slow
-            # ambient drift far faster than the drift itself changes).
-            peak_by_epoch = peak_by_epoch + self.ambient_offsets
-            final_temps = final_temps + self.ambient_offsets[np.newaxis, :]
         epoch_metrics = [
             ThermalMetrics.from_vector(topology, final_temps[:, idx])
             for idx in range(len(trace))

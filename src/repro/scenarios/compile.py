@@ -5,8 +5,10 @@ into concrete arrays: the ``(num_epochs, num_units)`` **load modulation** of
 the controller's power rows, the ``(num_epochs,)`` **ambient offset** and
 **SNR** schedules.  :func:`run_scenario` threads those through
 :class:`repro.core.experiment.ThermalExperiment` — the modulation scales each
-epoch's power row as it is emitted, so steady mode still evaluates the whole
-scenario with **one** multi-RHS solve and transient mode still issues **one**
+epoch's power row as it is emitted, and the ambient schedule is exact in
+*both* modes: steady mode adds the offsets after its one multi-RHS solve
+(a uniform ambient shift moves every steady temperature equally), transient
+mode integrates them as a per-interval affine boundary term inside its one
 ``transient_sequence`` call.  Scenario diversity is nearly free at run time:
 the thermal work per scenario is identical to the plain experiment's.
 
@@ -20,6 +22,7 @@ the workload's nominal iterations-per-block budget.
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -187,8 +190,15 @@ def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
 # ----------------------------------------------------------------------
 #: (parity-matrix digest, quantized SNR) -> (mean iterations, success rate).
 #: Keyed by the code itself, not the configuration name, so custom chip
-#: variants are probed correctly and identical codes share probes.
+#: variants are probed correctly and identical codes share probes.  The cache
+#: is process-wide and ``ScenarioRunner(executor="thread")`` suites probe
+#: concurrently: :data:`_PROBE_CACHE_LOCK` guards the dicts themselves, and a
+#: short-lived per-key lock in :data:`_PROBE_KEY_LOCKS` serializes threads
+#: asking for the *same* (code, SNR) — distinct keys still probe in parallel
+#: (the numpy-heavy decode releases the GIL).
 _PROBE_CACHE: Dict[Tuple[str, float], Tuple[float, float]] = {}
+_PROBE_KEY_LOCKS: Dict[Tuple[str, float], threading.Lock] = {}
+_PROBE_CACHE_LOCK = threading.Lock()
 
 
 def _decode_probe(graph, code_digest: str, snr_q: float) -> Tuple[float, float]:
@@ -196,25 +206,38 @@ def _decode_probe(graph, code_digest: str, snr_q: float) -> Tuple[float, float]:
 
     Decodes :data:`DECODER_PROBE_BLOCKS` random codewords through the sparse
     batched decoder; cached process-wide so drifting schedules and whole
-    scenario suites share probes.
+    scenario suites share probes.  Concurrent threads asking for the same
+    (code, SNR) block on that key's lock and find the cache filled, so a
+    probe batch never runs twice and cache writes never tear; threads
+    probing different keys proceed concurrently.
     """
     key = (code_digest, snr_q)
-    cached = _PROBE_CACHE.get(key)
-    if cached is not None:
-        return cached
-    encoder = LdpcEncoder(graph.H)
-    channel = BpskAwgnChannel(snr_db=snr_q, rate=encoder.rate, seed=97)
-    codewords = [
-        encoder.random_codeword(seed=seed) for seed in range(DECODER_PROBE_BLOCKS)
-    ]
-    llrs = np.stack([channel.transmit_llr(word) for word in codewords])
-    decoder = make_decoder(
-        "min-sum", graph, max_iterations=DECODER_PROBE_MAX_ITERATIONS, backend="sparse"
-    )
-    result = decoder.decode_batch(llrs)
-    outcome = (float(result.iterations.mean()), float(result.success.mean()))
-    _PROBE_CACHE[key] = outcome
-    return outcome
+    with _PROBE_CACHE_LOCK:
+        cached = _PROBE_CACHE.get(key)
+        if cached is not None:
+            return cached
+        key_lock = _PROBE_KEY_LOCKS.setdefault(key, threading.Lock())
+    with key_lock:
+        with _PROBE_CACHE_LOCK:
+            cached = _PROBE_CACHE.get(key)
+        if cached is not None:
+            return cached
+        encoder = LdpcEncoder(graph.H)
+        channel = BpskAwgnChannel(snr_db=snr_q, rate=encoder.rate, seed=97)
+        codewords = [
+            encoder.random_codeword(seed=seed) for seed in range(DECODER_PROBE_BLOCKS)
+        ]
+        llrs = np.stack([channel.transmit_llr(word) for word in codewords])
+        decoder = make_decoder(
+            "min-sum", graph, max_iterations=DECODER_PROBE_MAX_ITERATIONS, backend="sparse"
+        )
+        result = decoder.decode_batch(llrs)
+        outcome = (float(result.iterations.mean()), float(result.success.mean()))
+        with _PROBE_CACHE_LOCK:
+            _PROBE_CACHE[key] = outcome
+            # Late arrivals hit the cache before ever looking the lock up.
+            _PROBE_KEY_LOCKS.pop(key, None)
+        return outcome
 
 
 def decoder_effort(

@@ -1,9 +1,11 @@
 """The built-in named scenarios behind ``python -m repro scenario``.
 
-Nine scenarios spanning the five chip configurations, both experiment modes
+Ten scenarios spanning the five chip configurations, both experiment modes
 and every pattern family.  All of them use feedback-free policies (periodic
 or static), so each compiles to exactly one batched steady solve or one
-``transient_sequence`` call — the property the scenario benchmark guards.
+``transient_sequence`` call — the property the scenario benchmark guards;
+``ambient-swing-transient`` additionally pins the exact time-varying-ambient
+boundary term riding the whole-trace spectral jump.
 
 ``steady-baseline`` is deliberately the degenerate scenario (constant load
 1.0, no ambient or SNR drift): the test suite pins it to the plain
@@ -144,6 +146,29 @@ def _pe_fault_transient() -> ScenarioSpec:
     )
 
 
+def _ambient_swing_transient() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="ambient-swing-transient",
+        configuration="A",
+        scheme="xy-shift",
+        mode="transient",
+        num_epochs=32,
+        settle_epochs=16,
+        # Epochs of 1 ms put the diurnal period (16 epochs) well past the
+        # sink time constant (~1.7 ms), so the die visibly tracks the swing
+        # instead of low-passing it away.
+        period_us=1000.0,
+        thermal_method="spectral",
+        load=ConstantPattern(1.0),
+        ambient_celsius=DiurnalPattern(mean=3.0, amplitude=3.0, period_epochs=16.0)
+        + BurstPattern(base=0.0, peak=5.0, start_epoch=20, length=4),
+        description="Diurnal ambient swing with a 4-epoch +5 C burst, "
+        "integrated exactly: the time-varying ambient enters the "
+        "spectral jump as an affine boundary term, not a "
+        "quasi-static shift",
+    )
+
+
 def _snr_fade() -> ScenarioSpec:
     return ScenarioSpec(
         name="snr-fade",
@@ -169,6 +194,7 @@ _REGISTRY: Dict[str, Callable[[], ScenarioSpec]] = {
     "heatwave-ambient": _heatwave_ambient,
     "hotspot-attack": _hotspot_attack,
     "pe-fault-transient": _pe_fault_transient,
+    "ambient-swing-transient": _ambient_swing_transient,
     "snr-fade": _snr_fade,
 }
 

@@ -16,10 +16,12 @@ The three pattern channels:
     non-negative.
 ``ambient_celsius``
     Per-epoch **offsets** (deg C) of the ambient temperature relative to the
-    package nominal.  The RC network's conduction block conserves energy, so
-    a uniform ambient shift moves every steady temperature by exactly the
-    same amount — the offsets are added to the solved epoch temperatures and
-    the single batched solve is preserved (quasi-static in transient mode).
+    package nominal.  Exact in both modes: in steady mode a uniform ambient
+    shift moves every steady temperature by the same amount (the conduction
+    block conserves energy), so the offsets are added after the one batched
+    solve; in transient mode the ambient forcing is affine, so the offsets
+    ride the single ``transient_sequence`` call as a per-interval boundary
+    term and the RC network integrates the true time-varying ambient.
 ``snr_db``
     Per-epoch channel quality (absolute Eb/N0 in dB) seen by the LDPC
     workload; drives the decoder-effort estimate in the scenario report.

@@ -250,23 +250,30 @@ class GridThermalModel:
         initial_state: Optional[np.ndarray] = None,
         time_step_s: Optional[float] = None,
         method: str = "euler",
+        ambient_offsets_kelvin: Optional[np.ndarray] = None,
     ) -> TransientResult:
         """Grid-resolution transient over a piecewise-constant power trace.
 
         Accepts a :class:`repro.power.trace.PowerTrace` or a list of
         (duration, per-unit dict) pairs, exactly like
-        :meth:`repro.thermal.hotspot.HotSpotModel.transient_sequence`.
+        :meth:`repro.thermal.hotspot.HotSpotModel.transient_sequence`; the
+        per-interval ``ambient_offsets_kelvin`` boundary term is scattered
+        onto the refined network's ambient-coupled nodes by the solver.
         """
         return self.solver.transient_sequence(
             as_solver_intervals(self, intervals, self._cell_power),
             initial_state=initial_state,
             time_step_s=time_step_s,
             method=method,
+            ambient_offsets_kelvin=ambient_offsets_kelvin,
         )
 
-    def warm_state(self, power) -> np.ndarray:
+    def warm_state(self, power, ambient_offset_kelvin: float = 0.0) -> np.ndarray:
         """Steady-state node vector used to start transients already warm."""
-        return self.solver.warm_state(as_solver_power(self, power, self._cell_power))
+        return self.solver.warm_state(
+            as_solver_power(self, power, self._cell_power),
+            ambient_offset_kelvin=ambient_offset_kelvin,
+        )
 
     # ------------------------------------------------------------------
     @property

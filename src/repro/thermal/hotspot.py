@@ -145,27 +145,33 @@ class HotSpotModel:
         initial_state: Optional[np.ndarray] = None,
         time_step_s: Optional[float] = None,
         method: str = "euler",
+        ambient_offsets_kelvin: Optional[np.ndarray] = None,
     ) -> TransientResult:
         """Transient evolution under a piecewise-constant power trace.
 
         ``intervals`` is a :class:`repro.power.trace.PowerTrace` (the
         array-native path: one scatter builds every node power vector) or a
-        list of (duration, per-unit dict) pairs.
+        list of (duration, per-unit dict) pairs.  ``ambient_offsets_kelvin``
+        shifts the ambient boundary per interval (exact time-varying
+        ambient; see :meth:`repro.thermal.solver.ThermalSolver.transient_sequence`).
         """
         return self.solver.transient_sequence(
             as_solver_intervals(self, intervals, self._to_block_power),
             initial_state=initial_state,
             time_step_s=time_step_s,
             method=method,
+            ambient_offsets_kelvin=ambient_offsets_kelvin,
         )
 
-    def warm_state(self, power) -> np.ndarray:
+    def warm_state(self, power, ambient_offset_kelvin: float = 0.0) -> np.ndarray:
         """Steady-state node vector used to start transients already warm.
 
-        Accepts a per-coordinate dict or a row-major per-unit power vector.
+        Accepts a per-coordinate dict or a row-major per-unit power vector;
+        ``ambient_offset_kelvin`` shifts the ambient boundary of the solve.
         """
         return self.solver.warm_state(
-            as_solver_power(self, power, self._to_block_power)
+            as_solver_power(self, power, self._to_block_power),
+            ambient_offset_kelvin=ambient_offset_kelvin,
         )
 
     # ------------------------------------------------------------------

@@ -62,8 +62,14 @@ class ThermalModel(Protocol):
         initial_state=None,
         time_step_s=None,
         method: str = "euler",
+        ambient_offsets_kelvin=None,
     ) -> TransientResult:
         """Integrate a piecewise-constant power trace with carried state.
+
+        ``ambient_offsets_kelvin`` (optional, one entry per interval) shifts
+        the ambient boundary per interval — the affine term
+        ``G_amb * (T_amb + dT_i)`` makes time-varying ambient exact in
+        transient mode, still in one sequenced call.
 
         The returned result MUST populate
         :attr:`repro.thermal.solver.TransientResult.interval_ranges` (one
@@ -76,8 +82,13 @@ class ThermalModel(Protocol):
         """``(num_units, num_samples)`` per-unit series of a transient result."""
         ...
 
-    def warm_state(self, power) -> np.ndarray:
-        """Steady-state node vector used to start transients already warm."""
+    def warm_state(self, power, ambient_offset_kelvin: float = 0.0) -> np.ndarray:
+        """Steady-state node vector used to start transients already warm.
+
+        ``ambient_offset_kelvin`` shifts the ambient boundary so
+        ambient-scheduled transients can warm-start at the first interval's
+        ambient instead of the nominal one.
+        """
         ...
 
     def thermal_time_constant_s(self) -> float:

@@ -10,6 +10,13 @@
   closed form through the generalized eigendecomposition of ``(A, C)`` and
   jumps directly to the sampled instants, replacing the per-step Python loop
   with two matrix multiplies per power interval.
+* Time-varying ambient is exact, not quasi-static: the ambient forcing
+  ``G_amb * T_amb(t)`` is affine in the RHS, so a per-interval offset
+  ``dT_i`` simply turns each interval's constant RHS into
+  ``P_i + G_amb * (T_amb + dT_i)``.  :meth:`ThermalSolver.transient_sequence`
+  accepts the offsets as a ``(num_intervals,)`` array; in the spectral-jump
+  path they only move the per-interval fixed points (already one multi-RHS
+  solve) and the boundary-jump recurrence — zero extra solves.
 
 Temperatures are handled internally in kelvin; the :class:`TemperatureMap`
 results report degrees Celsius, matching the paper's figures.
@@ -212,6 +219,22 @@ class ThermalSolver:
         deviations = (powers * weights[np.newaxis, :]) @ eigenvectors.T
         return fixed_point[np.newaxis, :] + deviations / c_sqrt[np.newaxis, :]
 
+    def _ambient_offsets_of(
+        self, ambient_offsets_kelvin, num_intervals: int
+    ) -> Optional[np.ndarray]:
+        """Validated ``(num_intervals,)`` ambient-offset array (or None)."""
+        if ambient_offsets_kelvin is None:
+            return None
+        offsets = np.asarray(ambient_offsets_kelvin, dtype=float)
+        if offsets.shape != (num_intervals,):
+            raise ValueError(
+                f"ambient_offsets_kelvin must have {num_intervals} entries, "
+                f"got shape {offsets.shape}"
+            )
+        if not np.all(np.isfinite(offsets)):
+            raise ValueError("ambient offsets must be finite")
+        return offsets
+
     # ------------------------------------------------------------------
     def _power_vector_of(self, block_power_w) -> np.ndarray:
         """Node-space power vector from a per-block dict or a node vector."""
@@ -267,6 +290,7 @@ class ThermalSolver:
         time_step_s: Optional[float] = None,
         record_every: int = 1,
         method: str = "euler",
+        ambient_offset_kelvin: float = 0.0,
     ) -> TransientResult:
         """Integrate the network under constant power for ``duration_s``.
 
@@ -288,6 +312,11 @@ class ThermalSolver:
             evaluates the same recurrence through the eigenbasis, jumping
             straight to the recorded instants (identical trajectory up to
             floating-point roundoff, no per-step loop).
+        ambient_offset_kelvin:
+            Shift of the ambient boundary temperature for this interval; the
+            forcing is affine, so the RHS gains ``G_amb * offset`` and the
+            trajectory is exactly the one a network rebuilt at the shifted
+            ambient would produce.
         """
         self.transient_count += 1
         return self._transient(
@@ -297,6 +326,7 @@ class ThermalSolver:
             time_step_s=time_step_s,
             record_every=record_every,
             method=method,
+            ambient_offset_kelvin=ambient_offset_kelvin,
         )
 
     def _transient(
@@ -307,6 +337,7 @@ class ThermalSolver:
         time_step_s: Optional[float] = None,
         record_every: int = 1,
         method: str = "euler",
+        ambient_offset_kelvin: float = 0.0,
     ) -> TransientResult:
         if duration_s <= 0:
             raise ValueError("duration must be positive")
@@ -317,6 +348,8 @@ class ThermalSolver:
         network = self.network
         power = self._power_vector_of(block_power_w)
         rhs_const = power + self._boundary
+        if ambient_offset_kelvin:
+            rhs_const = rhs_const + ambient_offset_kelvin * network.ambient_conductance
 
         if initial_state is None:
             state = np.full(network.num_nodes, network.ambient_kelvin, dtype=float)
@@ -374,6 +407,7 @@ class ThermalSolver:
         time_step_s: Optional[float] = None,
         record_every: int = 1,
         method: str = "euler",
+        ambient_offsets_kelvin=None,
     ) -> TransientResult:
         """Integrate a piecewise-constant power trace.
 
@@ -386,23 +420,39 @@ class ThermalSolver:
         records each interval's sample-row range so per-interval metrics can
         be reduced from the concatenated series without re-integrating.
 
+        ``ambient_offsets_kelvin`` (optional, one entry per interval) shifts
+        the ambient boundary temperature per interval: interval ``i`` is
+        integrated against the RHS ``P_i + G_amb * (T_amb + dT_i)``, exactly
+        the trajectory a network rebuilt at the shifted ambient would produce
+        — time-varying ambient is exact, not quasi-static.  When no initial
+        state is given, the cold start equilibrates at the *first* interval's
+        ambient (``A @ 1 = G_amb``, so that state is uniform).
+
         With ``method="spectral"`` and every interval resolving to the same
         time step (the migration-epoch case: equal durations, one dt), the
         whole trace is evaluated through **one** eigenbasis transform: the
         per-interval weight projections collapse into a propagation of the
         modal coordinates across interval boundaries plus a single matrix
         multiply over all sampled instants — identical trajectory to the
-        per-interval path up to floating-point roundoff.
+        per-interval path up to floating-point roundoff.  Ambient offsets
+        ride that path for free: they only move the per-interval fixed points
+        (already one multi-RHS solve) and the boundary-jump recurrence.
         """
         if not intervals:
             raise ValueError("at least one interval is required")
         self.transient_sequence_count += 1
+        offsets = self._ambient_offsets_of(ambient_offsets_kelvin, len(intervals))
+        if offsets is not None and initial_state is None:
+            initial_state = np.full(
+                self.network.num_nodes, self.network.ambient_kelvin + offsets[0]
+            )
         if method == "spectral":
             jumped = self._spectral_sequence_jump(
                 intervals,
                 initial_state=initial_state,
                 time_step_s=time_step_s,
                 record_every=record_every,
+                ambient_offsets=offsets,
             )
             if jumped is not None:
                 return jumped
@@ -414,7 +464,7 @@ class ThermalSolver:
         offset = 0.0
         row_offset = 0
         ranges: List[Tuple[int, int]] = []
-        for duration, power in intervals:
+        for index, (duration, power) in enumerate(intervals):
             result = self._transient(
                 power,
                 duration,
@@ -422,10 +472,15 @@ class ThermalSolver:
                 time_step_s=time_step_s,
                 record_every=record_every,
                 method=method,
+                ambient_offset_kelvin=float(offsets[index]) if offsets is not None else 0.0,
             )
             state = result.final_state_kelvin
             all_times.append(result.times_s + offset)
-            offset += duration
+            # Advance by the integrated span (steps * dt), not the nominal
+            # duration: when the duration is not an integer multiple of the
+            # step the two differ, and stamping the next interval's origin at
+            # the nominal duration would let sample times overlap it.
+            offset += result.times_s[-1]
             num_rows = result.times_s.size
             ranges.append((row_offset, row_offset + num_rows))
             row_offset += num_rows
@@ -447,6 +502,7 @@ class ThermalSolver:
         initial_state: Optional[np.ndarray],
         time_step_s: Optional[float],
         record_every: int,
+        ambient_offsets: Optional[np.ndarray] = None,
     ) -> Optional[TransientResult]:
         """Whole-trace spectral evaluation when every interval shares one dt.
 
@@ -462,12 +518,15 @@ class ThermalSolver:
         multi-RHS solve yields every fixed point, one short recurrence
         propagates the modal state across interval boundaries, and one matrix
         multiply evaluates every recorded instant of every interval.
+
+        Per-interval ambient offsets are affine in the RHS, so they fold into
+        the fixed points (``T*_i`` solves ``P_i + G_amb (T_amb + dT_i)``) and
+        flow through the same recurrence — no extra solves.
         """
         if record_every < 1:
             raise ValueError("record_every must be at least 1")
         network = self.network
 
-        durations = []
         steps_list = []
         recorded_list = []
         shared_dt: Optional[float] = None
@@ -484,7 +543,6 @@ class ThermalSolver:
             recorded = np.arange(record_every - 1, steps, record_every, dtype=np.int64)
             if recorded.size == 0 or recorded[-1] != steps - 1:
                 recorded = np.append(recorded, steps - 1)
-            durations.append(duration)
             steps_list.append(steps)
             recorded_list.append(recorded)
         assert shared_dt is not None
@@ -492,6 +550,10 @@ class ThermalSolver:
 
         powers = np.vstack([self._power_vector_of(power) for _dur, power in intervals])
         rhs = powers + self._boundary[np.newaxis, :]
+        if ambient_offsets is not None:
+            # The affine ambient boundary term: each interval's RHS becomes
+            # P_i + G_amb (T_amb + dT_i).  Same single multi-RHS solve.
+            rhs = rhs + ambient_offsets[:, np.newaxis] * network.ambient_conductance[np.newaxis, :]
         fixed_points = lu_solve(self._A_factor, rhs.T).T  # (num_intervals, n)
 
         if initial_state is None:
@@ -559,7 +621,10 @@ class ThermalSolver:
                 ([0.0], (recorded_list[index] + 1) * shared_dt)
             )
             all_times.append(times + offset)
-            offset += durations[index]
+            # Match the per-interval path: the next interval starts where the
+            # integrated samples end (steps * dt), not at the nominal
+            # duration, so sample times never overlap the next origin.
+            offset += steps_list[index] * shared_dt
             ranges.append((row, row + counts[index] + 1))
             row += counts[index] + 1
             sample_row += counts[index]
@@ -576,15 +641,19 @@ class ThermalSolver:
         )
 
     # ------------------------------------------------------------------
-    def warm_state(self, block_power_w) -> np.ndarray:
+    def warm_state(self, block_power_w, ambient_offset_kelvin: float = 0.0) -> np.ndarray:
         """Node state (kelvin) corresponding to steady state under a power map.
 
         Useful as the initial condition of transient runs so experiments do
         not spend simulated seconds heating a cold chip.  Accepts a per-block
-        dict or a node-space power vector.
+        dict or a node-space power vector; ``ambient_offset_kelvin`` shifts
+        the ambient boundary (e.g. to warm-start an ambient-scheduled
+        transient at the first interval's ambient).
         """
         power = self._power_vector_of(block_power_w)
         rhs = power + self._boundary
+        if ambient_offset_kelvin:
+            rhs = rhs + ambient_offset_kelvin * self.network.ambient_conductance
         self.steady_solve_count += 1
         return lu_solve(self._A_factor, rhs)
 

@@ -1,5 +1,7 @@
 """Tests for the parallel experiment runner and its n_jobs wiring."""
 
+import threading
+import time
 from functools import partial
 
 import pytest
@@ -108,6 +110,49 @@ class TestPersistentPools:
         shutdown_executors()
         shutdown_executors()
         assert _POOLS == {}
+
+    def test_failure_drains_in_flight_siblings(self):
+        """A raising task must not leave siblings running in the shared pool.
+
+        The pool is persistent: if the failure propagated while a sibling was
+        still executing, that sibling would keep running and interleave with
+        the next caller's work.  The failure path cancels pending futures and
+        drains running ones before re-raising, so by the time the caller sees
+        the exception nothing of this call is in flight — and the tasks the
+        window never submitted must not run afterwards either.
+        """
+        shutdown_executors()
+        sibling_started = threading.Event()
+        finished = []
+
+        def slow(idx):
+            sibling_started.set()
+            time.sleep(0.25)
+            finished.append(idx)
+            return idx
+
+        def fail_once_sibling_runs():
+            # Guarantee the sibling is mid-execution when the failure
+            # surfaces, so the drain (not just the cancel) is exercised.
+            assert sibling_started.wait(timeout=5)
+            raise RuntimeError("worker failure")
+
+        tasks = [
+            fail_once_sibling_runs,
+            partial(slow, 0),
+            partial(slow, 1),
+            partial(slow, 2),
+        ]
+        with pytest.raises(RuntimeError, match="worker failure"):
+            run_parallel(tasks, n_jobs=2, executor="thread")
+        # The sibling submitted alongside the failing task (window of 2) was
+        # drained before the raise; the unsubmitted tail never entered the
+        # pool.
+        drained = list(finished)
+        assert drained == [0]
+        time.sleep(0.4)
+        assert finished == drained
+        shutdown_executors()
 
     def test_pool_usable_after_task_exception(self):
         shutdown_executors()

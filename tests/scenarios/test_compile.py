@@ -7,6 +7,7 @@ experiments, not a parallel implementation.
 """
 
 import dataclasses
+import threading
 
 import numpy as np
 import pytest
@@ -285,6 +286,46 @@ class TestDecoderEffort:
         assert result.decoder.mean_iterations > 0
         row = result.to_row()
         assert isinstance(row["decoder_throughput_x"], float)
+
+    def test_concurrent_probes_share_one_decode(self, monkeypatch):
+        """Threads probing the same (code, SNR) must run ONE decode batch.
+
+        The probe cache is process-wide and ``ScenarioRunner(executor=
+        "thread")`` suites probe concurrently; without the lock, threads that
+        miss simultaneously each run the probe batch and write the cache over
+        one another.  Four threads released together must produce exactly one
+        ``make_decoder`` call.
+        """
+        from repro.scenarios import compile as compile_module
+
+        compile_module._PROBE_CACHE.clear()
+        decode_calls = []
+        real_make_decoder = compile_module.make_decoder
+
+        def counting_make_decoder(*args, **kwargs):
+            decode_calls.append(threading.get_ident())
+            return real_make_decoder(*args, **kwargs)
+
+        monkeypatch.setattr(compile_module, "make_decoder", counting_make_decoder)
+
+        chip = get_configuration("A")
+        barrier = threading.Barrier(4)
+        errors = []
+
+        def probe():
+            try:
+                barrier.wait(timeout=10)
+                decoder_effort(chip, np.full(4, 2.0))
+            except BaseException as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=probe) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert len(decode_calls) == 1
 
 
 class TestSingleSolveGuarantee:
