@@ -233,18 +233,28 @@ class ScenarioComparison:
 def compare_scenarios(
     specs: Optional[Sequence[ScenarioSpec]] = None,
     n_jobs: Optional[int] = None,
-    executor: str = "process",
+    executor: str = "thread",
+    feedback_stride: Optional[int] = None,
+    feedback_predictor: Optional[str] = None,
 ) -> ScenarioComparison:
     """Run a scenario suite (default: the whole registry) and collect rows.
 
     The suite fans out across the persistent worker pools when ``n_jobs``
-    asks for parallelism; results keep suite order either way.
+    asks for parallelism (GIL-releasing thread workers by default — see
+    :class:`repro.analysis.runner.ScenarioRunner`); results keep suite
+    order either way.  ``feedback_stride`` / ``feedback_predictor``
+    override every spec's feedback refresh settings for the whole suite.
     """
     from .runner import ScenarioRunner
 
     if specs is None:
         specs = all_scenarios()
-    runner = ScenarioRunner(n_jobs=n_jobs, executor=executor)
+    runner = ScenarioRunner(
+        n_jobs=n_jobs,
+        executor=executor,
+        feedback_stride=feedback_stride,
+        feedback_predictor=feedback_predictor,
+    )
     return ScenarioComparison(results=runner.run(list(specs)))
 
 

@@ -29,6 +29,7 @@ The serial default on 1-CPU hosts is unchanged — parallelism stays opt-in.
 from __future__ import annotations
 
 import atexit
+import dataclasses
 import os
 import threading
 from concurrent.futures import (
@@ -247,23 +248,49 @@ class ScenarioRunner:
     """Fans a scenario suite across the persistent worker pools.
 
     Each task compiles and runs one :class:`repro.scenarios.spec.ScenarioSpec`
-    end to end (specs are small frozen dataclasses, so they pickle cheaply to
-    process workers; each worker's configuration cache keeps the chip builds
-    amortised across the suite).  Results come back in suite order.
+    end to end.  Results come back in suite order.
+
+    The default executor is the **thread** pool: the scenario hot paths are
+    multi-RHS LAPACK solves and batched decodes that release the GIL, thread
+    workers share the process-wide decoder-probe and chip-configuration
+    caches instead of rebuilding them per worker, and nothing is pickled.
+    The honest BENCH_perf.json record showed process fan-out losing to
+    serial on small suites even with persistent pools (spawn is amortised,
+    pickling is not); pass ``executor="process"`` to opt back in for suites
+    whose per-task Python overhead dominates.
+
+    ``feedback_stride`` / ``feedback_predictor`` override the corresponding
+    spec fields for the whole suite (e.g. the CLI's ``--feedback-stride``),
+    so one suite can be re-run at several feedback refresh rates without
+    editing specs; ``None`` leaves each spec as authored.
     """
 
     def __init__(
         self,
         n_jobs: Optional[int] = None,
-        executor: str = "process",
+        executor: str = "thread",
         reuse_pool: bool = True,
+        feedback_stride: Optional[int] = None,
+        feedback_predictor: Optional[str] = None,
     ):
         self.n_jobs = n_jobs
         self.executor = executor
         self.reuse_pool = reuse_pool
+        self.feedback_stride = feedback_stride
+        self.feedback_predictor = feedback_predictor
+
+    def _apply_overrides(self, spec: ScenarioSpec) -> ScenarioSpec:
+        overrides: Dict[str, object] = {}
+        if self.feedback_stride is not None:
+            overrides["feedback_stride"] = self.feedback_stride
+        if self.feedback_predictor is not None:
+            overrides["feedback_predictor"] = self.feedback_predictor
+        if not overrides:
+            return spec
+        return dataclasses.replace(spec, **overrides)
 
     def run(self, specs: Sequence[ScenarioSpec]) -> List[ScenarioResult]:
-        tasks = [partial(run_scenario, spec) for spec in specs]
+        tasks = [partial(run_scenario, self._apply_overrides(spec)) for spec in specs]
         return run_parallel(
             tasks,
             n_jobs=self.n_jobs,

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import csv
+import dataclasses
 import io
 import sys
 from pathlib import Path
@@ -108,6 +109,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         settle_epochs=args.epochs - 1,
         include_migration_energy=not args.no_migration_energy,
         thermal_method=args.thermal_method,
+        feedback_stride=args.feedback_stride,
+        feedback_predictor=args.feedback_predictor,
     )
     thermal_model = None
     if args.grid is not None:
@@ -222,10 +225,16 @@ def cmd_scenario_list(args: argparse.Namespace) -> int:
 
 def _load_scenario(args: argparse.Namespace) -> ScenarioSpec:
     if args.spec is not None:
-        return ScenarioSpec.from_json(Path(args.spec).read_text())
-    if args.name is None:
+        spec = ScenarioSpec.from_json(Path(args.spec).read_text())
+    elif args.name is None:
         raise SystemExit("scenario run needs a NAME or --spec FILE")
-    return get_scenario(args.name)
+    else:
+        spec = get_scenario(args.name)
+    if args.feedback_stride is not None:
+        spec = dataclasses.replace(spec, feedback_stride=args.feedback_stride)
+    if args.feedback_predictor is not None:
+        spec = dataclasses.replace(spec, feedback_predictor=args.feedback_predictor)
+    return spec
 
 
 def cmd_scenario_run(args: argparse.Namespace) -> int:
@@ -279,7 +288,12 @@ def cmd_scenario_compare(args: argparse.Namespace) -> int:
     specs = None
     if args.names:
         specs = [get_scenario(name) for name in args.names]
-    comparison = compare_scenarios(specs, n_jobs=args.n_jobs)
+    comparison = compare_scenarios(
+        specs,
+        n_jobs=args.n_jobs,
+        feedback_stride=args.feedback_stride,
+        feedback_predictor=args.feedback_predictor,
+    )
     if args.csv:
         _print_rows(comparison.to_rows(), True)
     else:
@@ -342,6 +356,15 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--grid", type=int, default=None, metavar="N",
                      help="use the grid thermal model at NxN cells per unit "
                           "(default: block-level model)")
+    sub.add_argument("--feedback-stride", type=int, default=1, metavar="K",
+                     help="refresh feedback temperatures every K epochs with "
+                          "one batched solve (threshold/adaptive schemes; "
+                          "K=1 matches the per-epoch trajectory exactly)")
+    sub.add_argument("--feedback-predictor", choices=("hold", "previous"),
+                     default="hold",
+                     help="what feedback policies see between refreshes: "
+                          "hold the last solved temperatures, or reuse the "
+                          "previous batch row-for-row")
     sub.set_defaults(func=cmd_experiment)
 
     sub = subparsers.add_parser("sweep", help="migration period sweep")
@@ -374,6 +397,11 @@ def build_parser() -> argparse.ArgumentParser:
     scen.add_argument("--spec", help="JSON scenario spec file instead of a name")
     scen.add_argument("--show-spec", action="store_true",
                       help="print the scenario's JSON spec instead of running it")
+    scen.add_argument("--feedback-stride", type=int, default=None, metavar="K",
+                      help="override the spec's feedback refresh stride")
+    scen.add_argument("--feedback-predictor", choices=("hold", "previous"),
+                      default=None,
+                      help="override the spec's between-refresh predictor")
     scen.set_defaults(func=cmd_scenario_run)
 
     scen = scenario_subparsers.add_parser(
@@ -382,6 +410,11 @@ def build_parser() -> argparse.ArgumentParser:
     scen.add_argument("names", nargs="*",
                       help="scenario names (default: the whole registry)")
     add_jobs(scen)
+    scen.add_argument("--feedback-stride", type=int, default=None, metavar="K",
+                      help="override every spec's feedback refresh stride")
+    scen.add_argument("--feedback-predictor", choices=("hold", "previous"),
+                      default=None,
+                      help="override every spec's between-refresh predictor")
     scen.set_defaults(func=cmd_scenario_compare)
 
     sub = subparsers.add_parser(

@@ -8,7 +8,7 @@ from .dtm import (
     StopGoThrottling,
     compare_with_migration,
 )
-from .experiment import ExperimentSettings, ThermalExperiment
+from .experiment import ExperimentSettings, FeedbackPlan, ThermalExperiment
 from .metrics import (
     EpochRecord,
     ExperimentResult,
@@ -34,6 +34,7 @@ __all__ = [
     "StopGoThrottling",
     "compare_with_migration",
     "ExperimentSettings",
+    "FeedbackPlan",
     "ThermalExperiment",
     "EpochRecord",
     "ExperimentResult",

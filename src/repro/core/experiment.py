@@ -19,8 +19,12 @@ coordinate index), steady mode evaluates the baseline, every epoch and the
 settled-regime average with **one** multi-RHS solve against the cached
 factorisation, and transient mode routes the whole piecewise-constant trace
 through **one** ``transient_sequence`` call with thermal state carried across
-epochs.  Dict views survive only at the edges (policy contexts and the
-per-epoch records).  Any :class:`repro.thermal.model.ThermalModel` — the
+epochs.  Dict views survive only at the edges (lazily-built policy-context
+views and the per-epoch records).  Policies that declare
+``requires_thermal_feedback`` (threshold/adaptive) get their temperature
+estimates from a :class:`FeedbackPlan`: one multi-RHS steady batch per
+``feedback_stride`` epochs instead of a dict-round-tripped solve per epoch.
+Any :class:`repro.thermal.model.ThermalModel` — the
 block-level :class:`repro.thermal.hotspot.HotSpotModel` or the refined
 :class:`repro.thermal.grid.GridThermalModel` — can drive the experiment.
 """
@@ -34,11 +38,11 @@ import numpy as np
 
 from ..chips.configurations import ChipConfiguration
 from ..migration.unit import MigrationCost, MigrationUnit
-from ..power.trace import PowerTrace, vector_to_map
+from ..power.trace import PowerTrace
 from ..thermal.model import ThermalModel
 from .controller import RuntimeReconfigurationController
 from .metrics import EpochRecord, ExperimentResult, PerformanceMetrics, ThermalMetrics
-from .policy import NoMigrationPolicy, PolicyContext, ReconfigurationPolicy
+from .policy import PolicyContext, ReconfigurationPolicy
 
 
 @dataclass
@@ -63,6 +67,21 @@ class ExperimentSettings:
     #: Transient integration method: "euler" steps the cached factorisation,
     #: "spectral" jumps to the sampled instants through the eigenbasis.
     thermal_method: str = "euler"
+    #: Feedback refresh stride *k*: policies that require thermal feedback
+    #: see temperatures re-evaluated every ``k`` epochs with one multi-RHS
+    #: batch per refresh (``ceil(num_epochs / k)`` steady solves in total,
+    #: the epoch-0 probe included).  ``k=1`` reproduces the per-epoch
+    #: feedback trajectory exactly; larger strides trade feedback freshness
+    #: for solve count (see :class:`FeedbackPlan`).
+    feedback_stride: int = 1
+    #: What feedback policies see *between* refreshes (zero solves either
+    #: way): "hold" repeats the most recently solved temperatures, "previous"
+    #: answers epoch ``i``'s decision (which wants the temperatures of power
+    #: row ``i-1``) with the solved row of epoch ``i - 1 -
+    #: feedback_stride`` — the same orbit phase, one chunk earlier (exact
+    #: for orbit-periodic workloads when the stride is a multiple of the
+    #: transform orbit).
+    feedback_predictor: str = "hold"
 
     def __post_init__(self) -> None:
         if self.num_epochs < 1:
@@ -77,12 +96,149 @@ class ExperimentSettings:
             raise ValueError("transient_steps_per_epoch must be at least 1")
         if self.thermal_method not in ("euler", "spectral"):
             raise ValueError("thermal_method must be 'euler' or 'spectral'")
+        if self.feedback_stride < 1:
+            raise ValueError("feedback_stride must be at least 1")
+        if self.feedback_predictor not in ("hold", "previous"):
+            raise ValueError("feedback_predictor must be 'hold' or 'previous'")
 
     def settled_count(self, available_epochs: int) -> int:
         """Number of final epochs that form the settled regime."""
         if self.settle_epochs is not None:
             return min(self.settle_epochs, available_epochs)
         return max(1, int(available_epochs * self.settle_fraction))
+
+
+class FeedbackPlan:
+    """Chunked thermal feedback for threshold/adaptive policies.
+
+    Feedback policies read the predicted steady temperature of the previous
+    epoch's power map.  The seed path solved one dict-round-tripped steady
+    state per epoch *plus* a standalone probe of the static pre-experiment
+    power — the last per-epoch thermal work left in the pipeline.  The plan
+    replaces it with a chunked, vector-native evaluation:
+
+    * power rows are queued as the controller emits them
+      (:meth:`observe`);
+    * at every ``stride``-th epoch boundary the queue is flushed through
+      **one** multi-RHS :meth:`ThermalModel.steady_temperatures` batch
+      against the model's cached factorisation (:meth:`thermal_for`), the
+      per-epoch ambient offsets added to the solved rows — the epoch-0
+      probe of the static power is just the first batch's row, not a
+      standalone dict-path solve;
+    * between refreshes the policy sees a **zero-solve** stand-in: the
+      "hold" predictor repeats the newest solved row, the "previous"
+      predictor reuses the previous batch's temperatures row-for-row (the
+      decision at epoch ``i`` wants ``T(P[i-1])`` and gets the solved row
+      of epoch ``i - 1 - stride`` — the same orbit phase, one chunk
+      earlier; exact for orbit-periodic traces when the stride is a
+      multiple of the transform orbit).
+
+    A run of ``E`` epochs performs exactly ``ceil(E / stride)`` steady
+    solves here; with ``stride=1`` every decision sees exactly what the
+    seed per-epoch path produced (to solver precision), because each
+    refresh then solves precisely the one previous-epoch row.
+    """
+
+    #: Queue tag for the pre-experiment static power (the epoch-0 probe);
+    #: it reads the epoch-0 ambient offset, like the seed probe did.
+    PROBE = -1
+
+    def __init__(
+        self,
+        thermal_model: ThermalModel,
+        topology,
+        stride: int,
+        ambient_offsets: Optional[np.ndarray] = None,
+        predictor: str = "hold",
+    ):
+        if stride < 1:
+            raise ValueError("feedback stride must be at least 1")
+        if predictor not in ("hold", "previous"):
+            raise ValueError("feedback predictor must be 'hold' or 'previous'")
+        self.thermal_model = thermal_model
+        self.topology = topology
+        self.stride = stride
+        self.predictor = predictor
+        self.ambient_offsets = ambient_offsets
+        #: Number of multi-RHS feedback batches solved so far.
+        self.batch_solves = 0
+        #: Total power rows evaluated across those batches.
+        self.rows_solved = 0
+        #: Decisions served from a predictor instead of a fresh solve.
+        self.predictions_served = 0
+        self._pending_rows: List[np.ndarray] = []
+        self._pending_epochs: List[int] = []
+        #: epoch tag -> solved per-unit Celsius row (offsets applied), for
+        #: the most recent batch; metrics are built lazily per consumed row.
+        self._solved: dict = {}
+        self._last_epoch: Optional[int] = None
+        self._metrics: dict = {}
+
+    # ------------------------------------------------------------------
+    def prime(self, static_power: np.ndarray) -> None:
+        """Queue the pre-experiment static power as the epoch-0 probe row."""
+        self._pending_rows.append(np.asarray(static_power, dtype=float))
+        self._pending_epochs.append(self.PROBE)
+
+    def observe(self, epoch_index: int, power_row: np.ndarray) -> None:
+        """Queue one emitted epoch power row for the next refresh."""
+        self._pending_rows.append(power_row)
+        self._pending_epochs.append(epoch_index)
+
+    # ------------------------------------------------------------------
+    def _offset_for(self, epoch_tag: int) -> float:
+        if self.ambient_offsets is None:
+            return 0.0
+        index = 0 if epoch_tag == self.PROBE else epoch_tag
+        return float(self.ambient_offsets[index])
+
+    def _refresh(self) -> None:
+        """Evaluate every queued row with one multi-RHS steady batch."""
+        if not self._pending_rows:
+            return
+        batch = np.vstack(self._pending_rows)
+        temperatures = self.thermal_model.steady_temperatures(batch)
+        self.batch_solves += 1
+        self.rows_solved += len(self._pending_rows)
+        self._solved = {}
+        for row, epoch_tag in enumerate(self._pending_epochs):
+            self._solved[epoch_tag] = temperatures[row] + self._offset_for(epoch_tag)
+        self._last_epoch = self._pending_epochs[-1]
+        self._metrics = {}
+        self._pending_rows = []
+        self._pending_epochs = []
+
+    def _metrics_for(self, epoch_tag: int) -> ThermalMetrics:
+        metrics = self._metrics.get(epoch_tag)
+        if metrics is None:
+            metrics = ThermalMetrics.from_vector(self.topology, self._solved[epoch_tag])
+            self._metrics[epoch_tag] = metrics
+        return metrics
+
+    def thermal_for(self, epoch_index: int) -> ThermalMetrics:
+        """Feedback temperatures for the decision at ``epoch_index``.
+
+        Refreshes (one batched solve over all rows queued since the last
+        refresh) on every ``stride``-th epoch; between refreshes the
+        configured predictor answers at zero solves.
+        """
+        if epoch_index % self.stride == 0:
+            self._refresh()
+        else:
+            self.predictions_served += 1
+            if self.predictor == "previous":
+                # The decision at epoch i wants T(P[i-1]); the newest batch
+                # holds the solved row of epoch i-1-stride — the same orbit
+                # phase, one chunk earlier.
+                proxy = epoch_index - 1 - self.stride
+                if proxy in self._solved:
+                    return self._metrics_for(proxy)
+        if self._last_epoch is None:
+            raise RuntimeError(
+                "FeedbackPlan.thermal_for called before any row was queued; "
+                "prime() the plan with the static power first"
+            )
+        return self._metrics_for(self._last_epoch)
 
 
 class ThermalExperiment:
@@ -152,6 +308,9 @@ class ThermalExperiment:
             if not np.all(np.isfinite(offsets)):
                 raise ValueError("ambient offsets must be finite")
             self.ambient_offsets = offsets
+        #: The chunked feedback evaluator of the most recent run (None for
+        #: feedback-free policies); exposes batch/row counters for tests.
+        self.feedback_plan: Optional[FeedbackPlan] = None
 
     # ------------------------------------------------------------------
     def run(self) -> ExperimentResult:
@@ -172,46 +331,44 @@ class ThermalExperiment:
 
         Returns the trace (one row per epoch) plus the per-epoch migration
         cost and transform name.  ``thermal_feedback`` controls whether the
-        policy sees the predicted steady-state temperature of the previous
-        epoch's power map (needed by threshold/adaptive policies, and
-        necessarily a per-epoch solve); the periodic policies ignore it.
+        policy sees predicted steady-state temperatures; when it does, a
+        :class:`FeedbackPlan` evaluates them in chunks of
+        ``settings.feedback_stride`` epochs — one multi-RHS batch per chunk
+        against the cached factorisation, with the epoch-0 probe folded into
+        the first batch.  The loop itself is dict-free: policies receive the
+        previous power row as a vector (the dict view is built lazily only
+        if a policy reads it).
         """
         configuration = self.configuration
         controller = self.controller
         period_s = self.policy.period_us * 1e-6
-        thermal_model = self.thermal_model
         topology = configuration.topology
 
         trace = PowerTrace(topology)
         costs: List[Optional[MigrationCost]] = []
         names: List[Optional[str]] = []
-        previous_thermal: Optional[ThermalMetrics] = None
         previous_power = controller.static_power_vector()
 
-        def feedback_metrics(power: np.ndarray, epoch_index: int) -> ThermalMetrics:
-            # Feedback policies must see the scenario's ambient too: a
-            # uniform ambient shift moves every steady temperature by the
-            # same amount, so the epoch's offset is added to the solved map
-            # before the policy reads it.
-            temps = thermal_model.steady_state_by_coord(vector_to_map(topology, power))
-            if self.ambient_offsets is not None:
-                offset = float(self.ambient_offsets[epoch_index])
-                temps = {coord: value + offset for coord, value in temps.items()}
-            return ThermalMetrics.from_map(temps)
+        plan: Optional[FeedbackPlan] = None
+        if thermal_feedback:
+            plan = FeedbackPlan(
+                self.thermal_model,
+                topology,
+                stride=self.settings.feedback_stride,
+                ambient_offsets=self.ambient_offsets,
+                predictor=self.settings.feedback_predictor,
+            )
+            plan.prime(previous_power)
+        self.feedback_plan = plan
 
         for epoch_index in range(self.settings.num_epochs):
-            if thermal_feedback and previous_thermal is None:
-                previous_thermal = feedback_metrics(previous_power, epoch_index)
-            # Only feedback policies read the power map; skip the dict view
-            # for the periodic/static policies so the batched loop stays
-            # dict-free per epoch.
             context = PolicyContext(
                 epoch_index=epoch_index,
-                current_thermal=previous_thermal,
-                current_power_map=(
-                    vector_to_map(topology, previous_power) if thermal_feedback else {}
+                current_thermal=(
+                    plan.thermal_for(epoch_index) if plan is not None else None
                 ),
                 topology=topology,
+                current_power_vector=previous_power if thermal_feedback else None,
             )
             transform = self.policy.decide(context)
             cost: Optional[MigrationCost] = None
@@ -229,20 +386,20 @@ class ThermalExperiment:
             costs.append(cost)
             names.append(name)
 
-            if thermal_feedback:
-                previous_thermal = feedback_metrics(power, epoch_index)
+            if plan is not None:
+                plan.observe(epoch_index, power)
             previous_power = power
             controller.advance_epoch()
         return trace, costs, names
 
     def _needs_thermal_feedback(self) -> bool:
-        """Only stateful policies need per-epoch temperature estimates."""
-        return not isinstance(self.policy, NoMigrationPolicy) and not self._is_periodic()
+        """Whether the policy declared it reads feedback temperatures.
 
-    def _is_periodic(self) -> bool:
-        from .policy import PeriodicMigrationPolicy
-
-        return isinstance(self.policy, (PeriodicMigrationPolicy, NoMigrationPolicy))
+        Policies opt in via :attr:`ReconfigurationPolicy.
+        requires_thermal_feedback`; custom policies no longer inherit the
+        feedback path silently from an isinstance check.
+        """
+        return bool(getattr(self.policy, "requires_thermal_feedback", False))
 
     # ------------------------------------------------------------------
     def _performance(self, period_cycles: int) -> PerformanceMetrics:

@@ -10,8 +10,9 @@ which are exercised by the extension benchmarks and examples.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from ..migration.transforms import (
     FIGURE1_SCHEMES,
@@ -19,17 +20,66 @@ from ..migration.transforms import (
     make_transform,
 )
 from ..noc.topology import Coordinate, MeshTopology
+from ..power.trace import vector_to_map
 from .metrics import ThermalMetrics
 
 
-@dataclass
 class PolicyContext:
-    """Information a policy may use when deciding whether to migrate."""
+    """Information a policy may use when deciding whether to migrate.
 
-    epoch_index: int
-    current_thermal: Optional[ThermalMetrics]
-    current_power_map: Dict[Coordinate, float]
-    topology: MeshTopology
+    The context is vector-native: the experiment driver hands policies the
+    previous epoch's power as a row-major ``current_power_vector`` and never
+    builds a dict per epoch.  :attr:`current_power_map` remains available as
+    a **lazily built** dict view — the conversion runs only if a policy
+    actually reads it, so policies that work on the vector (or ignore power
+    entirely) keep ``vector_to_map`` out of the epoch loop.  Constructing a
+    context with an explicit ``current_power_map`` dict still works for
+    hand-written tests and external callers.
+    """
+
+    def __init__(
+        self,
+        epoch_index: int,
+        current_thermal: Optional[ThermalMetrics],
+        current_power_map: Optional[Dict[Coordinate, float]] = None,
+        topology: Optional[MeshTopology] = None,
+        current_power_vector: Optional[np.ndarray] = None,
+    ):
+        if topology is None:
+            raise TypeError("PolicyContext requires a topology")
+        self.epoch_index = epoch_index
+        self.current_thermal = current_thermal
+        self.topology = topology
+        self.current_power_vector = current_power_vector
+        self._power_map: Optional[Dict[Coordinate, float]] = (
+            dict(current_power_map) if current_power_map is not None else None
+        )
+
+    @property
+    def current_power_map(self) -> Dict[Coordinate, float]:
+        """Dict view of the previous epoch's power (built on first access)."""
+        if self._power_map is None:
+            if self.current_power_vector is None:
+                self._power_map = {}
+            else:
+                self._power_map = vector_to_map(
+                    self.topology, self.current_power_vector
+                )
+        return self._power_map
+
+    @property
+    def has_power(self) -> bool:
+        """Whether any power information is attached (vector or dict)."""
+        if self.current_power_vector is not None:
+            return self.current_power_vector.size > 0
+        return bool(self._power_map)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PolicyContext(epoch_index={self.epoch_index}, "
+            f"current_thermal={self.current_thermal is not None}, "
+            f"has_power={self.has_power})"
+        )
 
 
 class ReconfigurationPolicy(ABC):
@@ -37,6 +87,14 @@ class ReconfigurationPolicy(ABC):
 
     #: Name used in reports.
     name: str = "abstract"
+
+    #: Whether the policy reads ``context.current_thermal`` and therefore
+    #: needs the experiment driver to evaluate feedback temperatures.  The
+    #: driver used to infer this with isinstance checks, which silently put
+    #: every custom policy on the expensive per-epoch feedback path; now a
+    #: policy opts in explicitly (threshold/adaptive do), and everything else
+    #: runs feedback-free at zero thermal cost inside the epoch loop.
+    requires_thermal_feedback: bool = False
 
     def __init__(self, period_us: float):
         if period_us <= 0:
@@ -95,6 +153,8 @@ class ThresholdMigrationPolicy(ReconfigurationPolicy):
     throughput penalty during light load.
     """
 
+    requires_thermal_feedback = True
+
     def __init__(
         self,
         topology: MeshTopology,
@@ -133,6 +193,8 @@ class AdaptiveMigrationPolicy(ReconfigurationPolicy):
     Section 2.3 explicitly allows for.
     """
 
+    requires_thermal_feedback = True
+
     def __init__(
         self,
         topology: MeshTopology,
@@ -156,7 +218,7 @@ class AdaptiveMigrationPolicy(ReconfigurationPolicy):
 
     def decide(self, context: PolicyContext) -> Optional[MigrationTransform]:
         thermal = context.current_thermal
-        if thermal is None or not context.current_power_map:
+        if thermal is None or not context.has_power:
             choice = self.candidates[0]
             self.choices.append(choice.name)
             return choice

@@ -54,11 +54,14 @@ class PowerSample:
     power_w: Dict[Coordinate, float]
 
     def __post_init__(self) -> None:
-        if self.duration_s <= 0:
-            raise ValueError("sample duration must be positive")
+        # NaN fails every ordering comparison, so `<= 0` / `< 0` gates alone
+        # would wave non-finite values straight into the solver; check
+        # finiteness explicitly.
+        if not np.isfinite(self.duration_s) or self.duration_s <= 0:
+            raise ValueError("sample duration must be positive and finite")
         for coord, power in self.power_w.items():
-            if power < 0:
-                raise ValueError(f"negative power {power} at {coord}")
+            if not np.isfinite(power) or power < 0:
+                raise ValueError(f"non-finite or negative power {power} at {coord}")
 
     @property
     def total_power_w(self) -> float:
@@ -118,10 +121,15 @@ class PowerTrace:
                 f"power matrix must be (num_samples, {topology.num_nodes}), "
                 f"got shape {powers.shape}"
             )
-        if durations.size and durations.min() <= 0:
-            raise ValueError("sample durations must be positive")
-        if powers.size and powers.min() < 0:
-            raise ValueError("negative power in trace")
+        # np.isfinite first: NaN durations/powers pass min()-based gates
+        # (NaN comparisons are always False) and would silently poison the
+        # batched solves downstream.
+        if durations.size and (
+            not np.all(np.isfinite(durations)) or durations.min() <= 0
+        ):
+            raise ValueError("sample durations must be positive and finite")
+        if powers.size and (not np.all(np.isfinite(powers)) or powers.min() < 0):
+            raise ValueError("non-finite or negative power in trace")
         trace = cls(topology)
         trace._capacity = max(durations.size, 1)
         trace._durations = durations.copy() if durations.size else np.zeros(1)
@@ -158,10 +166,12 @@ class PowerTrace:
                     f"expected a power vector of {self._num_units} units, "
                     f"got shape {vector.shape}"
                 )
-            if duration_s <= 0:
-                raise ValueError("sample duration must be positive")
-            if vector.size and vector.min() < 0:
-                raise ValueError("negative power in sample")
+            if not np.isfinite(duration_s) or duration_s <= 0:
+                raise ValueError("sample duration must be positive and finite")
+            if vector.size and (
+                not np.all(np.isfinite(vector)) or vector.min() < 0
+            ):
+                raise ValueError("non-finite or negative power in sample")
         if self._length == self._capacity:
             self._grow_to(self._length + 1)
         self._durations[self._length] = duration_s

@@ -75,6 +75,24 @@ class CompiledScenario:
             ambient_offsets_celsius=self.ambient_offsets,
         )
 
+    @property
+    def uses_thermal_feedback(self) -> bool:
+        """Whether the compiled policy reads feedback temperatures."""
+        return bool(getattr(self.policy, "requires_thermal_feedback", False))
+
+    def expected_steady_solves(self) -> int:
+        """Steady solves one run of this scenario performs — the bench guard.
+
+        Feedback-free scenarios cost one batched solve in steady mode and
+        two (baseline + warm start) in transient mode.  Feedback policies
+        add ``ceil(num_epochs / feedback_stride)`` chunked feedback batches
+        on top — never a per-epoch solve.
+        """
+        solves = 1 if self.spec.mode == "steady" else 2
+        if self.uses_thermal_feedback:
+            solves += -(-self.spec.num_epochs // self.spec.feedback_stride)
+        return solves
+
 
 @dataclass
 class DecoderEffort:
@@ -144,7 +162,12 @@ def _temporal_schedule(spec: ScenarioSpec, channel: str) -> Optional[np.ndarray]
 def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
     """Resolve a spec against its chip and evaluate every pattern."""
     configuration = get_configuration(spec.configuration)
-    policy = make_policy(spec.scheme, configuration.topology, period_us=spec.period_us)
+    policy = make_policy(
+        spec.scheme,
+        configuration.topology,
+        period_us=spec.period_us,
+        **(spec.policy_params or {}),
+    )
     settings = ExperimentSettings(
         num_epochs=spec.num_epochs,
         mode=spec.mode,
@@ -152,6 +175,8 @@ def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
         include_migration_energy=spec.include_migration_energy,
         transient_steps_per_epoch=spec.transient_steps_per_epoch,
         thermal_method=spec.thermal_method,
+        feedback_stride=spec.feedback_stride,
+        feedback_predictor=spec.feedback_predictor,
     )
 
     modulation: Optional[np.ndarray] = None
@@ -244,11 +269,18 @@ def decoder_effort(
     configuration: ChipConfiguration, snr_schedule: np.ndarray
 ) -> DecoderEffort:
     """Per-horizon decoder effort under a per-epoch SNR schedule."""
+    schedule = np.asarray(snr_schedule, dtype=float)
+    if schedule.size == 0:
+        raise ValueError("decoder_effort needs a non-empty SNR schedule")
     graph = configuration.workload.partition.graph
     code_digest = hashlib.sha1(
         np.ascontiguousarray(graph.H, dtype=np.uint8).tobytes()
     ).hexdigest()
-    quantized = np.round(np.asarray(snr_schedule, dtype=float) / SNR_QUANTUM_DB)
+    # Round-half-up, not np.round: banker's rounding sends half-quantum
+    # boundaries (0.125 dB at the 0.25 dB grid) to the *even* neighbour, so
+    # adjacent boundary values bucket inconsistently (0.125 -> 0.0 but
+    # 0.375 -> 0.5).  floor(x/q + 0.5) quantizes every boundary the same way.
+    quantized = np.floor(schedule / SNR_QUANTUM_DB + 0.5)
     values, counts = np.unique(quantized, return_counts=True)
     iterations = 0.0
     successes = 0.0

@@ -1,11 +1,14 @@
 """The built-in named scenarios behind ``python -m repro scenario``.
 
-Ten scenarios spanning the five chip configurations, both experiment modes
-and every pattern family.  All of them use feedback-free policies (periodic
+Twelve scenarios spanning the five chip configurations, both experiment
+modes and every pattern family.  Ten use feedback-free policies (periodic
 or static), so each compiles to exactly one batched steady solve or one
-``transient_sequence`` call — the property the scenario benchmark guards;
-``ambient-swing-transient`` additionally pins the exact time-varying-ambient
-boundary term riding the whole-trace spectral jump.
+``transient_sequence`` call; ``threshold-under-burst`` and
+``adaptive-diurnal`` exercise the chunked feedback loop — thermal-feedback
+policies riding the scenario engine at ``ceil(num_epochs/feedback_stride)``
+batched solves instead of one per epoch.  The scenario benchmark guards
+both properties; ``ambient-swing-transient`` additionally pins the exact
+time-varying-ambient boundary term riding the whole-trace spectral jump.
 
 ``steady-baseline`` is deliberately the degenerate scenario (constant load
 1.0, no ambient or SNR drift): the test suite pins it to the plain
@@ -169,6 +172,43 @@ def _ambient_swing_transient() -> ScenarioSpec:
     )
 
 
+def _threshold_under_burst() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="threshold-under-burst",
+        configuration="B",
+        scheme="threshold-xy-shift",
+        policy_params={"trigger_celsius": 90.0},
+        mode="steady",
+        num_epochs=40,
+        settle_epochs=20,
+        feedback_stride=4,
+        load=BurstPattern(base=1.0, peak=1.4, start_epoch=8, length=4, every=12),
+        description="Threshold policy (90 C trigger) under recurring 1.4x "
+        "bursts: migrations fire only while the chip runs hot, "
+        "with feedback temperatures refreshed every 4 epochs by "
+        "one batched solve",
+    )
+
+
+def _adaptive_diurnal() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="adaptive-diurnal",
+        configuration="C",
+        scheme="adaptive",
+        mode="transient",
+        num_epochs=32,
+        settle_epochs=16,
+        feedback_stride=4,
+        feedback_predictor="previous",
+        thermal_method="spectral",
+        load=DiurnalPattern(mean=1.0, amplitude=0.25, period_epochs=16.0),
+        description="Adaptive transform choice chasing the hotspot through "
+        "a +-25% diurnal load swing, integrated transiently; the "
+        "previous-batch predictor covers the 3 epochs between "
+        "feedback refreshes at zero solves",
+    )
+
+
 def _snr_fade() -> ScenarioSpec:
     return ScenarioSpec(
         name="snr-fade",
@@ -195,6 +235,8 @@ _REGISTRY: Dict[str, Callable[[], ScenarioSpec]] = {
     "hotspot-attack": _hotspot_attack,
     "pe-fault-transient": _pe_fault_transient,
     "ambient-swing-transient": _ambient_swing_transient,
+    "threshold-under-burst": _threshold_under_burst,
+    "adaptive-diurnal": _adaptive_diurnal,
     "snr-fade": _snr_fade,
 }
 

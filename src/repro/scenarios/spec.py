@@ -58,6 +58,16 @@ class ScenarioSpec:
     thermal_method: str = "euler"
     transient_steps_per_epoch: int = 8
     include_migration_energy: bool = True
+    #: Extra keyword arguments for the policy factory (e.g.
+    #: ``{"trigger_celsius": 90.0}`` for a ``threshold-*`` scheme); must be
+    #: JSON-serialisable.
+    policy_params: Optional[Dict[str, object]] = None
+    #: Feedback refresh stride *k* for thermal-feedback policies: one
+    #: multi-RHS batch per ``k`` epochs (``ceil(num_epochs/k)`` feedback
+    #: solves); ignored by feedback-free policies.
+    feedback_stride: int = 1
+    #: Zero-solve stand-in between feedback refreshes: "hold" or "previous".
+    feedback_predictor: str = "hold"
     load: Optional[Pattern] = None
     ambient_celsius: Optional[Pattern] = None
     snr_db: Optional[Pattern] = None
@@ -72,6 +82,12 @@ class ScenarioSpec:
             raise ValueError("at least one epoch is required")
         if self.period_us <= 0:
             raise ValueError("migration period must be positive")
+        if self.feedback_stride < 1:
+            raise ValueError("feedback_stride must be at least 1")
+        if self.feedback_predictor not in ("hold", "previous"):
+            raise ValueError("feedback_predictor must be 'hold' or 'previous'")
+        if self.policy_params is not None and not isinstance(self.policy_params, dict):
+            raise TypeError("policy_params must be a dict of keyword arguments")
         for channel, allow_spatial in PATTERN_CHANNELS.items():
             pattern = getattr(self, channel)
             if pattern is None:
@@ -99,6 +115,11 @@ class ScenarioSpec:
             "thermal_method": self.thermal_method,
             "transient_steps_per_epoch": self.transient_steps_per_epoch,
             "include_migration_energy": self.include_migration_energy,
+            "policy_params": (
+                dict(self.policy_params) if self.policy_params is not None else None
+            ),
+            "feedback_stride": self.feedback_stride,
+            "feedback_predictor": self.feedback_predictor,
             "description": self.description,
         }
         for channel in PATTERN_CHANNELS:

@@ -39,6 +39,32 @@ class TestScenarioRunner:
                 s.experiment.settled_peak_celsius, abs=1e-12
             )
 
+    def test_default_executor_is_thread(self):
+        # The scenario hot paths release the GIL and share process-wide
+        # caches; the honest perf record showed process fan-out losing on
+        # small suites, so threads are the default.
+        assert ScenarioRunner().executor == "thread"
+
+    def test_feedback_stride_override(self):
+        spec = _tiny_spec(
+            "fb", scheme="threshold-xy-shift",
+            policy_params={"trigger_celsius": 70.0},
+        )
+        assert spec.feedback_stride == 1
+        results = ScenarioRunner(
+            feedback_stride=5, feedback_predictor="previous"
+        ).run([spec])
+        assert results[0].spec.feedback_stride == 5
+        assert results[0].spec.feedback_predictor == "previous"
+        # The authored spec is untouched (specs are frozen; the override
+        # replaces per task).
+        assert spec.feedback_stride == 1
+
+    def test_no_override_leaves_specs_as_authored(self):
+        spec = _tiny_spec("plain")
+        runner = ScenarioRunner()
+        assert runner._apply_overrides(spec) is spec
+
 
 class TestScenarioComparison:
     @pytest.fixture(scope="class")

@@ -21,6 +21,18 @@ class TestPowerSample:
         with pytest.raises(ValueError):
             PowerSample(duration_s=1.0, power_w={(0, 0): -1.0})
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    def test_rejects_non_finite_duration(self, bad, uniform_power4):
+        # NaN passes a `<= 0` gate (all comparisons are False), so the
+        # validation must check finiteness explicitly.
+        with pytest.raises(ValueError, match="positive and finite"):
+            PowerSample(duration_s=bad, power_w=uniform_power4)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_rejects_non_finite_power(self, bad):
+        with pytest.raises(ValueError, match="non-finite or negative"):
+            PowerSample(duration_s=1.0, power_w={(0, 0): 1.0, (1, 1): bad})
+
     def test_as_vector(self, mesh4):
         sample = PowerSample(duration_s=1.0, power_w={(1, 0): 3.0})
         vector = sample.as_vector(mesh4)
@@ -90,6 +102,27 @@ class TestArrayNativeTrace:
             PowerTrace.from_arrays(mesh4, np.array([1.0]), -np.ones((1, 16)))
         with pytest.raises(ValueError):
             PowerTrace.from_arrays(mesh4, np.array([1.0]), np.zeros((1, 7)))
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf])
+    def test_from_arrays_rejects_non_finite(self, mesh4, bad):
+        """NaN/inf must not slip past the min()-based gates into the solver."""
+        with pytest.raises(ValueError, match="positive and finite"):
+            PowerTrace.from_arrays(mesh4, np.array([1.0, bad]), np.ones((2, 16)))
+        powers = np.ones((2, 16))
+        powers[1, 3] = bad
+        with pytest.raises(ValueError, match="non-finite or negative"):
+            PowerTrace.from_arrays(mesh4, np.array([1.0, 1.0]), powers)
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf])
+    def test_add_interval_rejects_non_finite(self, mesh4, bad):
+        trace = PowerTrace(mesh4)
+        vector = np.ones(16)
+        vector[5] = bad
+        with pytest.raises(ValueError, match="non-finite or negative"):
+            trace.add_interval(1e-3, vector)
+        with pytest.raises(ValueError, match="positive and finite"):
+            trace.add_interval(float(bad) if bad is np.inf else np.nan, np.ones(16))
+        assert len(trace) == 0  # failed appends must not leave partial rows
 
     def test_add_interval_accepts_vector(self, mesh4):
         trace = PowerTrace(mesh4)

@@ -287,6 +287,32 @@ class TestDecoderEffort:
         row = result.to_row()
         assert isinstance(row["decoder_throughput_x"], float)
 
+    def test_half_quantum_boundaries_bucket_consistently(self, monkeypatch):
+        """Schedules on half-quantum boundaries must round the same way.
+
+        ``np.round`` rounds half to even, so 0.125 dB fell into the 0.0
+        bucket while 0.375 dB fell into 0.5 — adjacent boundary values
+        skipping a bucket.  Round-half-up keeps consecutive boundaries in
+        consecutive buckets.
+        """
+        from repro.scenarios import compile as compile_module
+
+        probed = []
+
+        def fake_probe(graph, code_digest, snr_q):
+            probed.append(snr_q)
+            return (10.0, 1.0)
+
+        monkeypatch.setattr(compile_module, "_decode_probe", fake_probe)
+        chip = get_configuration("A")
+        decoder_effort(chip, np.array([0.125, 0.375, 0.625]))
+        assert sorted(probed) == pytest.approx([0.25, 0.5, 0.75])
+
+    def test_empty_schedule_rejected(self):
+        chip = get_configuration("A")
+        with pytest.raises(ValueError, match="non-empty SNR schedule"):
+            decoder_effort(chip, np.array([]))
+
     def test_concurrent_probes_share_one_decode(self, monkeypatch):
         """Threads probing the same (code, SNR) must run ONE decode batch.
 
@@ -329,24 +355,45 @@ class TestDecoderEffort:
 
 
 class TestSingleSolveGuarantee:
-    """Every registry scenario costs exactly one thermal evaluation."""
+    """Every registry scenario costs exactly its batched solve budget.
+
+    Feedback-free scenarios are one batched steady solve (steady mode) or
+    one ``transient_sequence`` plus the baseline/warm-start solves
+    (transient mode).  Feedback scenarios add exactly
+    ``ceil(num_epochs / feedback_stride)`` chunked feedback batches — never
+    a per-epoch solve.
+    """
 
     @pytest.mark.parametrize(
         "spec", all_scenarios(), ids=lambda spec: spec.name
     )
     def test_one_batched_evaluation_per_scenario(self, spec):
-        solver = get_configuration(spec.configuration).thermal_model.solver
+        compiled = compile_scenario(spec)
+        solver = compiled.configuration.thermal_model.solver
         steady_before = solver.steady_solve_count
         transients_before = solver.transient_count
         sequences_before = solver.transient_sequence_count
 
-        run_scenario(spec)
+        run_scenario(compiled)
 
         assert solver.transient_count == transients_before
-        if spec.mode == "steady":
-            assert solver.steady_solve_count - steady_before == 1
-            assert solver.transient_sequence_count == sequences_before
-        else:
-            # Baseline steady solve + warm start, then one sequence.
-            assert solver.steady_solve_count - steady_before == 2
-            assert solver.transient_sequence_count - sequences_before == 1
+        assert (
+            solver.steady_solve_count - steady_before
+            == compiled.expected_steady_solves()
+        )
+        expected_sequences = 0 if spec.mode == "steady" else 1
+        assert (
+            solver.transient_sequence_count - sequences_before
+            == expected_sequences
+        )
+
+    def test_registry_covers_feedback_policies(self):
+        compiled = [compile_scenario(spec) for spec in all_scenarios()]
+        feedback = [c for c in compiled if c.uses_thermal_feedback]
+        assert len(feedback) >= 2
+        assert {c.spec.mode for c in feedback} == {"steady", "transient"}
+        # Feedback riding the scenario engine stays chunked: strictly fewer
+        # solves than epochs whenever the stride exceeds one.
+        for c in feedback:
+            assert c.spec.feedback_stride > 1
+            assert c.expected_steady_solves() < c.spec.num_epochs

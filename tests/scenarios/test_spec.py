@@ -66,6 +66,9 @@ class TestJsonRoundTrip:
             thermal_method="spectral",
             transient_steps_per_epoch=4,
             include_migration_energy=False,
+            policy_params={"skip_first": False},
+            feedback_stride=4,
+            feedback_predictor="previous",
             load=ConstantPattern(1.1) * HotspotPattern(center=(2, 2), peak=1.5),
             ambient_celsius=RampPattern(start=0.0, end=5.0),
             snr_db=DiurnalPattern(mean=2.5, amplitude=0.5, period_epochs=8.0),
@@ -90,6 +93,42 @@ class TestJsonRoundTrip:
         payload["frobnicate"] = True
         with pytest.raises(ValueError, match="unknown scenario fields"):
             ScenarioSpec.from_dict(payload)
+
+    def test_policy_params_round_trip(self):
+        spec = ScenarioSpec(
+            name="x", configuration="B", scheme="threshold-xy-shift",
+            policy_params={"trigger_celsius": 88.5},
+        )
+        rebuilt = ScenarioSpec.from_json(spec.to_json())
+        assert rebuilt.policy_params == {"trigger_celsius": 88.5}
+        assert rebuilt == spec
+
+    def test_empty_policy_params_round_trip(self):
+        # {} must stay {} through JSON, not collapse to null.
+        spec = ScenarioSpec(name="x", configuration="A", policy_params={})
+        rebuilt = ScenarioSpec.from_json(spec.to_json())
+        assert rebuilt.policy_params == {}
+        assert rebuilt == spec
+
+
+class TestFeedbackFields:
+    def test_defaults(self):
+        spec = ScenarioSpec(name="x", configuration="A")
+        assert spec.feedback_stride == 1
+        assert spec.feedback_predictor == "hold"
+        assert spec.policy_params is None
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError, match="feedback_stride"):
+            ScenarioSpec(name="x", configuration="A", feedback_stride=0)
+
+    def test_rejects_bad_predictor(self):
+        with pytest.raises(ValueError, match="feedback_predictor"):
+            ScenarioSpec(name="x", configuration="A", feedback_predictor="oracle")
+
+    def test_rejects_non_dict_policy_params(self):
+        with pytest.raises(TypeError, match="policy_params"):
+            ScenarioSpec(name="x", configuration="A", policy_params=[("a", 1)])
 
 
 class TestRegistry:

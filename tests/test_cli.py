@@ -51,6 +51,14 @@ class TestExperimentCommand:
         out = capsys.readouterr().out
         assert "migrations" in out
 
+    def test_feedback_stride_flag(self, capsys):
+        code = main(
+            ["experiment", "-c", "A", "-s", "adaptive", "--epochs", "9",
+             "--feedback-stride", "3", "--feedback-predictor", "previous"]
+        )
+        assert code == 0
+        assert "migrations" in capsys.readouterr().out
+
     def test_no_migration_energy_flag(self, capsys):
         code = main(
             [
@@ -156,6 +164,19 @@ class TestScenarioCommand:
         out = capsys.readouterr().out
         assert out.startswith("scenario,")
         assert "steady-baseline" in out and "duty-cycle-idle" in out
+
+    def test_run_feedback_scenario(self, capsys):
+        assert main(["scenario", "run", "threshold-under-burst"]) == 0
+        out = capsys.readouterr().out
+        assert "migrations" in out
+
+    def test_feedback_stride_override_shows_in_spec(self, capsys):
+        code = main(
+            ["scenario", "run", "adaptive-diurnal", "--feedback-stride", "8",
+             "--show-spec"]
+        )
+        assert code == 0
+        assert '"feedback_stride": 8' in capsys.readouterr().out
 
     def test_unknown_scenario_is_clean_error(self, capsys):
         assert main(["scenario", "run", "frobnicate"]) == 1
