@@ -68,11 +68,24 @@ def test_schedule_bound_vs_cycle_accurate_replay(benchmark, chip_e):
 
     with perf_utils.timed() as timer:
         cost, result = benchmark.pedantic(replay, rounds=1, iterations=1)
+
+    # Baseline: the seed object engine draining the same packet batch.
+    with perf_utils.timed() as baseline_timer:
+        object_sim = NocSimulator(chip_e.topology, buffer_depth=8, engine="object")
+        object_result = object_sim.run_packets(
+            unit.migration_packets(transform, nodes), drain_limit=1_000_000
+        )
+    assert result.cycles == object_result.cycles
+    assert result.stats.latency == object_result.stats.latency
+
     perf_utils.record_perf(
         "migration.schedule_replay.xy_shift_E",
         timer.seconds,
         throughput=result.stats.packets_ejected / timer.seconds,
         throughput_unit="packets/s",
+        baseline_wall_s=baseline_timer.seconds,
+        baseline="object engine, same packet batch",
+        engine="vector",
     )
     rows = [
         {"quantity": "analytic phased schedule (cycles)", "value": cost.cycles},

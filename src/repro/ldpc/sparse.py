@@ -70,6 +70,35 @@ class EdgeStructure:
             ),
             shape=(graph.n, graph.m),
         )
+        #: Edge-to-check incidence: ``negatives @ check_incidence_T`` counts
+        #: per-check negative messages — the CSR-syndrome trick applied to
+        #: the check-node sign product (a parity of sign bits).
+        self.check_incidence_T = csr_matrix(
+            (
+                np.ones(self.num_edges, dtype=np.int64),
+                (self._edge_index, self.edge_check),
+            ),
+            shape=(self.num_edges, graph.m),
+        )
+        degrees = np.diff(np.append(self.check_ptr, self.num_edges))
+        #: Common check degree when the code is check-regular, else ``None``.
+        #: Regular codes (the paper's (3, 6) arrays) take the fused reshape
+        #: kernels; irregular layouts fall back to segment ``reduceat``.
+        self.uniform_check_degree = (
+            int(degrees[0]) if degrees.size and (degrees == degrees[0]).all() else None
+        )
+
+    def segment_signs(self, v_to_c: np.ndarray) -> np.ndarray:
+        """Per-check sign products of a ``(num_blocks, num_edges)`` array.
+
+        The product of ``+-1`` signs is the parity of the negative count, so
+        one integer CSR matmul replaces the float ``multiply.reduceat`` —
+        exactly, since no rounding is involved.  Zeros count as positive,
+        matching the dense decoder.
+        """
+        negatives = (v_to_c < 0).astype(np.int64)
+        counts = np.asarray(negatives @ self.check_incidence_T)
+        return 1.0 - 2.0 * (counts & 1)
 
     def syndrome(self, hard: np.ndarray) -> np.ndarray:
         """Per-check parity sums (mod 2) of hard decisions, batched.
@@ -209,7 +238,19 @@ class SparseSumProductDecoder(_SparseMessagePassingDecoder):
     def _check_node_update(self, v_to_c: np.ndarray) -> np.ndarray:
         edges = self.edges
         tanh_half = np.tanh(np.clip(v_to_c, -30, 30) / 2.0)
-        segment_product = np.multiply.reduceat(tanh_half, edges.check_ptr, axis=1)
+        degree = edges.uniform_check_degree
+        if degree is not None:
+            # Check-major edges are contiguous per check: reshape to
+            # (blocks, checks, degree) and reduce the trailing axis — same
+            # sequential multiply order as ``reduceat``, without the segment
+            # pointer indirection.
+            segment_product = tanh_half.reshape(
+                v_to_c.shape[0], self.m, degree
+            ).prod(axis=2)
+        else:
+            segment_product = np.multiply.reduceat(
+                tanh_half, edges.check_ptr, axis=1
+            )
         with np.errstate(divide="ignore", invalid="ignore"):
             extrinsic = segment_product[:, edges.edge_check] / tanh_half
         extrinsic = np.where(np.isfinite(extrinsic), extrinsic, 0.0)
@@ -245,21 +286,36 @@ class SparseMinSumDecoder(_SparseMessagePassingDecoder):
         # Zero messages count as positive, matching the dense decoder.
         signs = np.where(v_to_c < 0, -1.0, 1.0)
 
-        segment_sign = np.multiply.reduceat(signs, edges.check_ptr, axis=1)
+        segment_sign = edges.segment_signs(v_to_c)
         extrinsic_sign = segment_sign[:, edges.edge_check] * signs
 
-        min1 = np.minimum.reduceat(magnitudes, edges.check_ptr, axis=1)
-        min1_edges = min1[:, edges.edge_check]
-        # Mask exactly one occurrence of the minimum per segment, then reduce
-        # again for the second minimum.
-        candidates = np.where(
-            magnitudes == min1_edges, edges._edge_index, edges.num_edges
-        )
-        first_min = np.minimum.reduceat(candidates, edges.check_ptr, axis=1)
-        masked = magnitudes.copy()
-        masked[self._rows(masked.shape[0]), first_min] = np.inf
-        min2 = np.minimum.reduceat(masked, edges.check_ptr, axis=1)
+        degree = edges.uniform_check_degree
+        if degree is not None:
+            # Fused path for check-regular codes: one partial sort of the
+            # (blocks, checks, degree) view yields both the minimum and the
+            # second minimum (duplicates included) — the same selection
+            # ``np.partition`` performs in the dense decoder, so the values
+            # are bit-identical by construction.
+            partitioned = np.partition(
+                magnitudes.reshape(v_to_c.shape[0], self.m, degree), 1, axis=2
+            )
+            min1 = partitioned[:, :, 0]
+            min2 = partitioned[:, :, 1]
+        else:
+            min1 = np.minimum.reduceat(magnitudes, edges.check_ptr, axis=1)
+            # Mask exactly one occurrence of the minimum per segment, then
+            # reduce again for the second minimum.
+            candidates = np.where(
+                magnitudes == min1[:, edges.edge_check],
+                edges._edge_index,
+                edges.num_edges,
+            )
+            first_min = np.minimum.reduceat(candidates, edges.check_ptr, axis=1)
+            masked = magnitudes.copy()
+            masked[self._rows(masked.shape[0]), first_min] = np.inf
+            min2 = np.minimum.reduceat(masked, edges.check_ptr, axis=1)
 
+        min1_edges = min1[:, edges.edge_check]
         use_second = np.isclose(magnitudes, min1_edges)
         extrinsic_mag = np.where(use_second, min2[:, edges.edge_check], min1_edges)
         return self.normalization * extrinsic_sign * extrinsic_mag

@@ -4,8 +4,26 @@ This package is the substrate the paper's evaluation runs on: a wormhole,
 credit-flow-controlled mesh NoC with dimension-ordered routing, synthetic and
 trace-driven traffic, and per-router switching-activity counters that feed
 the power and thermal models.
+
+Three evaluation tiers, fastest first:
+
+* :mod:`repro.noc.analytic` — closed-form M/D/1-style wormhole model
+  (microseconds per point, validated below saturation);
+* :mod:`repro.noc.vector` — the array-native cycle kernel, batched over
+  many independent lanes (:mod:`repro.noc.batch` runs whole latency curves
+  as one run);
+* :class:`Network` — the seed object-graph engine, kept as the behavioural
+  specification the vector kernel reproduces exactly.
 """
 
+from .analytic import (
+    AnalyticPoint,
+    analytic_curve,
+    analytic_latency,
+    destination_probabilities,
+    saturation_rate,
+)
+from .batch import LatencyCurve, default_rate_grid, latency_curve, run_schedules
 from .buffer import BufferOverflowError, CreditCounter, FlitBuffer
 from .engine import EventQueue, SimulationClock
 from .flit import Flit, FlitType, Packet, PacketClass, reset_packet_ids
@@ -21,7 +39,8 @@ from .routing import (
     available_algorithms,
     make_routing,
 )
-from .simulator import NocSimulator, SimulationResult
+from .schedule import TrafficSchedule
+from .simulator import ENGINES, NocSimulator, SimulationResult
 from .stats import LatencyStats, NetworkStats
 from .topology import Coordinate, Direction, MeshTopology
 from .traffic import (
@@ -34,8 +53,21 @@ from .traffic import (
     UniformRandomTraffic,
     make_traffic,
 )
+from .vector import VectorNetwork
 
 __all__ = [
+    "AnalyticPoint",
+    "analytic_curve",
+    "analytic_latency",
+    "destination_probabilities",
+    "saturation_rate",
+    "LatencyCurve",
+    "default_rate_grid",
+    "latency_curve",
+    "run_schedules",
+    "TrafficSchedule",
+    "VectorNetwork",
+    "ENGINES",
     "BufferOverflowError",
     "CreditCounter",
     "FlitBuffer",

@@ -1,0 +1,298 @@
+"""Analytic wormhole latency model — the closed-form fast path.
+
+Below saturation, the average packet latency of a wormhole mesh is well
+approximated by an M/D/1-style queueing model (Dally & Towles ch. 23;
+Agarwal's mesh analysis): each packet pays its zero-load latency plus a
+waiting term at every channel it acquires along the route.
+
+* **Zero-load latency** of an ``H``-hop, ``L``-flit packet is ``H + L + 1``
+  cycles in this router (one cycle per hop for the head, ``L - 1`` cycles of
+  pipeline drain for the body, one ejection cycle).  This matches the vector
+  engine's measured latency at vanishing load exactly.
+* **Channel waiting**: a channel (an output port of some router, including
+  the ejection port at the destination) serves one packet per ``L`` cycles.
+  The M/D/1 waiting time is ``W_c = rho_c * L / (2 * (1 - rho_c))`` with
+  utilisation ``rho_c = lambda_c * L``.  The arrivals are superpositions of
+  thinned Bernoulli flows — less bursty than Poisson, burstier than a
+  single Bernoulli stream — so the wait is scaled by
+  :data:`ARRIVAL_DISCRETISATION`, the midpoint of the Poisson (``1``) and
+  discrete-time Geo/D/1 (``1 - 1/L``) limits, calibrated once against the
+  event engine (``tests/noc/test_analytic.py`` pins the agreement).
+* **Channel loads** come from the same deterministic route tables the cycle
+  engines use: every source/destination flow is walked through the route
+  LUT, accumulating its probability on each traversed link plus the
+  ejection channel.  ``capacity_rate`` is the injection rate at which the
+  most-loaded channel reaches unit utilisation — an upper bound no wormhole
+  router attains.  With ``buffer_depth == packet_size`` (one packet per
+  input buffer) head-of-line blocking caps achievable channel utilisation
+  at roughly half of capacity (measured 0.53x on 4x4, 0.50x on 5x5
+  uniform), so the reported ``saturation_rate`` is
+  ``WORMHOLE_BLOCKING_FACTOR * capacity_rate`` and the model is validated
+  below it.
+
+The model is *per flow* exact about paths (it uses the real routing
+function, not a uniform-distance approximation), so it tracks pattern
+asymmetries — hotspot ejection bottlenecks, transpose's silent diagonal —
+that a generic formula misses.  For the stochastic patterns (uniform,
+hotspot, neighbor) agreement with the event-driven engines is pinned to
+<10% mean latency below ~0.85x ``saturation_rate`` by
+``tests/noc/test_analytic.py``.  Deterministic permutations (transpose,
+bit-complement) see smoother per-channel arrivals than the queueing model
+assumes, so there it is a conservative upper bound rather than a tight
+estimate — use the batched event engine for those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .routing import make_routing
+from .topology import MeshTopology
+from .vector import _LOCAL, _MeshTables
+
+__all__ = [
+    "ARRIVAL_DISCRETISATION",
+    "WORMHOLE_BLOCKING_FACTOR",
+    "AnalyticPoint",
+    "analytic_curve",
+    "analytic_latency",
+    "destination_probabilities",
+    "saturation_rate",
+]
+
+#: Wait-time scale between the Poisson (1.0) and Geo/D/1 (1 - 1/L) limits.
+ARRIVAL_DISCRETISATION = 0.875
+
+#: Fraction of raw channel capacity a single-packet-buffer wormhole router
+#: sustains before head-of-line blocking saturates it.
+WORMHOLE_BLOCKING_FACTOR = 0.5
+
+
+# ----------------------------------------------------------------------
+# Destination probability matrices (one row per source node)
+# ----------------------------------------------------------------------
+def destination_probabilities(
+    pattern: str,
+    topology: MeshTopology,
+    *,
+    hotspots: Optional[Sequence[Tuple[int, int]]] = None,
+    hotspot_fraction: float = 0.5,
+    **_ignored,
+) -> np.ndarray:
+    """``P[s, d]`` = probability an injection slot at ``s`` targets ``d``.
+
+    Rows mirror the generators in :mod:`repro.noc.traffic`: the diagonal is
+    zero, and rows may sum to less than one for patterns that drop slots
+    (a transpose diagonal node never sends, so its row is all zero).
+    """
+    n = topology.num_nodes
+    probs = np.zeros((n, n), dtype=np.float64)
+    if pattern == "uniform":
+        probs[:] = 1.0 / (n - 1)
+        np.fill_diagonal(probs, 0.0)
+    elif pattern == "transpose":
+        for s in range(n):
+            x, y = topology.coordinate(s)
+            if topology.contains((y, x)) and (y, x) != (x, y):
+                probs[s, topology.node_id((y, x))] = 1.0
+    elif pattern == "bit-complement":
+        for s in range(n):
+            x, y = topology.coordinate(s)
+            d = (topology.width - 1 - x, topology.height - 1 - y)
+            if d != (x, y):
+                probs[s, topology.node_id(d)] = 1.0
+    elif pattern == "neighbor":
+        for s in range(n):
+            neighbors = list(topology.neighbors(topology.coordinate(s)).values())
+            for coord in neighbors:
+                probs[s, topology.node_id(coord)] = 1.0 / len(neighbors)
+    elif pattern == "hotspot":
+        if not hotspots:
+            raise ValueError("hotspot pattern needs hotspots=[(x, y), ...]")
+        uniform = np.full((n, n), 1.0 / (n - 1))
+        np.fill_diagonal(uniform, 0.0)
+        spot_ids = [topology.node_id(s) for s in hotspots]
+        for s in range(n):
+            candidates = [d for d in spot_ids if d != s]
+            frac = hotspot_fraction if candidates else 0.0
+            probs[s] = (1.0 - frac) * uniform[s]
+            for d in candidates:
+                probs[s, d] += frac / len(candidates)
+    else:
+        raise ValueError(f"unknown traffic pattern {pattern!r}")
+    return probs
+
+
+# ----------------------------------------------------------------------
+# Route walking: flows -> channel loads
+# ----------------------------------------------------------------------
+def _flow_channels(
+    topology: MeshTopology, routing: str
+) -> "Dict[Tuple[int, int], List[int]]":
+    """Channel indices traversed by every source->destination flow.
+
+    A channel is an output port of a router: ``node * 5 + port`` for link
+    channels, and the destination's LOCAL port for the ejection channel.
+    The walk uses the same route LUT the vector engine precomputes, so the
+    paths are exactly the deterministic routes of the cycle engines.
+    """
+    tables = _MeshTables(topology, make_routing(routing, topology))
+    n = topology.num_nodes
+    flows: "Dict[Tuple[int, int], List[int]]" = {}
+    for s in range(n):
+        for d in range(n):
+            if s == d:
+                continue
+            node, channels = s, []
+            while node != d:
+                port = int(tables.route_lut[node, d])
+                channels.append(node * 5 + port)
+                node = int(tables.neighbor[node, port])
+            channels.append(d * 5 + _LOCAL)  # ejection channel
+            flows[(s, d)] = channels
+    return flows
+
+
+@dataclass
+class AnalyticPoint:
+    """Closed-form latency estimate at one injection rate.
+
+    ``saturated`` flags rates beyond the blocking-corrected
+    ``saturation_rate`` where the model is not validated; ``avg_latency``
+    only becomes infinite past ``capacity_rate`` (utilisation >= 1).
+    """
+
+    injection_rate: float
+    avg_latency: float
+    saturation_rate: float
+    capacity_rate: float
+    saturated: bool
+    max_channel_utilisation: float
+
+    @property
+    def finite(self) -> bool:
+        return np.isfinite(self.avg_latency)
+
+
+class _AnalyticModel:
+    """Pattern/topology-specific pieces that do not depend on the rate."""
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        pattern: str,
+        packet_size_flits: int,
+        routing: str,
+        **pattern_kwargs,
+    ):
+        self.packet_size_flits = packet_size_flits
+        probs = destination_probabilities(pattern, topology, **pattern_kwargs)
+        flows = _flow_channels(topology, routing)
+        n = topology.num_nodes
+        # Per-unit-rate packet load on every channel.
+        loads = np.zeros(n * 5, dtype=np.float64)
+        self.flow_probs: List[float] = []
+        self.flow_channels: List[np.ndarray] = []
+        self.flow_hops: List[int] = []
+        for (s, d), channels in flows.items():
+            p = probs[s, d]
+            if p <= 0.0:
+                continue
+            idx = np.asarray(channels, dtype=np.int64)
+            loads[idx] += p
+            self.flow_probs.append(p)
+            self.flow_channels.append(idx)
+            self.flow_hops.append(len(channels) - 1)  # last entry is ejection
+        if not self.flow_probs:
+            raise ValueError("traffic pattern generates no packets on this mesh")
+        self.unit_loads = loads
+        self.capacity_rate = 1.0 / (packet_size_flits * float(loads.max()))
+        self.saturation_rate = WORMHOLE_BLOCKING_FACTOR * self.capacity_rate
+
+    def evaluate(self, injection_rate: float) -> AnalyticPoint:
+        size = self.packet_size_flits
+        util = injection_rate * size * self.unit_loads
+        max_util = float(util.max())
+        if max_util >= 1.0:
+            return AnalyticPoint(
+                injection_rate=injection_rate,
+                avg_latency=float("inf"),
+                saturation_rate=self.saturation_rate,
+                capacity_rate=self.capacity_rate,
+                saturated=True,
+                max_channel_utilisation=max_util,
+            )
+        # M/D/1 waiting time per channel, deterministic service of L cycles,
+        # scaled for the discrete (sub-Poisson) arrival process.
+        wait = ARRIVAL_DISCRETISATION * util * size / (2.0 * (1.0 - util))
+        total_p = total_latency = 0.0
+        for p, channels, hops in zip(
+            self.flow_probs, self.flow_channels, self.flow_hops
+        ):
+            zero_load = hops + size + 1
+            total_latency += p * (zero_load + float(wait[channels].sum()))
+            total_p += p
+        return AnalyticPoint(
+            injection_rate=injection_rate,
+            avg_latency=total_latency / total_p,
+            saturation_rate=self.saturation_rate,
+            capacity_rate=self.capacity_rate,
+            saturated=injection_rate >= self.saturation_rate,
+            max_channel_utilisation=max_util,
+        )
+
+
+def analytic_latency(
+    topology: MeshTopology,
+    pattern: str,
+    injection_rate: float,
+    *,
+    packet_size_flits: int = 4,
+    routing: str = "xy",
+    **pattern_kwargs,
+) -> AnalyticPoint:
+    """Closed-form average latency at one injection rate."""
+    model = _AnalyticModel(
+        topology, pattern, packet_size_flits, routing, **pattern_kwargs
+    )
+    return model.evaluate(injection_rate)
+
+
+def analytic_curve(
+    topology: MeshTopology,
+    pattern: str,
+    injection_rates: Sequence[float],
+    *,
+    packet_size_flits: int = 4,
+    routing: str = "xy",
+    **pattern_kwargs,
+) -> List[AnalyticPoint]:
+    """Evaluate :func:`analytic_latency` over a grid of rates.
+
+    The pattern/topology part of the model (route walks, channel loads) is
+    built once and shared across the whole grid, so the marginal cost per
+    point is a handful of array operations — this is what makes the
+    analytic path thousands of times faster than event simulation.
+    """
+    model = _AnalyticModel(
+        topology, pattern, packet_size_flits, routing, **pattern_kwargs
+    )
+    return [model.evaluate(float(rate)) for rate in injection_rates]
+
+
+def saturation_rate(
+    topology: MeshTopology,
+    pattern: str,
+    *,
+    packet_size_flits: int = 4,
+    routing: str = "xy",
+    **pattern_kwargs,
+) -> float:
+    """Injection rate at which the most-loaded channel saturates."""
+    model = _AnalyticModel(
+        topology, pattern, packet_size_flits, routing, **pattern_kwargs
+    )
+    return model.saturation_rate

@@ -1,0 +1,200 @@
+"""Batched latency-curve evaluation on the vector NoC engine.
+
+The classic NoC characterisation — average latency versus offered load —
+used to be a Python loop running one simulation per injection rate.  The
+:class:`~repro.noc.vector.VectorNetwork` holds *many independent lanes* in
+one stacked state array, so the whole curve is ONE vectorized run: every
+injection rate becomes a lane, the cycle kernel advances all of them
+together, and the marginal cost of an extra point is a slightly larger
+array operation instead of a whole extra simulation.
+
+:func:`latency_curve` is the high-level entry point (used by
+``benchmarks/bench_noc_throughput.py`` and the scenario cost hooks);
+:func:`run_schedules` is the lane-level primitive for callers that already
+hold :class:`~repro.noc.schedule.TrafficSchedule` arrays — e.g. sweeping
+*patterns* at a fixed rate, or replaying many migration windows at once.
+
+The default rate grid spans up to ~1.3x the analytic
+:func:`~repro.noc.analytic.saturation_rate`: dense enough to resolve the
+knee, capped so the post-measurement drain (which runs until the slowest
+lane empties) stays bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .analytic import saturation_rate
+from .schedule import TrafficSchedule
+from .simulator import SimulationResult
+from .topology import MeshTopology
+from .traffic import make_traffic
+from .vector import VectorNetwork
+
+__all__ = ["LatencyCurve", "default_rate_grid", "latency_curve", "run_schedules"]
+
+
+def run_schedules(
+    topology: MeshTopology,
+    schedules: Sequence[TrafficSchedule],
+    *,
+    routing: str = "xy",
+    buffer_depth: int = 4,
+    cycles: int,
+    warmup_cycles: int = 0,
+    drain: bool = True,
+    drain_limit: int = 200_000,
+) -> List[SimulationResult]:
+    """Run many schedules as lanes of one vector engine, one result each.
+
+    Semantics per lane match ``NocSimulator.run_traffic`` exactly: warm-up,
+    measurement reset, ``cycles`` measured cycles, then a drain during
+    which each lane's cycle counter freezes as soon as it empties.
+    """
+    horizon = warmup_cycles + cycles
+    net = VectorNetwork(
+        topology,
+        [schedule.limited_to(horizon) for schedule in schedules],
+        routing=routing,
+        buffer_depth=buffer_depth,
+    )
+    net.run(warmup_cycles)
+    net.reset_measurement()
+    net.run(cycles)
+    if drain:
+        net.drain(max_cycles=drain_limit)
+    net.write_back_packets()
+    results = []
+    for lane in range(len(schedules)):
+        stats = net.lane_stats(lane)
+        results.append(
+            SimulationResult(
+                cycles=stats.cycles,
+                stats=stats,
+                router_activity=net.lane_activity(lane),
+                link_flits=net.lane_link_flits(lane),
+                drained=drain,
+            )
+        )
+    return results
+
+
+@dataclass
+class LatencyCurve:
+    """Latency-vs-offered-load sweep produced by :func:`latency_curve`."""
+
+    pattern: str
+    injection_rates: np.ndarray
+    avg_latency: np.ndarray
+    throughput_flits_per_cycle: np.ndarray
+    results: List[SimulationResult] = field(repr=False)
+
+    @property
+    def num_points(self) -> int:
+        return int(self.injection_rates.size)
+
+    def saturation_estimate(self, threshold: float = 3.0) -> float:
+        """First rate whose latency exceeds ``threshold`` x zero-load latency.
+
+        Returns the largest swept rate if the curve never crosses — the
+        sweep then ended below saturation.
+        """
+        base = float(self.avg_latency[0])
+        above = np.nonzero(self.avg_latency > threshold * base)[0]
+        if above.size == 0:
+            return float(self.injection_rates[-1])
+        return float(self.injection_rates[above[0]])
+
+
+def default_rate_grid(
+    topology: MeshTopology,
+    pattern: str = "uniform",
+    *,
+    num_points: int = 32,
+    packet_size_flits: int = 4,
+    routing: str = "xy",
+    span: float = 1.3,
+    **pattern_kwargs,
+) -> np.ndarray:
+    """Dense injection-rate grid from near zero to ``span`` x saturation.
+
+    The cap matters for wall-clock: the drain phase runs until the most
+    congested lane empties, so sweeping far past saturation buys hundreds
+    of drain cycles for no extra information about the knee.
+    """
+    sat = saturation_rate(
+        topology,
+        pattern,
+        packet_size_flits=packet_size_flits,
+        routing=routing,
+        **pattern_kwargs,
+    )
+    return np.linspace(0.005, span * sat, num_points)
+
+
+def latency_curve(
+    topology: MeshTopology,
+    pattern: str = "uniform",
+    injection_rates: Optional[Sequence[float]] = None,
+    *,
+    cycles: int = 600,
+    warmup_cycles: int = 100,
+    packet_size_flits: int = 4,
+    routing: str = "xy",
+    buffer_depth: int = 4,
+    seed: Optional[int] = 0,
+    drain: bool = True,
+    drain_limit: int = 200_000,
+    **pattern_kwargs,
+) -> LatencyCurve:
+    """Sweep a traffic pattern over injection rates in one batched run.
+
+    Each rate gets its own lane (and its own seed offset, so lanes are
+    statistically independent); traffic is pregenerated with the numpy
+    ``schedule()`` path.  Returns per-point averages plus the full
+    :class:`~repro.noc.simulator.SimulationResult` list for callers that
+    need activity counters or per-class latencies.
+    """
+    if injection_rates is None:
+        injection_rates = default_rate_grid(
+            topology,
+            pattern,
+            packet_size_flits=packet_size_flits,
+            routing=routing,
+            **pattern_kwargs,
+        )
+    rates = np.asarray(injection_rates, dtype=np.float64)
+    horizon = warmup_cycles + cycles
+    schedules = []
+    for index, rate in enumerate(rates):
+        generator = make_traffic(
+            pattern,
+            topology,
+            float(rate),
+            packet_size_flits=packet_size_flits,
+            seed=None if seed is None else seed + index,
+            **pattern_kwargs,
+        )
+        schedules.append(generator.schedule(horizon))
+    results = run_schedules(
+        topology,
+        schedules,
+        routing=routing,
+        buffer_depth=buffer_depth,
+        cycles=cycles,
+        warmup_cycles=warmup_cycles,
+        drain=drain,
+        drain_limit=drain_limit,
+    )
+    return LatencyCurve(
+        pattern=pattern,
+        injection_rates=rates,
+        avg_latency=np.array([r.average_latency for r in results]),
+        throughput_flits_per_cycle=np.array(
+            [r.throughput_flits_per_cycle for r in results]
+        ),
+        results=results,
+    )

@@ -1,10 +1,24 @@
 """High-level cycle-accurate simulation driver.
 
-:class:`NocSimulator` couples a :class:`~repro.noc.network.Network` with a
-traffic source (synthetic generator, trace, or the LDPC workload adapter) and
-runs warm-up / measurement phases, reporting a :class:`SimulationResult` that
-bundles the performance statistics and the per-router activity counters the
-power model consumes.
+:class:`NocSimulator` couples a mesh network engine with a traffic source
+(synthetic generator, trace, or the LDPC workload adapter) and runs warm-up /
+measurement phases, reporting a :class:`SimulationResult` that bundles the
+performance statistics and the per-router activity counters the power model
+consumes.
+
+Two engines are available, mirroring ``make_decoder(backend=)`` on the LDPC
+side:
+
+* ``engine="vector"`` (default) — the array-native
+  :class:`~repro.noc.vector.VectorNetwork` cycle kernel.  Traffic is
+  pregenerated into a :class:`~repro.noc.schedule.TrafficSchedule` (via the
+  generator's numpy-native ``schedule()`` when available, else by exact
+  replay of ``packets_for_cycle``) and the whole run advances with NumPy
+  array operations.
+* ``engine="object"`` — the seed per-cycle object loop
+  (:class:`~repro.noc.network.Network`), kept as the behavioural
+  specification.  The vector engine reproduces its statistics exactly on
+  identical traffic (see ``tests/noc/test_vector_engine.py``).
 """
 
 from __future__ import annotations
@@ -16,8 +30,12 @@ from .engine import SimulationClock
 from .flit import Packet
 from .network import Network
 from .router import RouterActivity
+from .schedule import TrafficSchedule
 from .stats import NetworkStats
 from .topology import Coordinate, MeshTopology
+from .vector import VectorNetwork
+
+ENGINES = ("object", "vector")
 
 
 class TrafficSource(Protocol):
@@ -67,8 +85,14 @@ class NocSimulator:
         routing: str = "xy",
         buffer_depth: int = 4,
         clock: Optional[SimulationClock] = None,
+        engine: str = "vector",
     ):
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
         self.topology = topology
+        self.routing = routing
+        self.buffer_depth = buffer_depth
+        self.engine = engine
         self.network = Network(topology, routing=routing, buffer_depth=buffer_depth)
         self.clock = clock or SimulationClock()
 
@@ -90,6 +114,10 @@ class NocSimulator:
         are simulated — an iteration is complete only when all its messages
         have been delivered.
         """
+        if self.engine == "vector":
+            return self._run_traffic_vector(
+                traffic, cycles, warmup_cycles, drain, drain_limit
+            )
         network = self.network
         for cycle in range(warmup_cycles):
             for packet in traffic.packets_for_cycle(cycle):
@@ -118,6 +146,45 @@ class NocSimulator:
             drained=drained,
         )
 
+    def _run_traffic_vector(
+        self,
+        traffic: TrafficSource,
+        cycles: int,
+        warmup_cycles: int,
+        drain: bool,
+        drain_limit: int,
+    ) -> SimulationResult:
+        horizon = warmup_cycles + cycles
+        schedule_fn = getattr(traffic, "schedule", None)
+        if callable(schedule_fn):
+            schedule = schedule_fn(horizon)
+        else:
+            schedule = TrafficSchedule.from_generator(traffic, self.topology, horizon)
+        schedule = schedule.limited_to(horizon)
+
+        net = VectorNetwork(
+            self.topology,
+            [schedule],
+            routing=self.routing,
+            buffer_depth=self.buffer_depth,
+        )
+        net.run(warmup_cycles)
+        net.reset_measurement()
+        net.run(cycles)
+        drained = False
+        if drain:
+            net.drain(max_cycles=drain_limit)
+            drained = True
+        net.write_back_packets()
+        stats = net.lane_stats(0)
+        return SimulationResult(
+            cycles=stats.cycles,
+            stats=stats,
+            router_activity=net.lane_activity(0),
+            link_flits=net.lane_link_flits(0),
+            drained=drained,
+        )
+
     # ------------------------------------------------------------------
     def run_packets(
         self,
@@ -130,15 +197,33 @@ class NocSimulator:
         variable-to-check (or check-to-variable) messages are produced
         together, and the sub-iteration ends when the last one is delivered.
         """
+        if self.engine == "vector":
+            schedule = TrafficSchedule.from_packets(packets, self.topology, cycle=0)
+            net = VectorNetwork(
+                self.topology,
+                [schedule],
+                routing=self.routing,
+                buffer_depth=self.buffer_depth,
+            )
+            run_cycles = net.drain(max_cycles=drain_limit)
+            net.write_back_packets()
+            stats = net.lane_stats(0)
+            return SimulationResult(
+                cycles=run_cycles,
+                stats=stats,
+                router_activity=net.lane_activity(0),
+                link_flits=net.lane_link_flits(0),
+                drained=True,
+            )
         network = self.network
         network.stats.reset()
         network.reset_activity()
         for packet in packets:
             network.inject(packet)
-        cycles = network.drain(max_cycles=drain_limit)
+        run_cycles = network.drain(max_cycles=drain_limit)
         # ``drain`` already stepped the network; stats.cycles tracked them.
         return SimulationResult(
-            cycles=cycles,
+            cycles=run_cycles,
             stats=network.stats,
             router_activity=network.router_activity(),
             link_flits=network.links.total_flits(),
@@ -146,5 +231,9 @@ class NocSimulator:
         )
 
     def reset(self) -> None:
-        """Reset the underlying network to a pristine state."""
+        """Reset the underlying network to a pristine state.
+
+        The vector engine builds fresh state for every run, so this only
+        touches the persistent object network.
+        """
         self.network.reset()

@@ -5,6 +5,19 @@ The main workload of the reproduction is the LDPC decoder
 (experiment E6 in DESIGN.md) and many unit tests use the classic synthetic
 patterns below.  Each generator produces, per cycle, the set of packets to
 offer to the network.
+
+Two generation paths exist:
+
+* ``packets_for_cycle(cycle)`` — the seed per-cycle path consuming a
+  ``random.Random`` stream node by node.  This is what the object engine
+  drives, and what :meth:`~repro.noc.schedule.TrafficSchedule.from_generator`
+  replays exactly for engine-parity tests.
+* ``schedule(cycles)`` — the array-native path: the whole packet schedule is
+  pregenerated with a handful of vectorized draws from one
+  ``numpy.random.default_rng(seed)`` per run.  Same-seed calls reproduce the
+  identical schedule (pinned by ``tests/noc/test_traffic_schedule.py``), but
+  the stream intentionally differs from the ``random.Random`` one — exact
+  replay of the per-cycle path is what ``from_generator`` is for.
 """
 
 from __future__ import annotations
@@ -13,7 +26,10 @@ import random
 from abc import ABC, abstractmethod
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from .flit import Packet, PacketClass
+from .schedule import PACKET_CLASS_CODES, TrafficSchedule
 from .topology import Coordinate, MeshTopology
 
 
@@ -34,11 +50,63 @@ class TrafficGenerator(ABC):
         self.topology = topology
         self.injection_rate = injection_rate
         self.packet_size_flits = packet_size_flits
+        self.seed = seed
         self.rng = random.Random(seed)
 
     @abstractmethod
     def destination_for(self, source: Coordinate) -> Optional[Coordinate]:
         """Destination of a packet injected at ``source`` (None = no packet)."""
+
+    # ------------------------------------------------------------------
+    # Array-native schedule pregeneration
+    # ------------------------------------------------------------------
+    def schedule(self, cycles: int) -> TrafficSchedule:
+        """Pregenerate the whole packet schedule as arrays.
+
+        One ``numpy.random.default_rng(seed)`` drives the entire run: a
+        single ``(cycles, nodes)`` Bernoulli draw decides the injection
+        slots, then each pattern fills the destinations with a few
+        vectorized draws.  Packets come out ordered by (cycle, node)
+        row-major, the same offer order the per-cycle path produces.
+        """
+        n = self.topology.num_nodes
+        rng = np.random.default_rng(self.seed)
+        inject = rng.random((cycles, n)) < self.injection_rate
+        slot_cycle, slot_node = np.nonzero(inject)
+        src = slot_node.astype(np.int64)
+        dst = self._schedule_destinations(rng, src)
+        keep = (dst >= 0) & (dst != src)
+        size = np.full(int(keep.sum()), self.packet_size_flits, dtype=np.int64)
+        pclass = np.full(
+            size.size, PACKET_CLASS_CODES[PacketClass.DATA], dtype=np.int64
+        )
+        return TrafficSchedule(
+            cycle=slot_cycle[keep].astype(np.int64),
+            src=src[keep],
+            dst=dst[keep],
+            size=size,
+            pclass=pclass,
+        )
+
+    def _schedule_destinations(
+        self, rng: "np.random.Generator", src: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized destinations per injection slot (-1 = drop the slot)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no array-native schedule path"
+        )
+
+    def _uniform_destinations(
+        self, rng: "np.random.Generator", src: np.ndarray
+    ) -> np.ndarray:
+        """Uniform over all nodes, rejecting draws equal to the source."""
+        n = self.topology.num_nodes
+        dst = rng.integers(0, n, size=src.size).astype(np.int64)
+        bad = dst == src
+        while bad.any():
+            dst[bad] = rng.integers(0, n, size=int(bad.sum()))
+            bad = dst == src
+        return dst
 
     def packets_for_cycle(self, cycle: int) -> List[Packet]:
         """Packets offered to the network in the given cycle."""
@@ -72,6 +140,19 @@ class UniformRandomTraffic(TrafficGenerator):
             if dest != source:
                 return dest
 
+    def _schedule_destinations(self, rng, src):
+        return self._uniform_destinations(rng, src)
+
+
+def _destination_map(topology: MeshTopology, fn) -> np.ndarray:
+    """Node-id destination lookup for a deterministic pattern (-1 = none)."""
+    table = np.full(topology.num_nodes, -1, dtype=np.int64)
+    for node in range(topology.num_nodes):
+        dest = fn(topology.coordinate(node))
+        if dest is not None and topology.contains(dest):
+            table[node] = topology.node_id(dest)
+    return table
+
 
 class TransposeTraffic(TrafficGenerator):
     """Node (x, y) sends to (y, x); meaningful on square meshes."""
@@ -83,6 +164,9 @@ class TransposeTraffic(TrafficGenerator):
             return None
         return dest
 
+    def _schedule_destinations(self, rng, src):
+        return _destination_map(self.topology, lambda c: (c[1], c[0]))[src]
+
 
 class BitComplementTraffic(TrafficGenerator):
     """Node (x, y) sends to (W-1-x, H-1-y)."""
@@ -90,6 +174,12 @@ class BitComplementTraffic(TrafficGenerator):
     def destination_for(self, source: Coordinate) -> Optional[Coordinate]:
         x, y = source
         return (self.topology.width - 1 - x, self.topology.height - 1 - y)
+
+    def _schedule_destinations(self, rng, src):
+        topo = self.topology
+        return _destination_map(
+            topo, lambda c: (topo.width - 1 - c[0], topo.height - 1 - c[1])
+        )[src]
 
 
 class HotspotTraffic(TrafficGenerator):
@@ -131,6 +221,23 @@ class HotspotTraffic(TrafficGenerator):
             if dest != source:
                 return dest
 
+    def _schedule_destinations(self, rng, src):
+        topo = self.topology
+        spots = np.array([topo.node_id(s) for s in self.hotspots], dtype=np.int64)
+        # Per-source candidate hotspots (the source itself excluded).
+        candidates = np.tile(spots, (topo.num_nodes, 1))
+        is_self = candidates == np.arange(topo.num_nodes)[:, None]
+        counts = (~is_self).sum(axis=1)
+        # Pack each row's valid candidates to the front.
+        packed = np.where(is_self, np.iinfo(np.int64).max, candidates)
+        packed.sort(axis=1)
+        hot = rng.random(src.size) < self.hotspot_fraction
+        hot &= counts[src] > 0
+        pick = (rng.random(src.size) * counts[src]).astype(np.int64)
+        dst = self._uniform_destinations(rng, src)
+        dst[hot] = packed[src[hot], pick[hot]]
+        return dst
+
 
 class NeighborTraffic(TrafficGenerator):
     """Each node sends to a random mesh neighbour (short-range traffic).
@@ -144,6 +251,19 @@ class NeighborTraffic(TrafficGenerator):
         if not neighbors:
             return None
         return self.rng.choice(neighbors)
+
+    def _schedule_destinations(self, rng, src):
+        topo = self.topology
+        max_deg = 4
+        table = np.full((topo.num_nodes, max_deg), -1, dtype=np.int64)
+        degree = np.zeros(topo.num_nodes, dtype=np.int64)
+        for node in range(topo.num_nodes):
+            coord = topo.coordinate(node)
+            for i, ncoord in enumerate(topo.neighbors(coord).values()):
+                table[node, i] = topo.node_id(ncoord)
+            degree[node] = topo.degree(coord)
+        pick = (rng.random(src.size) * degree[src]).astype(np.int64)
+        return table[src, pick]
 
 
 class TraceTraffic:

@@ -22,6 +22,7 @@ model: a small library of composable load patterns spanning a whole study):
 """
 
 from .compile import CompiledScenario, ScenarioResult, compile_scenario, run_scenario
+from .noc_cost import NocCostModel, epoch_noc_latencies, noc_cost_probe
 from .patterns import (
     BurstPattern,
     ConstantPattern,
@@ -47,6 +48,9 @@ __all__ = [
     "DutyCyclePattern",
     "FaultPattern",
     "HotspotPattern",
+    "NocCostModel",
+    "epoch_noc_latencies",
+    "noc_cost_probe",
     "Pattern",
     "ProductPattern",
     "RampPattern",

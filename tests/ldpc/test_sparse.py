@@ -128,6 +128,55 @@ class TestParityWithDense:
         assert np.array_equal(expected.success, actual.success)
 
 
+class TestFusedCheckNodeKernels:
+    """The reshape/partition fast path and its irregular-layout fallback."""
+
+    def test_regular_code_takes_the_fused_path(self, code):
+        graph, _ = code
+        assert EdgeStructure(graph).uniform_check_degree == 6
+
+    def test_irregular_check_degrees_disable_fusion(self):
+        H = self._irregular_matrix()
+        assert EdgeStructure(TannerGraph(H)).uniform_check_degree is None
+
+    def test_segment_signs_match_float_reduceat(self):
+        graph = TannerGraph(self._irregular_matrix())
+        edges = EdgeStructure(graph)
+        rng = np.random.default_rng(7)
+        v_to_c = rng.normal(size=(6, edges.num_edges))
+        v_to_c[0, :3] = 0.0  # zeros count as positive
+        signs = np.where(v_to_c < 0, -1.0, 1.0)
+        expected = np.multiply.reduceat(signs, edges.check_ptr, axis=1)
+        assert np.array_equal(edges.segment_signs(v_to_c), expected)
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_irregular_fallback_matches_dense(self, variant):
+        """Mixed row weights force the reduceat path; parity must hold."""
+        graph = TannerGraph(self._irregular_matrix())
+        dense = make_decoder(variant, graph, max_iterations=10)
+        sparse = make_decoder(variant, graph, max_iterations=10, backend="sparse")
+        rng = np.random.default_rng(41)
+        llrs = rng.normal(loc=0.8, scale=1.5, size=(12, graph.n))
+        expected = dense.decode_batch(llrs)
+        actual = sparse.decode_batch(llrs)
+        assert np.array_equal(expected.decoded_bits, actual.decoded_bits)
+        assert np.array_equal(expected.iterations, actual.iterations)
+        assert np.array_equal(expected.success, actual.success)
+
+    @staticmethod
+    def _irregular_matrix():
+        """A small parity matrix whose checks have degrees 2, 3 and 4."""
+        H = np.zeros((6, 12), dtype=np.uint8)
+        rng = np.random.default_rng(17)
+        for row, degree in enumerate((2, 3, 4, 2, 4, 3)):
+            cols = rng.choice(12, size=degree, replace=False)
+            H[row, cols] = 1
+        # Every variable needs at least one check.
+        for col in np.flatnonzero(H.sum(axis=0) == 0):
+            H[rng.integers(0, 6), col] = 1
+        return H
+
+
 class TestBatchSemantics:
     def test_batch_indexing_and_aggregates(self, code):
         graph, encoder = code

@@ -1,0 +1,149 @@
+"""Validation of the analytic wormhole latency model against the event engine."""
+
+import numpy as np
+import pytest
+
+from repro.noc.analytic import (
+    AnalyticPoint,
+    analytic_curve,
+    analytic_latency,
+    destination_probabilities,
+    saturation_rate,
+)
+from repro.noc.batch import latency_curve
+from repro.noc.topology import MeshTopology
+
+AGREEMENT_CONFIGS = [
+    (4, "uniform", {}),
+    (5, "uniform", {}),
+    (4, "hotspot", {"hotspots": [(1, 1), (2, 2)]}),
+    (4, "neighbor", {}),
+]
+
+
+class TestAgreementWithEventEngine:
+    """<10% mean-latency error below saturation for stochastic patterns."""
+
+    @pytest.mark.parametrize(
+        "size,pattern,kwargs",
+        AGREEMENT_CONFIGS,
+        ids=[f"{c[0]}x{c[0]}-{c[1]}" for c in AGREEMENT_CONFIGS],
+    )
+    def test_below_saturation_agreement(self, size, pattern, kwargs):
+        topology = MeshTopology(size, size)
+        sat = saturation_rate(topology, pattern, **kwargs)
+        rates = np.linspace(0.15, 0.8, 4) * sat
+        measured = latency_curve(
+            topology, pattern, rates, cycles=2000, warmup_cycles=300, seed=0, **kwargs
+        ).avg_latency
+        analytic = [p.avg_latency for p in analytic_curve(topology, pattern, rates, **kwargs)]
+        errors = np.abs(np.asarray(analytic) - measured) / measured
+        assert errors.max() < 0.10, f"worst error {errors.max():.1%}"
+
+    def test_transpose_is_a_conservative_upper_bound(self):
+        """Deterministic permutations see smoother arrivals than the model
+        assumes, so the estimate must sit above the measurement (and within
+        a loose factor), never below it."""
+        topology = MeshTopology(4, 4)
+        sat = saturation_rate(topology, "transpose")
+        rates = np.linspace(0.2, 0.8, 3) * sat
+        measured = latency_curve(
+            topology, "transpose", rates, cycles=1500, warmup_cycles=200, seed=0
+        ).avg_latency
+        analytic = np.array(
+            [p.avg_latency for p in analytic_curve(topology, "transpose", rates)]
+        )
+        assert np.all(analytic >= measured)
+        assert np.all(analytic < 1.6 * measured)
+
+
+class TestModelStructure:
+    def test_zero_load_latency_is_hops_plus_serialization(self):
+        topology = MeshTopology(4, 4)
+        point = analytic_latency(topology, "uniform", 1e-9)
+        # Flow-weighted mean hops of uniform traffic + L + 1 ejection cycle.
+        mean_hops = 0.0
+        n = topology.num_nodes
+        for s in range(n):
+            for d in range(n):
+                if s != d:
+                    mean_hops += topology.manhattan_distance(
+                        topology.coordinate(s), topology.coordinate(d)
+                    )
+        mean_hops /= n * (n - 1)
+        assert point.avg_latency == pytest.approx(mean_hops + 4 + 1, abs=1e-3)
+
+    def test_saturation_below_capacity(self):
+        topology = MeshTopology(4, 4)
+        point = analytic_latency(topology, "uniform", 0.05)
+        assert point.saturation_rate < point.capacity_rate
+        assert not point.saturated
+
+    def test_saturated_flag_and_divergence(self):
+        topology = MeshTopology(4, 4)
+        sat = saturation_rate(topology, "uniform")
+        assert analytic_latency(topology, "uniform", 1.01 * sat).saturated
+        beyond = analytic_latency(topology, "uniform", 10.0)
+        assert beyond.saturated
+        assert not beyond.finite
+
+    def test_hotspot_saturates_earlier_than_uniform(self):
+        topology = MeshTopology(4, 4)
+        uniform = saturation_rate(topology, "uniform")
+        hotspot = saturation_rate(
+            topology, "hotspot", hotspots=[(1, 1)], hotspot_fraction=0.7
+        )
+        assert hotspot < uniform
+
+    def test_latency_increases_with_rate(self):
+        topology = MeshTopology(5, 5)
+        sat = saturation_rate(topology, "uniform")
+        latencies = [
+            p.avg_latency
+            for p in analytic_curve(topology, "uniform", np.linspace(0.1, 0.9, 8) * sat)
+        ]
+        assert np.all(np.diff(latencies) > 0)
+
+
+class TestDestinationProbabilities:
+    def test_uniform_rows(self):
+        topology = MeshTopology(4, 4)
+        probs = destination_probabilities("uniform", topology)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert np.all(np.diag(probs) == 0)
+        assert np.allclose(probs[probs > 0], 1.0 / 15)
+
+    def test_transpose_diagonal_rows_are_empty(self):
+        topology = MeshTopology(4, 4)
+        probs = destination_probabilities("transpose", topology)
+        for i in range(4):
+            assert probs[topology.node_id((i, i))].sum() == 0
+        off = probs.sum(axis=1)
+        assert np.all((off == 0) | (off == 1))
+
+    def test_hotspot_mass(self):
+        topology = MeshTopology(4, 4)
+        spots = [(1, 1), (2, 2)]
+        probs = destination_probabilities(
+            "hotspot", topology, hotspots=spots, hotspot_fraction=0.6
+        )
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        spot_ids = [topology.node_id(s) for s in spots]
+        # A non-hotspot source sends >= 60% of its traffic to the spots.
+        source = topology.node_id((0, 0))
+        assert probs[source, spot_ids].sum() > 0.6
+
+    def test_neighbor_rows(self):
+        topology = MeshTopology(4, 4)
+        probs = destination_probabilities("neighbor", topology)
+        corner = topology.node_id((0, 0))
+        assert np.count_nonzero(probs[corner]) == 2
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError, match="unknown traffic pattern"):
+            destination_probabilities("nope", MeshTopology(4, 4))
+
+    def test_hotspot_requires_spots(self):
+        with pytest.raises(ValueError, match="hotspot"):
+            destination_probabilities("hotspot", MeshTopology(4, 4))

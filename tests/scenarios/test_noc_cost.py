@@ -1,0 +1,91 @@
+"""Tests for the scenario engine's cached NoC cost probes."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.noc.analytic import analytic_latency
+from repro.scenarios.noc_cost import (
+    _MODEL_CACHE,
+    NocCostModel,
+    epoch_noc_latencies,
+    noc_cost_probe,
+)
+
+
+class TestProbeCache:
+    def test_probe_matches_direct_analytic_call(self):
+        from repro.noc.topology import MeshTopology
+
+        direct = analytic_latency(MeshTopology(4, 4), "uniform", 0.05)
+        probed = noc_cost_probe(4, 4, "uniform", 0.05)
+        assert probed.avg_latency == direct.avg_latency
+        assert probed.saturation_rate == direct.saturation_rate
+
+    def test_model_is_built_once_per_configuration(self):
+        _MODEL_CACHE.clear()
+        for rate in (0.01, 0.02, 0.03):
+            noc_cost_probe(5, 5, "uniform", rate)
+        assert len(_MODEL_CACHE) == 1
+        noc_cost_probe(5, 5, "uniform", 0.01, routing="yx")
+        assert len(_MODEL_CACHE) == 2
+
+    def test_hotspot_kwargs_participate_in_the_key(self):
+        _MODEL_CACHE.clear()
+        noc_cost_probe(4, 4, "hotspot", 0.01, hotspots=[(1, 1)])
+        noc_cost_probe(4, 4, "hotspot", 0.01, hotspots=[(2, 2)])
+        assert len(_MODEL_CACHE) == 2
+
+    def test_concurrent_probes_are_consistent(self):
+        _MODEL_CACHE.clear()
+        results = []
+
+        def worker():
+            results.append(noc_cost_probe(4, 4, "uniform", 0.04).avg_latency)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(results)) == 1
+        assert len(_MODEL_CACHE) == 1
+
+
+class TestEpochCosts:
+    def model(self):
+        return NocCostModel(width=4, height=4, base_injection_rate=0.04)
+
+    def test_flat_scenario_uses_base_rate(self):
+        model = self.model()
+        latencies, saturated = epoch_noc_latencies(model, None, num_epochs=5)
+        expected = model.probe(0.04).avg_latency
+        assert latencies.shape == (5,)
+        assert np.allclose(latencies, expected)
+        assert not saturated.any()
+
+    def test_modulated_epochs_price_congestion(self):
+        model = self.model()
+        modulation = np.array([[0.5, 0.5], [1.0, 1.0], [2.0, 2.0]])
+        latencies, saturated = epoch_noc_latencies(model, modulation)
+        assert latencies[0] < latencies[1] < latencies[2]
+        assert not saturated.any()
+
+    def test_saturated_epochs_are_flagged_and_finite(self):
+        model = self.model()
+        # 10x the base rate pushes far past the 4x4 saturation rate.
+        modulation = np.array([[1.0], [10.0]])
+        latencies, saturated = epoch_noc_latencies(model, modulation)
+        assert saturated.tolist() == [False, True]
+        assert np.isfinite(latencies).all()
+        assert latencies[1] > latencies[0]
+
+    def test_requires_epoch_count_without_modulation(self):
+        with pytest.raises(ValueError, match="num_epochs"):
+            epoch_noc_latencies(self.model(), None)
+
+    def test_one_dimensional_modulation_accepted(self):
+        latencies, _ = epoch_noc_latencies(self.model(), np.array([0.5, 1.5]))
+        assert latencies.shape == (2,)
+        assert latencies[1] > latencies[0]
