@@ -28,7 +28,6 @@ import pytest
 import perf_utils
 from conftest import print_rows
 
-from repro.analysis.sweep import PAPER_PERIODS_US, run_period_sweep
 from repro.core.experiment import ExperimentSettings, ThermalExperiment
 from repro.core.metrics import ThermalMetrics
 from repro.core.policy import PeriodicMigrationPolicy
@@ -458,54 +457,6 @@ def test_sparse_syndrome_precompute(benchmark):
     )
 
 
-def test_parallel_period_sweep(benchmark, chip_a):
-    """3-period sweep through the runner: deterministic, n_jobs>1 recorded."""
-    kwargs = {
-        "scheme": "xy-shift",
-        "periods_us": PAPER_PERIODS_US,
-        "mode": "steady",
-        "num_epochs": 41,
-    }
-    solver = chip_a.thermal_model.solver
-    solves_before = solver.steady_solve_count
-    factorizations_before = solver.step_factorization_count
-    with perf_utils.timed() as serial_timer:
-        serial = run_period_sweep(chip_a, **kwargs)
-    # Regression guard: a steady sweep performs one batched solve per
-    # experiment against the single construction-time factorisation — no
-    # per-epoch solves, no step-matrix factorisations.
-    assert solver.steady_solve_count - solves_before == len(PAPER_PERIODS_US)
-    assert solver.step_factorization_count == factorizations_before
-    with perf_utils.timed() as parallel_timer:
-        parallel = benchmark.pedantic(
-            run_period_sweep,
-            args=(chip_a,),
-            kwargs={**kwargs, "n_jobs": 3},
-            rounds=1,
-            iterations=1,
-        )
-
-    assert [p.period_us for p in parallel.points] == [p.period_us for p in serial.points]
-    for serial_point, parallel_point in zip(serial.points, parallel.points):
-        assert parallel_point.throughput_penalty == serial_point.throughput_penalty
-        assert parallel_point.settled_peak_celsius == serial_point.settled_peak_celsius
-
-    perf_utils.record_perf(
-        "analysis.period_sweep.n_jobs3",
-        parallel_timer.seconds,
-        throughput=len(PAPER_PERIODS_US) / parallel_timer.seconds,
-        throughput_unit="periods/s",
-        baseline_wall_s=serial_timer.seconds,
-        baseline="serial sweep (seed)",
-        n_jobs=3,
-    )
-    print_rows(
-        "3-period sweep: serial vs n_jobs=3",
-        [
-            {
-                "serial_ms": round(1e3 * serial_timer.seconds, 1),
-                "n_jobs3_ms": round(1e3 * parallel_timer.seconds, 1),
-                "speedup": round(serial_timer.seconds / parallel_timer.seconds, 2),
-            }
-        ],
-    )
+# The parallel 3-period sweep (analysis.period_sweep.n_jobs3) moved to
+# bench_period_sweep.py, where the cost-aware execution plan is asserted to
+# never ship a parallel path slower than serial.

@@ -3,6 +3,11 @@
 These helpers run the experiments behind each of the paper's results and
 format them as plain-text tables (and CSV rows) so the benchmark harness and
 the examples can print exactly what the paper plots.
+
+:func:`format_rows` is the shared table renderer for every layer above —
+the CLI's scenario/sweep tables and the campaign engine's per-axis marginal
+report (:mod:`repro.campaign.report`) all print through it, so fleet-scale
+output lines up column-for-column with single-run output.
 """
 
 from __future__ import annotations

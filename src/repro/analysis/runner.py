@@ -16,6 +16,17 @@ other positive integer caps the worker count.  Tasks submitted to the
 process executor must be picklable, which is why the sweep/ablation/DTM
 workers are module-level functions.
 
+Call sites that know roughly how expensive one task is pass
+``est_task_seconds`` and :func:`plan_execution` picks the execution tier
+honestly: process pools only for tasks heavy enough to amortise pickling and
+IPC, the GIL-releasing thread pool for mid-weight numeric tasks, and plain
+serial execution when the tasks are so cheap that any fan-out overhead
+swamps them (or the host has a single CPU, where CPU-bound fan-out cannot
+win).  The recorded ``analysis.period_sweep.n_jobs3`` regression — a
+3-point steady sweep running 4x *slower* through the process pool than
+serially — is exactly what this guards against: asking for parallelism can
+no longer ship a slower path than serial.
+
 Worker pools are **persistent**: the first parallel call spawns the pool and
 later calls with the same (executor kind, worker count) reuse it, so sweeps
 made of many small parallel calls pay process spawn + interpreter start-up
@@ -123,6 +134,44 @@ def resolve_jobs(n_jobs: Optional[int], num_tasks: int) -> int:
     return min(n_jobs, num_tasks)
 
 
+#: Tasks cheaper than this cannot amortise pickling + IPC to a process
+#: worker; requests for a process pool are downgraded to the thread pool.
+#: (The recorded regression: 5 ms sweep points lost 4x through processes.)
+PROCESS_TASK_FLOOR_S = 0.05
+
+#: Tasks cheaper than this cannot amortise even a thread-pool dispatch;
+#: the plan falls back to plain serial execution.
+SERIAL_TASK_FLOOR_S = 0.002
+
+
+def plan_execution(
+    n_jobs: Optional[int],
+    num_tasks: int,
+    est_task_seconds: Optional[float] = None,
+    executor: str = "process",
+) -> Tuple[int, str]:
+    """Cost-aware ``(workers, executor)`` plan for a parallel call.
+
+    Without a cost estimate this is exactly :func:`resolve_jobs` — the
+    caller's request stands.  With one, cheap task sets are downgraded so a
+    parallel request can never run slower than serial: sub-``50 ms`` tasks
+    skip the process pool (pickling + IPC dominates; the thread pool shares
+    the process-wide caches and the hot paths release the GIL), sub-``2 ms``
+    tasks run serially outright, and any downgraded-to-thread plan on a
+    single-CPU host runs serially too (CPU-bound fan-out cannot win there).
+    """
+    workers = resolve_jobs(n_jobs, num_tasks)
+    if workers <= 1 or est_task_seconds is None:
+        return workers, executor
+    if executor == "process" and est_task_seconds < PROCESS_TASK_FLOOR_S:
+        executor = "thread"
+    if executor == "thread" and (
+        est_task_seconds < SERIAL_TASK_FLOOR_S or (os.cpu_count() or 1) < 2
+    ):
+        return 1, executor
+    return workers, executor
+
+
 def _make_executor(executor: str, workers: int) -> Executor:
     if executor == "process":
         return ProcessPoolExecutor(max_workers=workers)
@@ -131,11 +180,80 @@ def _make_executor(executor: str, workers: int) -> Executor:
     raise ValueError(f"unknown executor {executor!r}; choose from {EXECUTORS}")
 
 
+def run_parallel_iter(
+    tasks: Sequence[Callable[[], T]],
+    n_jobs: Optional[int] = None,
+    executor: str = "process",
+    reuse_pool: bool = True,
+    est_task_seconds: Optional[float] = None,
+):
+    """Run zero-argument tasks, yielding ``(index, result)`` as each completes.
+
+    The streaming counterpart of :func:`run_parallel`: results arrive in
+    **completion order**, tagged with their task index, so callers that
+    checkpoint incrementally (the campaign journal) can persist each result
+    the moment it exists instead of waiting for the whole batch.  The serial
+    plan yields in task order; parallel plans keep at most ``workers`` tasks
+    in flight (windowed submission against the possibly-larger shared pool).
+
+    Abandoning the generator mid-iteration triggers the same cleanup as a
+    task failure: pending futures are cancelled and running ones drained, so
+    the shared persistent pool is never left executing orphaned work.
+    """
+    if executor not in EXECUTORS:
+        raise ValueError(f"unknown executor {executor!r}; choose from {EXECUTORS}")
+    workers, executor = plan_execution(n_jobs, len(tasks), est_task_seconds, executor)
+    if workers <= 1 or len(tasks) <= 1:
+        for index, task in enumerate(tasks):
+            yield index, task()
+        return
+    if reuse_pool:
+        pool = _persistent_executor(executor, workers)
+    else:
+        pool = _make_executor(executor, workers)
+    in_flight: Dict[Future, int] = {}
+    try:
+        # The cached pool may be larger than this call's n_jobs; windowed
+        # submission keeps at most ``workers`` tasks in flight so the
+        # caller's concurrency cap holds regardless of pool size.
+        next_index = 0
+        while next_index < len(tasks) or in_flight:
+            while next_index < len(tasks) and len(in_flight) < workers:
+                in_flight[pool.submit(tasks[next_index])] = next_index
+                next_index += 1
+            done, _pending = wait(in_flight, return_when=FIRST_COMPLETED)
+            for future in done:
+                yield in_flight.pop(future), future.result()
+    except BrokenProcessPool:
+        # A dead worker poisons the whole pool; evict it so later calls
+        # start from a fresh one, then surface the failure.
+        _evict_executor(pool)
+        raise
+    except (Exception, GeneratorExit):
+        # The pool may be persistent and shared: a raising task (or an
+        # abandoned generator, which arrives here as GeneratorExit) must not
+        # leave this call's siblings running in it, where they would
+        # interleave with the next caller's work.  Cancel whatever has not
+        # started and drain whatever has, then surface the original failure.
+        # Only ordinary failures drain: KeyboardInterrupt stays uncaught so
+        # it keeps propagating immediately instead of blocking on running
+        # tasks.
+        for future in in_flight:
+            future.cancel()
+        if in_flight:
+            wait(list(in_flight))
+        raise
+    finally:
+        if not reuse_pool:
+            pool.shutdown(wait=True)
+
+
 def run_parallel(
     tasks: Sequence[Callable[[], T]],
     n_jobs: Optional[int] = None,
     executor: str = "process",
     reuse_pool: bool = True,
+    est_task_seconds: Optional[float] = None,
 ) -> List[T]:
     """Run zero-argument tasks, returning results in task order.
 
@@ -146,51 +264,22 @@ def run_parallel(
     ``reuse_pool`` (the default) keeps the worker pool alive between calls so
     repeated sweeps amortise process spawn and start-up cost; pass ``False``
     for a one-shot pool that is torn down before returning.
+
+    ``est_task_seconds`` is the caller's rough per-task cost estimate; when
+    given, :func:`plan_execution` may downgrade the execution tier (process
+    -> thread -> serial) so a parallel request on cheap tasks never runs
+    slower than serial.
     """
-    if executor not in EXECUTORS:
-        raise ValueError(f"unknown executor {executor!r}; choose from {EXECUTORS}")
-    workers = resolve_jobs(n_jobs, len(tasks))
-    if workers <= 1 or len(tasks) <= 1:
-        return [task() for task in tasks]
-    if not reuse_pool:
-        with _make_executor(executor, workers) as pool:
-            futures = [pool.submit(task) for task in tasks]
-            return [future.result() for future in futures]
-    pool = _persistent_executor(executor, workers)
-    in_flight: Dict[Future, int] = {}
-    try:
-        # The cached pool may be larger than this call's n_jobs; windowed
-        # submission keeps at most ``workers`` tasks in flight so the
-        # caller's concurrency cap holds regardless of pool size.  Results
-        # are keyed by task index: deterministic order independent of which
-        # worker finishes first.
-        results: List[T] = [None] * len(tasks)  # type: ignore[list-item]
-        next_index = 0
-        while next_index < len(tasks) or in_flight:
-            while next_index < len(tasks) and len(in_flight) < workers:
-                in_flight[pool.submit(tasks[next_index])] = next_index
-                next_index += 1
-            done, _pending = wait(in_flight, return_when=FIRST_COMPLETED)
-            for future in done:
-                results[in_flight.pop(future)] = future.result()
-        return results
-    except BrokenProcessPool:
-        # A dead worker poisons the whole pool; evict it so later calls
-        # start from a fresh one, then surface the failure.
-        _evict_executor(pool)
-        raise
-    except Exception:
-        # The pool is persistent and shared: a raising task must not leave
-        # this call's siblings running in it, where they would interleave
-        # with the next caller's work.  Cancel whatever has not started and
-        # drain whatever has, then surface the original failure.  Only
-        # ordinary task failures drain: KeyboardInterrupt must keep
-        # propagating immediately instead of blocking on running tasks.
-        for future in in_flight:
-            future.cancel()
-        if in_flight:
-            wait(list(in_flight))
-        raise
+    results: List[T] = [None] * len(tasks)  # type: ignore[list-item]
+    for index, result in run_parallel_iter(
+        tasks,
+        n_jobs=n_jobs,
+        executor=executor,
+        reuse_pool=reuse_pool,
+        est_task_seconds=est_task_seconds,
+    ):
+        results[index] = result
+    return results
 
 
 # ----------------------------------------------------------------------

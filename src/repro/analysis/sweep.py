@@ -22,6 +22,18 @@ from .runner import run_parallel, run_single_experiment
 #: The three migration periods evaluated in the paper (microseconds).
 PAPER_PERIODS_US = (109.0, 437.2, 874.4)
 
+
+def experiment_cost_hint_s(mode: str, num_epochs: int) -> float:
+    """Rough wall-clock of one batched experiment, for execution planning.
+
+    Calibrated against the recorded hot paths (``experiment.steady.batched``
+    ~0.7 ms / 41 epochs plus controller overhead, transient roughly double):
+    the point is the order of magnitude, which decides process vs thread vs
+    serial in :func:`repro.analysis.runner.plan_execution`, not the digit.
+    """
+    per_epoch = 2.5e-4 if mode == "transient" else 1.2e-4
+    return num_epochs * per_epoch
+
 #: Paper-reported throughput penalties for those periods (upper bounds).
 PAPER_PENALTIES = {109.0: 0.016, 437.2: 0.004, 874.4: 0.002}
 
@@ -118,15 +130,22 @@ def run_period_sweep(
 ) -> PeriodSweepResult:
     """Sweep the migration period for one configuration and scheme.
 
-    ``n_jobs`` fans the periods out over worker processes (see
+    ``n_jobs`` fans the periods out over workers (see
     :func:`repro.analysis.runner.run_parallel`); point order always follows
-    ``periods_us``.
+    ``periods_us``.  The per-point cost hint lets the runner downgrade cheap
+    sweeps to thread or serial execution — a batched 41-epoch point is a few
+    milliseconds, which a process pool can only make slower.
     """
     tasks = [
         partial(_sweep_point, configuration, scheme, period, mode, num_epochs)
         for period in periods_us
     ]
-    points = run_parallel(tasks, n_jobs=n_jobs, executor=executor)
+    points = run_parallel(
+        tasks,
+        n_jobs=n_jobs,
+        executor=executor,
+        est_task_seconds=experiment_cost_hint_s(mode, num_epochs),
+    )
     return PeriodSweepResult(
         configuration=configuration.name, scheme=scheme, points=points
     )
@@ -192,7 +211,12 @@ def run_energy_ablation(
         partial(_ablation_case, configuration, scheme, period_us, num_epochs, include)
         for include in (True, False)
     ]
-    with_energy, without_energy = run_parallel(tasks, n_jobs=n_jobs, executor=executor)
+    with_energy, without_energy = run_parallel(
+        tasks,
+        n_jobs=n_jobs,
+        executor=executor,
+        est_task_seconds=experiment_cost_hint_s("steady", num_epochs),
+    )
     return EnergyAblationResult(
         configuration=configuration.name,
         scheme=scheme,

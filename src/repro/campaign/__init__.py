@@ -1,0 +1,46 @@
+"""Fleet-scale sweep campaigns over the scenario engine.
+
+A campaign multiplies the scenario library into a declarative grid —
+scenarios x chip configurations x reconfiguration schemes x feedback
+strides x thermal methods — and executes it with the economics of a build
+system rather than a benchmark script:
+
+* :mod:`repro.campaign.spec` — the frozen, JSON-round-trippable
+  :class:`CampaignSpec`, its deterministic expansion into
+  :class:`CampaignJob` cells, and the JSON-exact :class:`JobResult` record;
+* :mod:`repro.campaign.cache` — content-addressed results keyed by
+  (canonical job spec, fingerprint of the code the job touches), so warm
+  re-runs are pure lookups and an edit invalidates exactly what it changed;
+* :mod:`repro.campaign.manifest` — the campaign directory: spec binding,
+  append-only completion journal (resume-after-kill), report file;
+* :mod:`repro.campaign.executor` — :func:`run_campaign`: journal replay,
+  cache probing, key-deduplicated sharded evaluation through the
+  persistent worker pools, evidence-based ``n_jobs="auto"`` sizing, dry-run
+  forecasting;
+* :mod:`repro.campaign.report` — per-axis marginal aggregation.
+
+The CLI surface is ``python -m repro campaign run|list|status|report``.
+"""
+
+from .cache import ResultCache, code_fingerprint, job_cache_key, modules_for_spec
+from .executor import CampaignRun, auto_plan, campaign_status, run_campaign
+from .report import AxisMarginal, CampaignReport, build_report
+from .spec import CampaignJob, CampaignSpec, JobResult, evaluate_job
+
+__all__ = [
+    "AxisMarginal",
+    "CampaignJob",
+    "CampaignReport",
+    "CampaignRun",
+    "CampaignSpec",
+    "JobResult",
+    "ResultCache",
+    "auto_plan",
+    "build_report",
+    "campaign_status",
+    "code_fingerprint",
+    "evaluate_job",
+    "job_cache_key",
+    "modules_for_spec",
+    "run_campaign",
+]

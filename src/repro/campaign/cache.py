@@ -1,0 +1,176 @@
+"""Content-addressed result cache for campaign jobs.
+
+A job's cache key binds **what runs** to **the code that runs it**:
+
+``sha256(canonical spec JSON + "\\n" + code fingerprint)``
+
+The spec side is :meth:`repro.scenarios.spec.ScenarioSpec.canonical_json` —
+sorted keys, no whitespace, repr-exact floats — so the same derived spec
+hashes identically in every process on every platform.  The code side is a
+fingerprint of the ``.py`` sources of the module groups the job actually
+touches: every job depends on the thermal/migration/scenario core, jobs with
+an SNR channel additionally depend on the LDPC stack, and jobs with a ``noc``
+channel on the analytic NoC model.  Editing a scenario therefore invalidates
+only that scenario's jobs; editing ``repro.ldpc`` invalidates only the jobs
+that decode; editing the core invalidates everything — and *nothing else*
+ever does.
+
+The cache itself is a content-addressed directory store: one JSON file per
+key, fanned out over 256 two-hex-digit shards, written atomically
+(temp file + ``os.replace``) so concurrent shards and interrupted campaigns
+never publish torn entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..scenarios.spec import ScenarioSpec
+
+#: Module groups -> the ``repro`` subpackages whose sources they fingerprint.
+#: "core" is everything a plain thermal scenario touches; "ldpc" and "noc"
+#: are the optional channels.
+MODULE_GROUPS: Dict[str, Tuple[str, ...]] = {
+    "core": (
+        "chips",
+        "core",
+        "migration",
+        "placement",
+        "power",
+        "scenarios",
+        "thermal",
+    ),
+    "ldpc": ("ldpc",),
+    "noc": ("noc",),
+}
+
+
+def modules_for_spec(spec: ScenarioSpec) -> Tuple[str, ...]:
+    """The module groups one scenario's evaluation can possibly touch."""
+    groups = ["core"]
+    if spec.snr_db is not None:
+        groups.append("ldpc")
+    if spec.noc is not None:
+        groups.append("noc")
+    return tuple(groups)
+
+
+def _package_root() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+#: (root, groups) -> fingerprint hex digest; sources don't change under a
+#: running process, so each combination is hashed once.
+_FINGERPRINT_CACHE: Dict[Tuple[str, Tuple[str, ...]], str] = {}
+_FINGERPRINT_LOCK = threading.Lock()
+
+
+def code_fingerprint(
+    groups: Iterable[str], root: Optional[Path] = None
+) -> str:
+    """SHA-256 over the ``.py`` sources of the given module groups.
+
+    Files are hashed in sorted relative-path order with their paths mixed in,
+    so renames, additions and deletions all change the fingerprint, and the
+    digest is independent of filesystem iteration order.
+    """
+    groups = tuple(sorted(set(groups)))
+    unknown = set(groups) - set(MODULE_GROUPS)
+    if unknown:
+        raise ValueError(f"unknown module groups: {sorted(unknown)}")
+    # Only the installed package root is memoized: its sources cannot change
+    # under a running process.  Explicit roots (tests fingerprinting mutable
+    # source trees) are re-hashed every call.
+    memoize = root is None
+    base = _package_root() if root is None else Path(root)
+    key = (str(base), groups)
+    if memoize:
+        with _FINGERPRINT_LOCK:
+            cached = _FINGERPRINT_CACHE.get(key)
+        if cached is not None:
+            return cached
+    digest = hashlib.sha256()
+    for group in groups:
+        digest.update(f"[{group}]".encode("utf-8"))
+        for subpackage in MODULE_GROUPS[group]:
+            package_dir = base / subpackage
+            if not package_dir.is_dir():
+                continue
+            for source in sorted(package_dir.rglob("*.py")):
+                rel = source.relative_to(base).as_posix()
+                digest.update(rel.encode("utf-8"))
+                digest.update(b"\x00")
+                digest.update(source.read_bytes())
+                digest.update(b"\x00")
+    fingerprint = digest.hexdigest()
+    if memoize:
+        with _FINGERPRINT_LOCK:
+            _FINGERPRINT_CACHE[key] = fingerprint
+    return fingerprint
+
+
+def job_cache_key(spec: ScenarioSpec, fingerprint: str) -> str:
+    """Content-addressed key of one job: spec identity x code identity."""
+    payload = spec.canonical_json() + "\n" + fingerprint
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory-backed content-addressed store of job-result payloads.
+
+    Entries are immutable by construction — the key commits to both the spec
+    and the code, so a published payload is never rewritten with different
+    content.  ``put`` is therefore a blind atomic publish and ``get`` a
+    single read.
+    """
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+
+    def _entry_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """The stored payload for ``key``, or None on a miss."""
+        path = self._entry_path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError:
+            # A torn entry can only come from an unclean copy of the cache
+            # directory itself (writes are atomic); treat it as a miss and
+            # let the next put repair it.
+            return None
+
+    def put(self, key: str, payload: Dict[str, object]) -> None:
+        """Atomically publish ``payload`` under ``key``."""
+        path = self._entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, allow_nan=False)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except FileNotFoundError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))

@@ -1,0 +1,327 @@
+"""Sharded, resumable, cache-aware campaign execution.
+
+:func:`run_campaign` drives one campaign directory end to end:
+
+1. **Expand** the spec into its deterministic job grid and compute every
+   job's content-addressed key (spec canonical JSON x code fingerprint).
+2. **Replay** the directory's journal: entries whose recorded key still
+   matches replay for free — an interrupted campaign resumes exactly where
+   it was killed, and a spec or code edit silently invalidates only the
+   affected lines.
+3. **Probe the cache** for the remainder: warm re-runs of unchanged
+   campaigns are pure cache lookups, performing *zero* scenario
+   evaluations.
+4. **Evaluate** the misses — deduplicated by key, fanned across the
+   persistent worker pools via the streaming
+   :func:`~repro.analysis.runner.run_parallel_iter`, each result journaled
+   and published to the cache the moment it completes (so a kill at any
+   point loses at most the in-flight jobs).
+5. **Report**: per-axis marginals, written to ``report.json``.
+
+``n_jobs="auto"`` sizes the shard from recorded evidence rather than
+optimism: the ``analysis.scenario_suite.multicore`` entry in
+``BENCH_perf.json`` says what fan-out actually bought on this machine the
+last time the benchmark ran, and the campaign only fans out when that
+recorded speedup cleared 1.05x.  Everything still flows through
+:func:`~repro.analysis.runner.plan_execution`, so cheap grids degrade to
+serial instead of paying dispatch overhead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from functools import partial
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..analysis.runner import run_parallel_iter
+from ..analysis.sweep import experiment_cost_hint_s
+from . import manifest
+from .cache import ResultCache, code_fingerprint, job_cache_key, modules_for_spec
+from .report import CampaignReport, build_report
+from .spec import CampaignJob, CampaignSpec, JobResult, evaluate_job
+
+#: Minimum recorded multicore speedup before "auto" fans a campaign out.
+AUTO_SPEEDUP_GATE = 1.05
+
+
+@dataclass
+class CampaignRun:
+    """Outcome of one :func:`run_campaign` invocation."""
+
+    spec: CampaignSpec
+    directory: Path
+    jobs: List[CampaignJob]
+    #: Results in job (grid) order; ``None`` only for dry-run misses.
+    results: List[Optional[JobResult]]
+    #: Scenario evaluations actually performed (0 on a warm re-run).
+    evaluated: int
+    #: Jobs satisfied from the content-addressed cache this invocation.
+    cache_hits: int
+    #: Jobs replayed from the directory's journal (a resumed campaign).
+    resumed: int
+    #: Pending evaluations a ``--dry-run`` would have executed (after
+    #: dedup by cache key).
+    forecast_evaluations: int
+    dry_run: bool
+    wall_s: float
+    report: Optional[CampaignReport] = None
+    #: The (workers, executor) plan the run settled on.
+    plan: Tuple[int, str] = field(default=(1, "thread"))
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for result in self.results if result is not None)
+
+
+def _perf_record(path: Optional[Path] = None) -> Optional[Dict[str, object]]:
+    """The recorded scenario-suite multicore entry, if the repo has one."""
+    if path is None:
+        candidate = Path(__file__).resolve()
+        for parent in candidate.parents:
+            if (parent / "BENCH_perf.json").exists():
+                path = parent / "BENCH_perf.json"
+                break
+        else:
+            return None
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    entry = payload.get("hot_paths", {}).get("analysis.scenario_suite.multicore")
+    return entry if isinstance(entry, dict) else None
+
+
+def auto_plan(num_pending: int) -> Tuple[Optional[int], str]:
+    """(n_jobs, executor) sized from recorded multicore evidence.
+
+    No evidence, a single-CPU host, or a recorded speedup below
+    :data:`AUTO_SPEEDUP_GATE` all mean serial — the benchmark history says
+    fan-out does not pay here.  Otherwise the recorded shape (worker count
+    and executor kind) is reused, capped by the pending job count.
+    """
+    cpus = os.cpu_count() or 1
+    if cpus < 2 or num_pending <= 1:
+        return 1, "thread"
+    record = _perf_record()
+    if record is None:
+        # No history yet: fan out over the CPUs and let plan_execution's
+        # cost floors catch degenerate grids.
+        return min(cpus, num_pending), "thread"
+    if float(record.get("speedup", 0.0) or 0.0) < AUTO_SPEEDUP_GATE:
+        return 1, "thread"
+    executor = str(record.get("executor") or "thread")
+    workers = int(record.get("n_jobs") or 0) or cpus
+    if workers < 2:
+        workers = cpus
+    return min(workers, num_pending), executor
+
+
+def _evaluate_payload(
+    spec_payload: Dict[str, object], job_id: str, axes: Dict[str, object], index: int
+) -> Tuple[Dict[str, object], float]:
+    """Worker: rebuild the job from plain JSON data, run it, time it.
+
+    Takes only JSON-serialisable arguments so the same callable crosses
+    process boundaries (sharded execution) and runs inline (serial plan)
+    identically — which is what makes sharded output bit-identical to
+    serial: both paths produce the result *as its JSON payload*.
+    """
+    from ..scenarios.spec import ScenarioSpec
+
+    started = time.perf_counter()
+    job = CampaignJob(
+        index=index,
+        job_id=job_id,
+        spec=ScenarioSpec.from_dict(spec_payload),
+        axes=dict(axes),
+    )
+    result = evaluate_job(job)
+    return result.to_dict(), time.perf_counter() - started
+
+
+def _retarget(payload: Dict[str, object], job: CampaignJob) -> Dict[str, object]:
+    """A shared key's payload re-labelled for one specific job of the group."""
+    if payload.get("job_id") == job.job_id and payload.get("axes") == job.axes:
+        return payload
+    relabelled = dict(payload)
+    relabelled["job_id"] = job.job_id
+    relabelled["axes"] = dict(job.axes)
+    return relabelled
+
+
+def compute_job_keys(jobs: List[CampaignJob]) -> Dict[str, str]:
+    """``job_id -> content-addressed cache key`` for an expanded grid.
+
+    The code fingerprint is computed once per distinct module-group
+    combination, not per job.
+    """
+    fingerprints: Dict[Tuple[str, ...], str] = {}
+    keys: Dict[str, str] = {}
+    for job in jobs:
+        groups = modules_for_spec(job.spec)
+        fingerprint = fingerprints.get(groups)
+        if fingerprint is None:
+            fingerprint = code_fingerprint(groups)
+            fingerprints[groups] = fingerprint
+        keys[job.job_id] = job_cache_key(job.spec, fingerprint)
+    return keys
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    directory: Union[str, Path],
+    n_jobs: Union[int, str, None] = "auto",
+    executor: Optional[str] = None,
+    cache_root: Optional[Union[str, Path]] = None,
+    dry_run: bool = False,
+) -> CampaignRun:
+    """Execute (or forecast, with ``dry_run``) a campaign in a directory.
+
+    ``cache_root`` defaults to ``<directory>/cache``; pointing several
+    campaign directories at one shared cache root lets overlapping grids
+    reuse each other's results.  A dry run touches nothing on disk — it
+    expands the grid, replays the journal read-only and probes the cache,
+    returning the exact evaluation forecast a real run would execute.
+    """
+    started = time.perf_counter()
+    directory = Path(directory)
+    jobs = spec.expand()
+    keys = compute_job_keys(jobs)
+    cache = ResultCache(Path(cache_root) if cache_root is not None else directory / "cache")
+
+    if not dry_run:
+        manifest.bind_directory(directory, spec)
+        manifest.repair_journal(directory)
+    replayed = manifest.replay_journal(directory, keys)
+
+    results: Dict[str, JobResult] = {}
+    resumed = 0
+    for job_id, entry in replayed.items():
+        payload = entry.get("result")
+        if isinstance(payload, dict):
+            results[job_id] = JobResult.from_dict(payload)
+            resumed += 1
+
+    cache_hits = 0
+    pending: List[CampaignJob] = []
+    seen_pending = set()
+    for job in jobs:
+        if job.job_id in results or job.job_id in seen_pending:
+            continue
+        payload = cache.get(keys[job.job_id])
+        if payload is not None:
+            payload = _retarget(payload, job)
+            results[job.job_id] = JobResult.from_dict(payload)
+            cache_hits += 1
+            if not dry_run:
+                manifest.append_journal_entry(
+                    directory,
+                    {
+                        "job_id": job.job_id,
+                        "key": keys[job.job_id],
+                        "from_cache": True,
+                        "wall_s": 0.0,
+                        "result": payload,
+                    },
+                )
+        else:
+            pending.append(job)
+            seen_pending.add(job.job_id)
+
+    # Dedup by cache key: byte-identical derived specs (e.g. the same
+    # scenario listed twice) evaluate once and fan the payload out.
+    by_key: Dict[str, List[CampaignJob]] = {}
+    for job in pending:
+        by_key.setdefault(keys[job.job_id], []).append(job)
+    unique = [group[0] for group in by_key.values()]
+
+    evaluated = 0
+    if not dry_run and unique:
+        if n_jobs == "auto":
+            workers, executor_kind = auto_plan(len(unique))
+        else:
+            workers = n_jobs  # type: ignore[assignment]
+            executor_kind = executor or "thread"
+        if executor is not None:
+            executor_kind = executor
+        hint = sum(
+            experiment_cost_hint_s(job.spec.mode, job.spec.num_epochs) for job in unique
+        ) / len(unique)
+        tasks = [
+            partial(_evaluate_payload, job.spec.to_dict(), job.job_id, job.axes, job.index)
+            for job in unique
+        ]
+        for index, (payload, wall_s) in run_parallel_iter(
+            tasks,
+            n_jobs=workers,
+            executor=executor_kind,
+            est_task_seconds=hint,
+        ):
+            evaluated += 1
+            key = keys[unique[index].job_id]
+            cache.put(key, payload)
+            for job in by_key[key]:
+                job_payload = _retarget(payload, job)
+                results[job.job_id] = JobResult.from_dict(job_payload)
+                manifest.append_journal_entry(
+                    directory,
+                    {
+                        "job_id": job.job_id,
+                        "key": key,
+                        "from_cache": False,
+                        "wall_s": wall_s,
+                        "result": job_payload,
+                    },
+                )
+        plan = (workers if isinstance(workers, int) else 1, executor_kind)
+    else:
+        plan = (1, executor or "thread")
+
+    ordered: List[Optional[JobResult]] = [results.get(job.job_id) for job in jobs]
+    report: Optional[CampaignReport] = None
+    if not dry_run:
+        complete = [result for result in ordered if result is not None]
+        report = build_report(spec.name, complete)
+        manifest.write_report(directory, report.to_dict())
+
+    return CampaignRun(
+        spec=spec,
+        directory=directory,
+        jobs=jobs,
+        results=ordered,
+        evaluated=evaluated,
+        cache_hits=cache_hits,
+        resumed=resumed,
+        forecast_evaluations=len(unique),
+        dry_run=dry_run,
+        wall_s=time.perf_counter() - started,
+        report=report,
+        plan=plan,
+    )
+
+
+def campaign_status(directory: Union[str, Path]) -> Dict[str, object]:
+    """Resumable-state summary of an existing campaign directory."""
+    directory = Path(directory)
+    spec = manifest.load_spec(directory)
+    jobs = spec.expand()
+    keys = compute_job_keys(jobs)
+    replayed = manifest.replay_journal(directory, keys)
+    journal_entries = manifest.load_journal(directory)
+    done = sum(1 for job in jobs if job.job_id in replayed)
+    return {
+        "campaign": spec.name,
+        "directory": str(directory),
+        "jobs": len(jobs),
+        "completed": done,
+        "pending": len(jobs) - done,
+        "journal_entries": len(journal_entries),
+        "stale_entries": len(journal_entries) - len(replayed)
+        if len(journal_entries) >= len(replayed)
+        else 0,
+        "has_report": manifest.load_report(directory) is not None,
+    }

@@ -1,0 +1,178 @@
+"""The resumable on-disk record of one campaign run.
+
+A campaign directory holds:
+
+``campaign.json``
+    The :class:`~repro.campaign.spec.CampaignSpec` that owns the directory.
+    Re-running the *same campaign* (matched by name) with an edited spec is
+    the normal iterate-on-a-sweep workflow — the file is rewritten and the
+    journal's per-entry key validation re-runs exactly the jobs the edit
+    touched.  Pointing a directory at a *different* campaign is an error.
+
+``manifest.jsonl``
+    An append-only journal with one line per **completed** job, written the
+    moment each result lands (not at campaign end).  A campaign killed
+    mid-flight therefore resumes exactly: completed jobs replay from the
+    journal, everything else re-runs.  Each entry records the job id, its
+    content-addressed cache key, whether the result came from the cache, the
+    wall time, and the full result payload.  On load, a truncated trailing
+    line (the in-flight write the kill interrupted) is ignored, and an entry
+    only counts for a job whose *current* key matches the recorded one — so
+    editing a scenario or the code between runs silently invalidates exactly
+    the affected journal lines.
+
+``report.json``
+    The aggregate report, rewritten after every completed (non-dry) run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .spec import CampaignSpec
+
+SPEC_FILENAME = "campaign.json"
+JOURNAL_FILENAME = "manifest.jsonl"
+REPORT_FILENAME = "report.json"
+
+
+def spec_path(directory: Path) -> Path:
+    return Path(directory) / SPEC_FILENAME
+
+
+def journal_path(directory: Path) -> Path:
+    return Path(directory) / JOURNAL_FILENAME
+
+
+def report_path(directory: Path) -> Path:
+    return Path(directory) / REPORT_FILENAME
+
+
+def bind_directory(directory: Path, spec: CampaignSpec) -> None:
+    """Claim (or re-validate) a campaign directory for ``spec``.
+
+    First run writes ``campaign.json``.  Later runs with the same campaign
+    *name* may carry an edited spec — the file is rewritten and the
+    journal's key validation decides, per job, what survives the edit.
+    Binding a directory to a differently named campaign is refused: the
+    journal inside belongs to someone else's sweep.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = spec_path(directory)
+    if path.exists():
+        stored = CampaignSpec.from_json(path.read_text(encoding="utf-8"))
+        if stored.name != spec.name:
+            raise ValueError(
+                f"directory {directory} belongs to campaign {stored.name!r}; "
+                f"refusing to run campaign {spec.name!r} in it"
+            )
+        if stored.to_dict() == spec.to_dict():
+            return
+    path.write_text(spec.to_json(), encoding="utf-8")
+
+
+def load_spec(directory: Path) -> CampaignSpec:
+    """The spec bound to an existing campaign directory."""
+    path = spec_path(directory)
+    if not path.exists():
+        raise FileNotFoundError(f"{directory} is not a campaign directory ({path} missing)")
+    return CampaignSpec.from_json(path.read_text(encoding="utf-8"))
+
+
+def append_journal_entry(directory: Path, entry: Dict[str, object]) -> None:
+    """Durably append one completed-job line to the journal."""
+    line = json.dumps(entry, allow_nan=False)
+    with open(journal_path(directory), "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+        handle.flush()
+
+
+def repair_journal(directory: Path) -> None:
+    """Truncate the torn trailing write an interrupted run left behind.
+
+    Loading tolerates the torn line, but *appending* after it would glue
+    the next entry onto the fragment and turn a benign kill artefact into
+    interior corruption — so a resuming run calls this before its first
+    append.  A journal ending in a clean newline is left untouched.
+    """
+    path = journal_path(directory)
+    if not path.exists():
+        return
+    data = path.read_bytes()
+    if not data or data.endswith(b"\n"):
+        return
+    keep = data.rfind(b"\n") + 1  # 0 when no complete line survives
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)
+
+
+def load_journal(directory: Path) -> List[Dict[str, object]]:
+    """Every intact journal entry, in completion order.
+
+    Tolerates exactly the corruption an interrupted campaign can produce: a
+    final line with no trailing newline or half-written JSON is dropped; a
+    torn line anywhere *else* means the file was damaged by something other
+    than a kill and is reported loudly.
+    """
+    path = journal_path(directory)
+    if not path.exists():
+        return []
+    raw = path.read_text(encoding="utf-8")
+    lines = raw.split("\n")
+    terminated = raw.endswith("\n")
+    if terminated:
+        lines = lines[:-1]
+    entries: List[Dict[str, object]] = []
+    for position, line in enumerate(lines):
+        if not line.strip():
+            continue
+        last = position == len(lines) - 1
+        try:
+            entries.append(json.loads(line))
+        except json.JSONDecodeError:
+            if last:
+                # The in-flight write a kill interrupted; the job will
+                # simply re-run.
+                continue
+            raise ValueError(
+                f"corrupt journal line {position + 1} in {path}; the file "
+                "was damaged outside an interrupted run"
+            )
+    return entries
+
+
+def replay_journal(
+    directory: Path, current_keys: Dict[str, str]
+) -> Dict[str, Dict[str, object]]:
+    """Journal entries still valid under the current job -> key mapping.
+
+    Returns ``job_id -> entry`` keeping the *latest* valid entry per job.
+    An entry is valid only if the job still exists in the expansion and its
+    recorded cache key equals the current one — stale lines from before a
+    spec or code edit are ignored, which re-runs exactly the affected jobs.
+    """
+    valid: Dict[str, Dict[str, object]] = {}
+    for entry in load_journal(directory):
+        job_id = entry.get("job_id")
+        key = entry.get("key")
+        if not isinstance(job_id, str) or not isinstance(key, str):
+            continue
+        if current_keys.get(job_id) == key:
+            valid[job_id] = entry
+    return valid
+
+
+def write_report(directory: Path, payload: Dict[str, object]) -> None:
+    report_path(directory).write_text(
+        json.dumps(payload, indent=2, allow_nan=False) + "\n", encoding="utf-8"
+    )
+
+
+def load_report(directory: Path) -> Optional[Dict[str, object]]:
+    path = report_path(directory)
+    if not path.exists():
+        return None
+    return json.loads(path.read_text(encoding="utf-8"))

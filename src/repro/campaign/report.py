@@ -1,0 +1,145 @@
+"""Aggregate campaign reports: per-axis marginals over the job grid.
+
+A campaign's value is comparative — how does peak temperature move *across*
+chips, schemes, feedback strides?  The report therefore groups the completed
+:class:`~repro.campaign.spec.JobResult` records along each sweep axis and
+summarises the marginal: job count, mean and worst settled peak, mean peak
+reduction, mean throughput kept, and the total batched-solve budget the
+cell's jobs cost to (re)compute — the number a warm cache saves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..analysis.report import format_rows
+from .spec import JobResult
+
+#: Axes the report marginalises over, in display order.
+REPORT_AXES: Tuple[str, ...] = (
+    "scenario",
+    "configuration",
+    "scheme",
+    "feedback_stride",
+    "thermal_method",
+)
+
+
+@dataclass(frozen=True)
+class AxisMarginal:
+    """Summary of every job sharing one value of one sweep axis."""
+
+    axis: str
+    value: object
+    jobs: int
+    mean_settled_peak_celsius: float
+    max_settled_peak_celsius: float
+    mean_peak_reduction_celsius: float
+    #: Mean fraction of nominal throughput kept (1 - penalty).
+    mean_throughput_kept: float
+    #: Total migrations across the cell's jobs.
+    migrations: int
+    #: Batched steady solves one cold evaluation of the cell costs.
+    steady_solves: int
+
+    def to_row(self) -> Dict[str, object]:
+        return {
+            "axis": self.axis,
+            "value": self.value,
+            "jobs": self.jobs,
+            "mean_peak_c": round(self.mean_settled_peak_celsius, 2),
+            "max_peak_c": round(self.max_settled_peak_celsius, 2),
+            "mean_reduction_c": round(self.mean_peak_reduction_celsius, 2),
+            "throughput_kept_pct": round(100.0 * self.mean_throughput_kept, 3),
+            "migrations": self.migrations,
+            "steady_solves": self.steady_solves,
+        }
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """Per-axis marginals plus whole-campaign totals."""
+
+    campaign: str
+    jobs: int
+    steady_solves: int
+    marginals: Tuple[AxisMarginal, ...]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "campaign": self.campaign,
+            "jobs": self.jobs,
+            "steady_solves": self.steady_solves,
+            "marginals": [
+                {
+                    "axis": marginal.axis,
+                    "value": marginal.value,
+                    "jobs": marginal.jobs,
+                    "mean_settled_peak_celsius": marginal.mean_settled_peak_celsius,
+                    "max_settled_peak_celsius": marginal.max_settled_peak_celsius,
+                    "mean_peak_reduction_celsius": marginal.mean_peak_reduction_celsius,
+                    "mean_throughput_kept": marginal.mean_throughput_kept,
+                    "migrations": marginal.migrations,
+                    "steady_solves": marginal.steady_solves,
+                }
+                for marginal in self.marginals
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "CampaignReport":
+        marginals = tuple(
+            AxisMarginal(**entry)  # type: ignore[arg-type]
+            for entry in payload.get("marginals", ())  # type: ignore[union-attr]
+        )
+        return cls(
+            campaign=payload["campaign"],  # type: ignore[arg-type]
+            jobs=payload["jobs"],  # type: ignore[arg-type]
+            steady_solves=payload["steady_solves"],  # type: ignore[arg-type]
+            marginals=marginals,
+        )
+
+    def format_table(self) -> str:
+        return format_rows([marginal.to_row() for marginal in self.marginals])
+
+
+def build_report(campaign: str, results: Sequence[JobResult]) -> CampaignReport:
+    """Aggregate completed job results into the per-axis marginal report."""
+    marginals: List[AxisMarginal] = []
+    for axis in REPORT_AXES:
+        cells: Dict[object, List[JobResult]] = {}
+        for result in results:
+            cells.setdefault(result.axes.get(axis), []).append(result)
+        if set(cells) == {None}:
+            continue
+        for value in sorted(cells, key=lambda v: str(v)):
+            members = cells[value]
+            count = len(members)
+            marginals.append(
+                AxisMarginal(
+                    axis=axis,
+                    value=value,
+                    jobs=count,
+                    mean_settled_peak_celsius=(
+                        sum(r.settled_peak_celsius for r in members) / count
+                    ),
+                    max_settled_peak_celsius=max(
+                        r.settled_peak_celsius for r in members
+                    ),
+                    mean_peak_reduction_celsius=(
+                        sum(r.peak_reduction_celsius for r in members) / count
+                    ),
+                    mean_throughput_kept=(
+                        sum(1.0 - r.throughput_penalty for r in members) / count
+                    ),
+                    migrations=sum(r.migrations for r in members),
+                    steady_solves=sum(r.steady_solves for r in members),
+                )
+            )
+    return CampaignReport(
+        campaign=campaign,
+        jobs=len(results),
+        steady_solves=sum(r.steady_solves for r in results),
+        marginals=tuple(marginals),
+    )

@@ -1,0 +1,277 @@
+"""Declarative fleet-scale campaign specifications.
+
+A :class:`CampaignSpec` names a set of scenarios and the axes to sweep them
+over — chip configurations, reconfiguration schemes, feedback strides and
+thermal methods — and expands, deterministically, into the cross-product of
+:class:`CampaignJob` entries.  Like :class:`repro.scenarios.spec.ScenarioSpec`
+it is a plain frozen dataclass that round-trips through JSON, so campaigns
+live in version-controlled files and re-expand identically in every process.
+
+Each job's derived scenario spec is the base scenario with the axis values
+substituted via :func:`dataclasses.replace`; the scenario *name* is left
+untouched so two campaigns whose grids overlap derive byte-identical specs
+and therefore share content-addressed cache entries
+(see :mod:`repro.campaign.cache`).
+
+:class:`JobResult` is the durable outcome of one job — a flat, JSON-exact
+record of the scalar metrics a campaign report aggregates.  It deliberately
+excludes wall-clock time (that lives in the journal entry, see
+:mod:`repro.campaign.manifest`), so a cached result is bit-identical to the
+fresh run that produced it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..scenarios.compile import run_scenario
+from ..scenarios.registry import get_scenario
+from ..scenarios.spec import ScenarioSpec
+
+#: Sweep axes a campaign may pin, in expansion (outer -> inner) order, with
+#: the :class:`ScenarioSpec` field each one substitutes.
+CAMPAIGN_AXES: Tuple[Tuple[str, str], ...] = (
+    ("configuration", "configuration"),
+    ("scheme", "scheme"),
+    ("feedback_stride", "feedback_stride"),
+    ("thermal_method", "thermal_method"),
+)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One declarative sweep: scenarios x configurations x schemes x ..."""
+
+    name: str
+    #: Scenario names from the registry, or inline scenario dicts/specs.
+    scenarios: Tuple[Union[str, ScenarioSpec], ...]
+    #: Axis values to sweep; ``None`` keeps each scenario's own setting.
+    configurations: Optional[Tuple[str, ...]] = None
+    schemes: Optional[Tuple[str, ...]] = None
+    feedback_strides: Optional[Tuple[int, ...]] = None
+    thermal_methods: Optional[Tuple[str, ...]] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a campaign needs a name")
+        if not self.scenarios:
+            raise ValueError("a campaign needs at least one scenario")
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        for axis in ("configurations", "schemes", "feedback_strides", "thermal_methods"):
+            values = getattr(self, axis)
+            if values is None:
+                continue
+            values = tuple(values)
+            if not values:
+                raise ValueError(f"{axis} must be None or non-empty")
+            if len(set(values)) != len(values):
+                raise ValueError(f"{axis} contains duplicates: {values}")
+            object.__setattr__(self, axis, values)
+        for entry in self.scenarios:
+            if not isinstance(entry, (str, ScenarioSpec)):
+                raise TypeError(
+                    "scenarios must be registry names or ScenarioSpec instances, "
+                    f"got {type(entry)}"
+                )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "scenarios": [
+                entry if isinstance(entry, str) else entry.to_dict()
+                for entry in self.scenarios
+            ],
+            "configurations": list(self.configurations) if self.configurations else None,
+            "schemes": list(self.schemes) if self.schemes else None,
+            "feedback_strides": (
+                list(self.feedback_strides) if self.feedback_strides else None
+            ),
+            "thermal_methods": (
+                list(self.thermal_methods) if self.thermal_methods else None
+            ),
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "CampaignSpec":
+        params = dict(payload)
+        unknown = set(params) - {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        if unknown:
+            raise ValueError(f"unknown campaign fields: {sorted(unknown)}")
+        scenarios = params.get("scenarios") or ()
+        params["scenarios"] = tuple(
+            entry if isinstance(entry, str) else ScenarioSpec.from_dict(entry)
+            for entry in scenarios  # type: ignore[union-attr]
+        )
+        for axis in ("configurations", "schemes", "feedback_strides", "thermal_methods"):
+            values = params.get(axis)
+            if values is not None:
+                params[axis] = tuple(values)  # type: ignore[arg-type]
+        return cls(**params)  # type: ignore[arg-type]
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+    def _base_scenarios(self) -> List[ScenarioSpec]:
+        return [
+            get_scenario(entry) if isinstance(entry, str) else entry
+            for entry in self.scenarios
+        ]
+
+    def expand(self) -> List["CampaignJob"]:
+        """The deterministic job grid: scenarios x every pinned axis."""
+        axis_values: Dict[str, Sequence[object]] = {
+            "configuration": self.configurations or (None,),
+            "scheme": self.schemes or (None,),
+            "feedback_stride": self.feedback_strides or (None,),
+            "thermal_method": self.thermal_methods or (None,),
+        }
+        jobs: List[CampaignJob] = []
+        for base in self._base_scenarios():
+            for configuration in axis_values["configuration"]:
+                for scheme in axis_values["scheme"]:
+                    for stride in axis_values["feedback_stride"]:
+                        for method in axis_values["thermal_method"]:
+                            overrides = {
+                                field: value
+                                for (axis, field), value in zip(
+                                    CAMPAIGN_AXES,
+                                    (configuration, scheme, stride, method),
+                                )
+                                if value is not None
+                            }
+                            derived = (
+                                dataclasses.replace(base, **overrides)
+                                if overrides
+                                else base
+                            )
+                            axes = {
+                                "scenario": base.name,
+                                "configuration": derived.configuration,
+                                "scheme": derived.scheme,
+                                "feedback_stride": derived.feedback_stride,
+                                "thermal_method": derived.thermal_method,
+                            }
+                            job_id = (
+                                f"{base.name}@{derived.configuration}"
+                                f"/{derived.scheme}"
+                                f"/fs{derived.feedback_stride}"
+                                f"/{derived.thermal_method}"
+                            )
+                            jobs.append(
+                                CampaignJob(
+                                    index=len(jobs),
+                                    job_id=job_id,
+                                    spec=derived,
+                                    axes=axes,
+                                )
+                            )
+        return jobs
+
+
+@dataclass(frozen=True)
+class CampaignJob:
+    """One cell of the expanded grid: a concrete scenario spec plus its axes."""
+
+    index: int
+    job_id: str
+    spec: ScenarioSpec
+    #: The axis values this job pins, for the per-axis marginal report.
+    axes: Dict[str, object]
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Durable scalar outcome of one campaign job (JSON-exact, no wall time)."""
+
+    job_id: str
+    axes: Dict[str, object]
+    baseline_peak_celsius: float
+    settled_peak_celsius: float
+    peak_reduction_celsius: float
+    settled_mean_celsius: float
+    throughput_penalty: float
+    migrations: int
+    #: Batched steady solves one evaluation of this job performs
+    #: (:meth:`~repro.scenarios.compile.CompiledScenario.expected_steady_solves`).
+    steady_solves: int
+    ambient_span_celsius: float
+    decoder_throughput_factor: Optional[float] = None
+    noc_mean_latency_cycles: Optional[float] = None
+    noc_saturated_epochs: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "job_id": self.job_id,
+            "axes": dict(self.axes),
+            "baseline_peak_celsius": self.baseline_peak_celsius,
+            "settled_peak_celsius": self.settled_peak_celsius,
+            "peak_reduction_celsius": self.peak_reduction_celsius,
+            "settled_mean_celsius": self.settled_mean_celsius,
+            "throughput_penalty": self.throughput_penalty,
+            "migrations": self.migrations,
+            "steady_solves": self.steady_solves,
+            "ambient_span_celsius": self.ambient_span_celsius,
+            "decoder_throughput_factor": self.decoder_throughput_factor,
+            "noc_mean_latency_cycles": self.noc_mean_latency_cycles,
+            "noc_saturated_epochs": self.noc_saturated_epochs,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "JobResult":
+        params = dict(payload)
+        unknown = set(params) - {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        if unknown:
+            raise ValueError(f"unknown job-result fields: {sorted(unknown)}")
+        return cls(**params)  # type: ignore[arg-type]
+
+
+def evaluate_job(job: CampaignJob) -> JobResult:
+    """Run one job's scenario and distil the durable result record.
+
+    This is the single evaluation path for both serial and sharded campaign
+    execution, so a cached :class:`JobResult` is bit-identical to a fresh one
+    by construction (floats survive the JSON round-trip exactly).
+    """
+    from ..scenarios.compile import compile_scenario
+
+    compiled = compile_scenario(job.spec)
+    outcome = run_scenario(compiled)
+    experiment = outcome.experiment
+    return JobResult(
+        job_id=job.job_id,
+        axes=dict(job.axes),
+        baseline_peak_celsius=float(experiment.baseline_peak_celsius),
+        settled_peak_celsius=float(experiment.settled_peak_celsius),
+        peak_reduction_celsius=float(experiment.peak_reduction_celsius),
+        settled_mean_celsius=float(experiment.settled_mean_celsius),
+        throughput_penalty=float(experiment.throughput_penalty),
+        migrations=int(experiment.migrations_performed),
+        steady_solves=int(compiled.expected_steady_solves()),
+        ambient_span_celsius=float(
+            outcome.ambient_offset_max_celsius - outcome.ambient_offset_min_celsius
+        ),
+        decoder_throughput_factor=(
+            float(outcome.decoder.throughput_factor) if outcome.decoder else None
+        ),
+        noc_mean_latency_cycles=(
+            float(outcome.noc.mean_latency_cycles) if outcome.noc else None
+        ),
+        noc_saturated_epochs=(
+            int(outcome.noc.saturated_epochs) if outcome.noc else None
+        ),
+    )

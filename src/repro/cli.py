@@ -11,6 +11,8 @@ Gives downstream users a no-code path to every experiment::
     python -m repro scenario list              # named time-varying scenarios
     python -m repro scenario run diurnal-load  # run one scenario
     python -m repro scenario compare           # whole scenario suite
+    python -m repro campaign run -S sweep.json -d campaigns/sweep
+    python -m repro campaign status -d campaigns/sweep
     python -m repro perf-trend                 # BENCH_perf.json history
 
 Every subcommand prints plain text (and optionally CSV via ``--csv``), so the
@@ -36,6 +38,9 @@ from .analysis.report import (
     run_figure1_cell,
 )
 from .analysis.sweep import PAPER_PERIODS_US, run_energy_ablation, run_period_sweep
+from .campaign import CampaignSpec, campaign_status, run_campaign
+from .campaign import manifest as campaign_manifest
+from .campaign.report import CampaignReport
 from .chips import all_configurations, get_configuration
 from .core.dtm import compare_with_migration
 from .core.experiment import ExperimentSettings, ThermalExperiment
@@ -280,6 +285,25 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
                 "value": round(result.decoder.throughput_factor, 3),
             }
         )
+    if result.noc is not None:
+        rows.append(
+            {
+                "metric": "noc mean latency (cycles)",
+                "value": round(result.noc.mean_latency_cycles, 1),
+            }
+        )
+        rows.append(
+            {
+                "metric": "noc peak latency (cycles)",
+                "value": round(result.noc.peak_latency_cycles, 1),
+            }
+        )
+        rows.append(
+            {
+                "metric": "noc saturated epochs",
+                "value": result.noc.saturated_epochs,
+            }
+        )
     _print_rows(rows, args.csv)
     return 0
 
@@ -298,6 +322,108 @@ def cmd_scenario_compare(args: argparse.Namespace) -> int:
         _print_rows(comparison.to_rows(), True)
     else:
         print(comparison.format_table())
+    return 0
+
+
+def _campaign_summary_rows(run) -> List[dict]:
+    return [
+        {
+            "campaign": run.spec.name,
+            "jobs": len(run.jobs),
+            "evaluated": run.evaluated,
+            "cache_hits": run.cache_hits,
+            "resumed": run.resumed,
+            "workers": run.plan[0],
+            "executor": run.plan[1],
+            "wall_s": round(run.wall_s, 3),
+        }
+    ]
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    try:
+        spec = CampaignSpec.from_json(Path(args.spec).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as error:
+        print(f"cannot load campaign spec: {error}", file=sys.stderr)
+        return 1
+    try:
+        run = run_campaign(
+            spec,
+            Path(args.directory),
+            n_jobs=args.n_jobs if args.n_jobs is not None else "auto",
+            cache_root=Path(args.cache) if args.cache else None,
+            dry_run=args.dry_run,
+        )
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 1
+    if args.dry_run:
+        rows = [
+            {
+                "campaign": run.spec.name,
+                "jobs": len(run.jobs),
+                "journal_replays": run.resumed,
+                "cache_hits": run.cache_hits,
+                "would_evaluate": run.forecast_evaluations,
+            }
+        ]
+        _print_rows(rows, args.csv)
+        if not args.csv:
+            for job, result in zip(run.jobs, run.results):
+                state = "cached" if result is not None else "evaluate"
+                print(f"  [{state:8s}] {job.job_id}")
+        return 0
+    _print_rows(_campaign_summary_rows(run), args.csv)
+    if not args.csv and run.report is not None:
+        print()
+        print(run.report.format_table())
+    return 0
+
+
+def cmd_campaign_list(args: argparse.Namespace) -> int:
+    root = Path(args.root)
+    rows: List[dict] = []
+    if root.is_dir():
+        for directory in sorted(root.iterdir()):
+            if not (directory / campaign_manifest.SPEC_FILENAME).exists():
+                continue
+            try:
+                rows.append(campaign_status(directory))
+            except (ValueError, OSError) as error:
+                rows.append({"campaign": "?", "directory": str(directory),
+                             "jobs": f"error: {error}"})
+    if not rows:
+        print(f"no campaign directories under {root}", file=sys.stderr)
+        return 1
+    _print_rows(rows, args.csv)
+    return 0
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    try:
+        status = campaign_status(Path(args.directory))
+    except (FileNotFoundError, ValueError) as error:
+        print(error, file=sys.stderr)
+        return 1
+    _print_rows([status], args.csv)
+    return 0
+
+
+def cmd_campaign_report(args: argparse.Namespace) -> int:
+    payload = campaign_manifest.load_report(Path(args.directory))
+    if payload is None:
+        print(
+            f"{args.directory} has no report.json yet; run the campaign first",
+            file=sys.stderr,
+        )
+        return 1
+    report = CampaignReport.from_dict(payload)
+    if args.csv:
+        _print_rows([marginal.to_row() for marginal in report.marginals], True)
+    else:
+        print(f"campaign {report.campaign}: {report.jobs} jobs, "
+              f"{report.steady_solves} batched solves")
+        print(report.format_table())
     return 0
 
 
@@ -416,6 +542,45 @@ def build_parser() -> argparse.ArgumentParser:
                       default=None,
                       help="override every spec's between-refresh predictor")
     scen.set_defaults(func=cmd_scenario_compare)
+
+    sub = subparsers.add_parser(
+        "campaign", help="cached, resumable fleet-scale sweep campaigns"
+    )
+    campaign_subparsers = sub.add_subparsers(dest="campaign_command", required=True)
+
+    camp = campaign_subparsers.add_parser(
+        "run", help="execute (or resume) a campaign from a JSON spec"
+    )
+    camp.add_argument("-S", "--spec", required=True, help="campaign spec JSON file")
+    camp.add_argument("-d", "--directory", required=True,
+                      help="campaign directory (journal, cache, report)")
+    camp.add_argument("--cache", default=None,
+                      help="shared cache root (default: <directory>/cache)")
+    camp.add_argument("--n-jobs", type=int, default=None,
+                      help="parallel workers (-1 = all CPUs; default: auto from "
+                           "recorded benchmark history)")
+    camp.add_argument("--dry-run", action="store_true",
+                      help="print the expansion and cache-hit forecast, run nothing")
+    camp.set_defaults(func=cmd_campaign_run)
+
+    camp = campaign_subparsers.add_parser(
+        "list", help="summarise every campaign directory under a root"
+    )
+    camp.add_argument("--root", default="campaigns",
+                      help="directory holding campaign directories (default: campaigns)")
+    camp.set_defaults(func=cmd_campaign_list)
+
+    camp = campaign_subparsers.add_parser(
+        "status", help="completion state of one campaign directory"
+    )
+    camp.add_argument("-d", "--directory", required=True, help="campaign directory")
+    camp.set_defaults(func=cmd_campaign_status)
+
+    camp = campaign_subparsers.add_parser(
+        "report", help="per-axis marginal report of a completed campaign"
+    )
+    camp.add_argument("-d", "--directory", required=True, help="campaign directory")
+    camp.set_defaults(func=cmd_campaign_report)
 
     sub = subparsers.add_parser(
         "perf-trend", help="per-benchmark trend table from BENCH_perf.json history"

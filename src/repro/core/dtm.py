@@ -285,6 +285,9 @@ def compare_with_migration(
     migration = ThermalExperiment(configuration, policy, settings=settings).run()
     target_peak = migration.settled_peak_celsius
 
+    # The two throttling searches are batched single-solve bisections — a
+    # few milliseconds each.  The cost hint lets the runner drop a process
+    # request down to thread/serial execution instead of paying pickling.
     duty, frequency = run_parallel(
         [
             partial(_stop_go_throughput, configuration, target_peak),
@@ -292,6 +295,7 @@ def compare_with_migration(
         ],
         n_jobs=n_jobs,
         executor=executor,
+        est_task_seconds=5e-3,
     )
 
     return DtmComparison(

@@ -21,8 +21,19 @@ model: a small library of composable load patterns spanning a whole study):
   ``python -m repro scenario run|list|compare``.
 """
 
-from .compile import CompiledScenario, ScenarioResult, compile_scenario, run_scenario
-from .noc_cost import NocCostModel, epoch_noc_latencies, noc_cost_probe
+from .compile import (
+    CompiledScenario,
+    NocSummary,
+    ScenarioResult,
+    compile_scenario,
+    run_scenario,
+)
+from .noc_cost import (
+    NocCostModel,
+    epoch_noc_latencies,
+    noc_cost_probe,
+    rate_noc_latencies,
+)
 from .patterns import (
     BurstPattern,
     ConstantPattern,
@@ -38,7 +49,7 @@ from .patterns import (
     pattern_from_dict,
 )
 from .registry import all_scenarios, get_scenario, scenario_names
-from .spec import ScenarioSpec
+from .spec import NocChannel, ScenarioSpec
 
 __all__ = [
     "BurstPattern",
@@ -48,9 +59,12 @@ __all__ = [
     "DutyCyclePattern",
     "FaultPattern",
     "HotspotPattern",
+    "NocChannel",
     "NocCostModel",
+    "NocSummary",
     "epoch_noc_latencies",
     "noc_cost_probe",
+    "rate_noc_latencies",
     "Pattern",
     "ProductPattern",
     "RampPattern",

@@ -34,6 +34,7 @@ from ..core.metrics import ExperimentResult
 from ..core.policy import ReconfigurationPolicy, make_policy
 from ..ldpc import BpskAwgnChannel, LdpcEncoder, make_decoder
 from ..thermal.model import ThermalModel
+from .noc_cost import NocCostModel, rate_noc_latencies
 from .spec import ScenarioSpec
 
 #: SNR schedules are quantized to this grid (dB) before the decoder-effort
@@ -63,6 +64,10 @@ class CompiledScenario:
     ambient_offsets: Optional[np.ndarray]
     #: ``(num_epochs,)`` absolute channel SNR in dB, or None.
     snr_schedule: Optional[np.ndarray]
+    #: Pricing model for the spec's ``noc`` channel, or None.
+    noc_model: Optional[NocCostModel] = None
+    #: ``(num_epochs,)`` absolute per-node injection rates, or None.
+    noc_rates: Optional[np.ndarray] = None
 
     def experiment(self, thermal_model: Optional[ThermalModel] = None) -> ThermalExperiment:
         """The fully-wired experiment this scenario compiles to."""
@@ -109,6 +114,23 @@ class DecoderEffort:
 
 
 @dataclass
+class NocSummary:
+    """NoC-side summary of a scenario's offered traffic schedule."""
+
+    #: Mean / worst per-epoch average packet latency over the horizon
+    #: (cycles, from the analytic wormhole model).
+    mean_latency_cycles: float
+    peak_latency_cycles: float
+    #: Epochs whose injection rate met or exceeded the analytic saturation
+    #: rate — where the communication budget breaks.
+    saturated_epochs: int
+    #: The model's saturation rate and the schedule's worst offered rate
+    #: (flits/node/cycle), so reports can show the headroom.
+    saturation_rate: float
+    peak_injection_rate: float
+
+
+@dataclass
 class ScenarioResult:
     """Outcome of one scenario run (experiment result + scenario context)."""
 
@@ -117,6 +139,7 @@ class ScenarioResult:
     ambient_offset_min_celsius: float
     ambient_offset_max_celsius: float
     decoder: Optional[DecoderEffort]
+    noc: Optional[NocSummary] = None
 
     def to_row(self) -> Dict[str, object]:
         """Flat comparison-table row."""
@@ -135,6 +158,9 @@ class ScenarioResult:
             ),
             "decoder_throughput_x": (
                 round(float(self.decoder.throughput_factor), 3) if self.decoder else "-"
+            ),
+            "noc_latency_cyc": (
+                round(self.noc.mean_latency_cycles, 1) if self.noc else "-"
             ),
         }
         return row
@@ -199,6 +225,39 @@ def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
             raise ValueError("load modulation must be non-negative")
         modulation = values
 
+    noc_model: Optional[NocCostModel] = None
+    noc_rates: Optional[np.ndarray] = None
+    if spec.noc is not None:
+        channel = spec.noc
+        topology = configuration.topology
+        noc_model = NocCostModel(
+            width=topology.width,
+            height=topology.height,
+            pattern=channel.traffic,
+            base_injection_rate=channel.injection_rate,
+            packet_size_flits=channel.packet_size_flits,
+            routing=channel.routing,
+            pattern_kwargs=dict(channel.traffic_kwargs or {}),
+        )
+        if channel.rate_pattern is not None:
+            factors = np.asarray(
+                channel.rate_pattern.evaluate(spec.num_epochs), dtype=float
+            )
+            if factors.shape != (spec.num_epochs,):
+                raise ValueError(
+                    f"noc rate pattern produced shape {factors.shape}, "
+                    f"expected ({spec.num_epochs},)"
+                )
+            if not np.all(np.isfinite(factors)):
+                raise ValueError("noc rate pattern produced non-finite values")
+        elif modulation is not None:
+            # No explicit rate schedule: the network tracks the compute
+            # load, each epoch's mean modulation scaling the base rate.
+            factors = modulation.mean(axis=1)
+        else:
+            factors = np.ones(spec.num_epochs, dtype=float)
+        noc_rates = np.clip(factors, 0.0, None) * channel.injection_rate
+
     return CompiledScenario(
         spec=spec,
         configuration=configuration,
@@ -207,6 +266,8 @@ def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
         load_modulation=modulation,
         ambient_offsets=_temporal_schedule(spec, "ambient_celsius"),
         snr_schedule=_temporal_schedule(spec, "snr_db"),
+        noc_model=noc_model,
+        noc_rates=noc_rates,
     )
 
 
@@ -318,10 +379,21 @@ def run_scenario(
         if compiled.snr_schedule is not None
         else None
     )
+    noc_summary: Optional[NocSummary] = None
+    if compiled.noc_model is not None and compiled.noc_rates is not None:
+        latencies, saturated = rate_noc_latencies(compiled.noc_model, compiled.noc_rates)
+        noc_summary = NocSummary(
+            mean_latency_cycles=float(latencies.mean()),
+            peak_latency_cycles=float(latencies.max()),
+            saturated_epochs=int(saturated.sum()),
+            saturation_rate=float(compiled.noc_model.saturation_rate),
+            peak_injection_rate=float(compiled.noc_rates.max()),
+        )
     return ScenarioResult(
         spec=compiled.spec,
         experiment=result,
         ambient_offset_min_celsius=float(offsets.min()) if offsets is not None else 0.0,
         ambient_offset_max_celsius=float(offsets.max()) if offsets is not None else 0.0,
         decoder=effort,
+        noc=noc_summary,
     )

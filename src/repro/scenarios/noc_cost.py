@@ -28,13 +28,24 @@ import numpy as np
 from ..noc.analytic import AnalyticPoint, _AnalyticModel
 from ..noc.topology import MeshTopology
 
-__all__ = ["NocCostModel", "epoch_noc_latencies", "noc_cost_probe"]
+__all__ = [
+    "NocCostModel",
+    "epoch_noc_latencies",
+    "noc_cost_probe",
+    "rate_noc_latencies",
+]
 
 #: (width, height, pattern, routing, packet size, pattern-kwarg items)
 #: -> built analytic model.  See the module docstring for the locking.
 _MODEL_CACHE: Dict[Tuple, _AnalyticModel] = {}
 _MODEL_KEY_LOCKS: Dict[Tuple, threading.Lock] = {}
 _MODEL_CACHE_LOCK = threading.Lock()
+
+
+def _freeze(value):
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    return value
 
 
 def _model_key(
@@ -46,8 +57,7 @@ def _model_key(
     pattern_kwargs: dict,
 ) -> Tuple:
     frozen = tuple(
-        (name, tuple(value) if isinstance(value, (list, tuple)) else value)
-        for name, value in sorted(pattern_kwargs.items())
+        (name, _freeze(value)) for name, value in sorted(pattern_kwargs.items())
     )
     return (width, height, pattern, routing, packet_size_flits, frozen)
 
@@ -168,10 +178,25 @@ def epoch_noc_latencies(
         modulation = np.asarray(load_modulation, dtype=np.float64)
         factors = modulation.mean(axis=1) if modulation.ndim == 2 else modulation
     rates = np.clip(factors, 0.0, None) * model.base_injection_rate
+    return rate_noc_latencies(model, rates)
+
+
+def rate_noc_latencies(
+    model: NocCostModel, rates: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Latency schedule for explicit per-epoch injection rates.
+
+    The pricing core shared by :func:`epoch_noc_latencies` (rates derived
+    from a load modulation) and the scenario engine's ``noc`` channel
+    (rates from an injection-rate pattern).  Epochs at or past the analytic
+    saturation rate report the latency *at* saturation and are flagged in
+    the second return value.
+    """
+    rates = np.asarray(rates, dtype=np.float64)
     sat = model.saturation_rate
     saturated = rates >= sat
     # Evaluate each distinct (quantized) rate once; scenarios repeat epochs.
-    capped = np.where(saturated, np.nextafter(sat, 0.0), rates)
+    capped = np.where(saturated, np.nextafter(sat, 0.0), np.clip(rates, 0.0, None))
     quantized = np.round(capped, 6)
     latencies = np.empty_like(quantized)
     for rate in np.unique(quantized):

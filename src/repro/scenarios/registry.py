@@ -1,14 +1,17 @@
 """The built-in named scenarios behind ``python -m repro scenario``.
 
-Twelve scenarios spanning the five chip configurations, both experiment
-modes and every pattern family.  Ten use feedback-free policies (periodic
-or static), so each compiles to exactly one batched steady solve or one
-``transient_sequence`` call; ``threshold-under-burst`` and
+Thirteen scenarios spanning the five chip configurations, both experiment
+modes and every pattern family.  Eleven use feedback-free policies
+(periodic or static), so each compiles to exactly one batched steady solve
+or one ``transient_sequence`` call; ``threshold-under-burst`` and
 ``adaptive-diurnal`` exercise the chunked feedback loop — thermal-feedback
 policies riding the scenario engine at ``ceil(num_epochs/feedback_stride)``
 batched solves instead of one per epoch.  The scenario benchmark guards
 both properties; ``ambient-swing-transient`` additionally pins the exact
-time-varying-ambient boundary term riding the whole-trace spectral jump.
+time-varying-ambient boundary term riding the whole-trace spectral jump,
+and ``noc-congestion-burst`` exercises the first-class ``noc`` channel —
+per-epoch network pricing through the cached analytic wormhole model at
+zero extra thermal solves.
 
 ``steady-baseline`` is deliberately the degenerate scenario (constant load
 1.0, no ambient or SNR drift): the test suite pins it to the plain
@@ -29,7 +32,7 @@ from .patterns import (
     HotspotPattern,
     RampPattern,
 )
-from .spec import ScenarioSpec
+from .spec import NocChannel, ScenarioSpec
 
 
 def _steady_baseline() -> ScenarioSpec:
@@ -209,6 +212,33 @@ def _adaptive_diurnal() -> ScenarioSpec:
     )
 
 
+def _noc_congestion_burst() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="noc-congestion-burst",
+        configuration="B",
+        scheme="xy-shift",
+        mode="steady",
+        num_epochs=40,
+        settle_epochs=20,
+        load=BurstPattern(base=1.0, peak=1.3, start_epoch=10, length=6, every=16),
+        noc=NocChannel(
+            traffic="hotspot",
+            # The (1,1) hotspot model saturates near 0.0156 flits/cycle/node:
+            # the 0.006 base idles below the knee and the 3x bursts land past
+            # it, so exactly the burst epochs are flagged saturated.
+            injection_rate=0.006,
+            rate_pattern=BurstPattern(
+                base=1.0, peak=3.0, start_epoch=10, length=6, every=16
+            ),
+            traffic_kwargs={"hotspots": [[1, 1]]},
+        ),
+        description="Recurring compute bursts with a 3x NoC fan-in burst "
+        "onto the (1,1) memory-controller hotspot: the analytic "
+        "wormhole model prices each epoch's latency and flags "
+        "the saturated ones",
+    )
+
+
 def _snr_fade() -> ScenarioSpec:
     return ScenarioSpec(
         name="snr-fade",
@@ -237,6 +267,7 @@ _REGISTRY: Dict[str, Callable[[], ScenarioSpec]] = {
     "ambient-swing-transient": _ambient_swing_transient,
     "threshold-under-burst": _threshold_under_burst,
     "adaptive-diurnal": _adaptive_diurnal,
+    "noc-congestion-burst": _noc_congestion_burst,
     "snr-fade": _snr_fade,
 }
 

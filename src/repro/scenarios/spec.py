@@ -25,10 +25,21 @@ The three pattern channels:
 ``snr_db``
     Per-epoch channel quality (absolute Eb/N0 in dB) seen by the LDPC
     workload; drives the decoder-effort estimate in the scenario report.
+
+A fourth, structured channel prices the on-chip network:
+
+``noc``
+    A :class:`NocChannel` — which traffic pattern the workload offers the
+    NoC (uniform, hotspot, transpose, neighbor, ...) and how the per-node
+    injection rate moves over the horizon (either its own temporal
+    :class:`~repro.scenarios.patterns.Pattern` or, by default, tracking the
+    ``load`` channel's epoch means).  Priced per epoch by the cached
+    closed-form model in :mod:`repro.noc.analytic` at zero extra solves.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass
 from typing import Dict, Optional
@@ -42,6 +53,80 @@ PATTERN_CHANNELS: Dict[str, bool] = {
     "ambient_celsius": False,
     "snr_db": False,
 }
+
+
+#: Traffic patterns the analytic NoC model understands.
+NOC_TRAFFIC_PATTERNS = ("uniform", "hotspot", "transpose", "bit-complement", "neighbor")
+
+
+@dataclass(frozen=True)
+class NocChannel:
+    """The scenario's offered load on the on-chip network.
+
+    ``traffic`` is the spatial shape (who talks to whom), ``injection_rate``
+    the nominal per-node flit-injection probability per cycle, and
+    ``rate_pattern`` an optional temporal pattern *multiplying* that nominal
+    rate per epoch.  Without a rate pattern the NoC tracks the scenario's
+    ``load`` channel: each epoch's mean load modulation scales the base
+    rate, so compute bursts congest the network too.
+    """
+
+    traffic: str = "uniform"
+    injection_rate: float = 0.05
+    rate_pattern: Optional[Pattern] = None
+    packet_size_flits: int = 4
+    routing: str = "xy"
+    #: Extra traffic-pattern arguments (e.g. ``{"hotspots": [[1, 1]]}``);
+    #: must be JSON-serialisable.
+    traffic_kwargs: Optional[Dict[str, object]] = None
+
+    def __post_init__(self) -> None:
+        if self.traffic not in NOC_TRAFFIC_PATTERNS:
+            raise ValueError(
+                f"unknown NoC traffic pattern {self.traffic!r}; "
+                f"choose from {', '.join(NOC_TRAFFIC_PATTERNS)}"
+            )
+        if self.injection_rate <= 0:
+            raise ValueError("injection_rate must be positive")
+        if self.packet_size_flits < 1:
+            raise ValueError("packets need at least one flit")
+        if self.rate_pattern is not None:
+            if not isinstance(self.rate_pattern, Pattern):
+                raise TypeError(
+                    f"rate_pattern must be a Pattern, got {type(self.rate_pattern)}"
+                )
+            if self.rate_pattern.is_spatial:
+                raise ValueError(
+                    "the NoC injection rate is chip-global; spatial patterns "
+                    "are only valid for 'load'"
+                )
+        if self.traffic_kwargs is not None and not isinstance(self.traffic_kwargs, dict):
+            raise TypeError("traffic_kwargs must be a dict of keyword arguments")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "traffic": self.traffic,
+            "injection_rate": self.injection_rate,
+            "rate_pattern": (
+                self.rate_pattern.to_dict() if self.rate_pattern is not None else None
+            ),
+            "packet_size_flits": self.packet_size_flits,
+            "routing": self.routing,
+            "traffic_kwargs": (
+                dict(self.traffic_kwargs) if self.traffic_kwargs is not None else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "NocChannel":
+        params = dict(payload)
+        unknown = set(params) - {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        if unknown:
+            raise ValueError(f"unknown NoC channel fields: {sorted(unknown)}")
+        pattern = params.get("rate_pattern")
+        if pattern is not None:
+            params["rate_pattern"] = pattern_from_dict(pattern)  # type: ignore[arg-type]
+        return cls(**params)  # type: ignore[arg-type]
 
 
 @dataclass(frozen=True)
@@ -71,6 +156,9 @@ class ScenarioSpec:
     load: Optional[Pattern] = None
     ambient_celsius: Optional[Pattern] = None
     snr_db: Optional[Pattern] = None
+    #: Offered NoC load (traffic pattern + injection-rate schedule), priced
+    #: per epoch by the cached analytic wormhole model.
+    noc: Optional[NocChannel] = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -99,6 +187,8 @@ class ScenarioSpec:
                     f"{channel} is a chip-global channel; spatial patterns "
                     "are only valid for 'load'"
                 )
+        if self.noc is not None and not isinstance(self.noc, NocChannel):
+            raise TypeError(f"noc must be a NocChannel, got {type(self.noc)}")
 
     # ------------------------------------------------------------------
     # Serialization
@@ -125,6 +215,7 @@ class ScenarioSpec:
         for channel in PATTERN_CHANNELS:
             pattern = getattr(self, channel)
             payload[channel] = pattern.to_dict() if pattern is not None else None
+        payload["noc"] = self.noc.to_dict() if self.noc is not None else None
         return payload
 
     @classmethod
@@ -134,6 +225,9 @@ class ScenarioSpec:
             value = params.get(channel)
             if value is not None:
                 params[channel] = pattern_from_dict(value)  # type: ignore[arg-type]
+        noc = params.get("noc")
+        if noc is not None and not isinstance(noc, NocChannel):
+            params["noc"] = NocChannel.from_dict(noc)  # type: ignore[arg-type]
         unknown = set(params) - {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
         if unknown:
             raise ValueError(f"unknown scenario fields: {sorted(unknown)}")
@@ -145,3 +239,24 @@ class ScenarioSpec:
     @classmethod
     def from_json(cls, text: str) -> "ScenarioSpec":
         return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # Content addressing
+    # ------------------------------------------------------------------
+    def canonical_json(self) -> str:
+        """The one canonical byte representation of this spec.
+
+        Sorted keys, no whitespace, shortest-repr floats: the same spec
+        produces the same string in every process on every platform, so it
+        can key content-addressed caches (see :mod:`repro.campaign.cache`).
+        JSON round-tripping is lossless for the payload (floats keep their
+        exact bits via ``repr``), hence ``from_json(canonical_json())``
+        equals ``self``.
+        """
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+
+    def content_digest(self) -> str:
+        """SHA-256 of :meth:`canonical_json` — the spec's identity."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()

@@ -152,17 +152,49 @@ class ThermalSolver:
         # Solvers are shared across the thread executor of the parallel
         # runner; guard the lazily-built caches.
         self._cache_lock = threading.Lock()
+        self._thread_factors = threading.local()
 
     def __getstate__(self):
-        # Locks cannot cross process boundaries (the parallel runner pickles
-        # configurations, which carry a solver); recreate one on unpickling.
+        # Locks and thread-local stores cannot cross process boundaries (the
+        # parallel runner pickles configurations, which carry a solver);
+        # recreate them on unpickling.
         state = self.__dict__.copy()
         del state["_cache_lock"]
+        del state["_thread_factors"]
         return state
 
     def __setstate__(self, state):
         self.__dict__.update(state)
         self._cache_lock = threading.Lock()
+        self._thread_factors = threading.local()
+
+    # ------------------------------------------------------------------
+    def _private_factor(self, key, factor: Tuple[np.ndarray, np.ndarray]):
+        """Per-thread private copy of an LU factorisation.
+
+        LAPACK ``getrs`` via :func:`scipy.linalg.lu_solve` is not reentrant
+        against *shared* ``(lu, piv)`` arrays on every BLAS build: two
+        threads solving concurrently against the same factor memory can
+        return corrupted temperatures, while solves against per-thread
+        copies are exact.  Copies are cached per (thread, key) and refreshed
+        whenever the underlying factor object changes (step-cache eviction
+        rebuilds propagators).
+        """
+        store = getattr(self._thread_factors, "store", None)
+        if store is None:
+            store = self._thread_factors.store = {}
+        entry = store.get(key)
+        if entry is None or entry[0] is not factor:
+            lu, piv = factor
+            entry = (factor, (lu.copy(order="F"), piv.copy()))
+            if len(store) > MAX_CACHED_PROPAGATORS:
+                store.pop(next(iter(store)))
+            store[key] = entry
+        return entry[1]
+
+    def _a_factor(self) -> Tuple[np.ndarray, np.ndarray]:
+        """This thread's copy of the steady-state factorisation."""
+        return self._private_factor("A", self._A_factor)
 
     # ------------------------------------------------------------------
     def _step_propagator(self, time_step_s: float) -> _StepPropagator:
@@ -212,7 +244,7 @@ class ThermalSolver:
         sampled instants come out of one pair of matrix multiplies.
         """
         c_sqrt, eigenvalues, eigenvectors = self._spectral()
-        fixed_point = lu_solve(self._A_factor, rhs_const)
+        fixed_point = lu_solve(self._a_factor(), rhs_const)
         weights = eigenvectors.T @ (c_sqrt * (state - fixed_point))
         decay = 1.0 / (1.0 + time_step_s * eigenvalues)
         powers = decay[np.newaxis, :] ** step_counts[:, np.newaxis]
@@ -259,7 +291,7 @@ class ThermalSolver:
         power = self._power_vector_of(block_power_w)
         rhs = power + self._boundary
         self.steady_solve_count += 1
-        temps_kelvin = lu_solve(self._A_factor, rhs)
+        temps_kelvin = lu_solve(self._a_factor(), rhs)
         return self._to_map(temps_kelvin)
 
     def steady_state_batch(self, node_power_matrix: np.ndarray) -> np.ndarray:
@@ -279,7 +311,7 @@ class ThermalSolver:
             raise ValueError("negative power in batch")
         rhs = power + self._boundary[np.newaxis, :]
         self.steady_solve_count += 1
-        return lu_solve(self._A_factor, rhs.T).T
+        return lu_solve(self._a_factor(), rhs.T).T
 
     # ------------------------------------------------------------------
     def transient(
@@ -379,12 +411,15 @@ class ThermalSolver:
         else:
             # Implicit Euler: (C/dt + A) T_{k+1} = C/dt T_k + P
             propagator = self._step_propagator(time_step_s)
+            factor = self._private_factor(
+                ("step", propagator.time_step_s), propagator.factor
+            )
             record_mask = np.zeros(steps, dtype=bool)
             record_mask[recorded] = True
             row = 1
             for k in range(steps):
                 rhs = propagator.c_over_dt * state + rhs_const
-                state = lu_solve(propagator.factor, rhs)
+                state = lu_solve(factor, rhs)
                 if record_mask[k]:
                     history[row] = state
                     row += 1
@@ -554,7 +589,7 @@ class ThermalSolver:
             # The affine ambient boundary term: each interval's RHS becomes
             # P_i + G_amb (T_amb + dT_i).  Same single multi-RHS solve.
             rhs = rhs + ambient_offsets[:, np.newaxis] * network.ambient_conductance[np.newaxis, :]
-        fixed_points = lu_solve(self._A_factor, rhs.T).T  # (num_intervals, n)
+        fixed_points = lu_solve(self._a_factor(), rhs.T).T  # (num_intervals, n)
 
         if initial_state is None:
             state = np.full(network.num_nodes, network.ambient_kelvin, dtype=float)
@@ -655,7 +690,7 @@ class ThermalSolver:
         if ambient_offset_kelvin:
             rhs = rhs + ambient_offset_kelvin * self.network.ambient_conductance
         self.steady_solve_count += 1
-        return lu_solve(self._A_factor, rhs)
+        return lu_solve(self._a_factor(), rhs)
 
     def _to_map(self, temps_kelvin: np.ndarray) -> TemperatureMap:
         block_celsius = {

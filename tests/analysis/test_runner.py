@@ -8,10 +8,14 @@ import pytest
 
 from repro.analysis.runner import (
     _POOLS,
+    PROCESS_TASK_FLOOR_S,
+    SERIAL_TASK_FLOOR_S,
     _persistent_executor,
+    plan_execution,
     resolve_jobs,
     run_experiment_grid,
     run_parallel,
+    run_parallel_iter,
     run_single_experiment,
     shutdown_executors,
 )
@@ -44,6 +48,77 @@ class TestResolveJobs:
             resolve_jobs(0, 4)
         with pytest.raises(ValueError):
             resolve_jobs(-2, 4)
+
+
+class TestPlanExecution:
+    def test_no_estimate_keeps_the_request(self):
+        assert plan_execution(4, 8) == (4, "process")
+        assert plan_execution(4, 8, None, "thread") == (4, "thread")
+
+    def test_serial_requests_pass_through(self):
+        assert plan_execution(None, 8, 1e-6) == (1, "process")
+        assert plan_execution(1, 8, 1e-6) == (1, "process")
+
+    def test_cheap_tasks_skip_the_process_pool(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
+        cheap = PROCESS_TASK_FLOOR_S / 2
+        assert plan_execution(4, 8, cheap, "process") == (4, "thread")
+
+    def test_trivial_tasks_run_serially(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
+        trivial = SERIAL_TASK_FLOOR_S / 2
+        workers, _executor = plan_execution(4, 8, trivial, "process")
+        assert workers == 1
+        workers, _executor = plan_execution(4, 8, trivial, "thread")
+        assert workers == 1
+
+    def test_single_cpu_hosts_downgrade_threads_to_serial(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        workers, _executor = plan_execution(4, 8, 1.0, "thread")
+        assert workers == 1
+
+    def test_expensive_tasks_keep_the_process_pool(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
+        assert plan_execution(4, 8, PROCESS_TASK_FLOOR_S * 2, "process") == (
+            4,
+            "process",
+        )
+
+
+class TestRunParallelIter:
+    def test_serial_plan_yields_in_task_order(self):
+        tasks = [partial(_square, value) for value in range(5)]
+        assert list(run_parallel_iter(tasks)) == [
+            (index, index * index) for index in range(5)
+        ]
+
+    def test_parallel_yields_every_result_with_its_index(self):
+        tasks = [partial(_square, value) for value in range(8)]
+        seen = dict(run_parallel_iter(tasks, n_jobs=4, executor="thread"))
+        assert seen == {index: index * index for index in range(8)}
+
+    def test_failure_propagates_and_pool_survives(self):
+        with pytest.raises(RuntimeError, match="worker failure"):
+            list(
+                run_parallel_iter(
+                    [partial(_square, 1), _fail, partial(_square, 2)],
+                    n_jobs=2,
+                    executor="thread",
+                )
+            )
+        # The shared pool still works afterwards.
+        assert run_parallel(
+            [partial(_square, 3)] * 2, n_jobs=2, executor="thread"
+        ) == [9, 9]
+
+    def test_abandoned_generator_cleans_up(self):
+        tasks = [partial(_square, value) for value in range(16)]
+        iterator = run_parallel_iter(tasks, n_jobs=2, executor="thread")
+        next(iterator)
+        iterator.close()  # must cancel/drain, not raise
+        assert run_parallel(
+            [partial(_square, 5)], n_jobs=2, executor="thread"
+        ) == [25]
 
 
 class TestRunParallel:

@@ -1,0 +1,250 @@
+"""End-to-end campaign execution: cache, resume, sharding, dry runs."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.campaign import CampaignSpec, auto_plan, campaign_status, run_campaign
+from repro.campaign import executor as executor_module
+from repro.campaign import manifest
+from repro.chips import get_configuration
+
+from test_campaign_spec import cheap_scenario
+
+
+def grid_spec(name="grid", scenarios=None, **overrides):
+    params = dict(
+        name=name,
+        scenarios=scenarios or (cheap_scenario("s1"), cheap_scenario("s2")),
+        configurations=("A", "B"),
+        schemes=("xy-shift", "rotation"),
+    )
+    params.update(overrides)
+    return CampaignSpec(**params)
+
+
+def result_payloads(run):
+    return [result.to_dict() for result in run.results]
+
+
+class TestColdRun:
+    def test_evaluates_every_job_and_reports(self, tmp_path):
+        spec = grid_spec()
+        run = run_campaign(spec, tmp_path / "camp")
+        assert run.evaluated == len(run.jobs) == 8
+        assert run.cache_hits == 0 and run.resumed == 0
+        assert all(result is not None for result in run.results)
+        assert run.report is not None and run.report.jobs == 8
+        assert manifest.load_report(tmp_path / "camp") == run.report.to_dict()
+        assert len(manifest.load_journal(tmp_path / "camp")) == 8
+
+    def test_duplicate_grid_cells_evaluate_once(self, tmp_path):
+        twin = cheap_scenario("twin")
+        spec = CampaignSpec(name="twins", scenarios=(twin, twin))
+        run = run_campaign(spec, tmp_path / "camp")
+        assert len(run.jobs) == 2
+        assert run.evaluated == 1
+        assert run.results[0] == run.results[1]
+
+
+class TestWarmRun:
+    def test_zero_evaluations_and_bit_identical_results(self, tmp_path):
+        spec = grid_spec()
+        cold = run_campaign(spec, tmp_path / "camp")
+        solver = get_configuration("A").thermal_model.solver
+        solves_before = solver.steady_solve_count
+        warm = run_campaign(spec, tmp_path / "camp")
+        assert warm.evaluated == 0
+        assert warm.resumed == len(warm.jobs)
+        # The hard guarantee: a warm re-run performs no scenario
+        # evaluations — the shared chip's solver counters do not move.
+        assert solver.steady_solve_count == solves_before
+        assert result_payloads(warm) == result_payloads(cold)
+
+    def test_fresh_directory_shared_cache_hits_everything(self, tmp_path):
+        spec = grid_spec()
+        shared = tmp_path / "shared-cache"
+        cold = run_campaign(spec, tmp_path / "one", cache_root=shared)
+        warm = run_campaign(spec, tmp_path / "two", cache_root=shared)
+        assert warm.evaluated == 0
+        assert warm.cache_hits == len(warm.jobs)
+        assert warm.resumed == 0
+        assert result_payloads(warm) == result_payloads(cold)
+
+    def test_overlapping_campaign_shares_cache_entries(self, tmp_path):
+        shared = tmp_path / "shared-cache"
+        run_campaign(grid_spec(), tmp_path / "one", cache_root=shared)
+        # A differently shaped campaign whose grid overlaps on (s1, A/B x
+        # xy-shift): those four cells must be cache hits.
+        overlap = CampaignSpec(
+            name="overlap",
+            scenarios=(cheap_scenario("s1"),),
+            configurations=("A", "B"),
+            schemes=("xy-shift", "right-shift"),
+        )
+        run = run_campaign(overlap, tmp_path / "two", cache_root=shared)
+        assert run.cache_hits == 2
+        assert run.evaluated == 2
+
+
+class TestInvalidation:
+    def test_scenario_edit_invalidates_only_its_jobs(self, tmp_path):
+        spec = grid_spec()
+        run_campaign(spec, tmp_path / "camp")
+        edited = grid_spec(
+            scenarios=(cheap_scenario("s1"), cheap_scenario("s2", num_epochs=7))
+        )
+        rerun = run_campaign(edited, tmp_path / "camp")
+        # Only s2's 4 cells re-run; s1's replay from the journal.
+        assert rerun.evaluated == 4
+        assert rerun.resumed == 4
+        assert all(job.axes["scenario"] == "s2"
+                   for job, result in zip(rerun.jobs, rerun.results)
+                   if job.job_id not in
+                   {j.job_id for j in spec.expand()})
+
+    def test_code_fingerprint_change_invalidates_everything(
+        self, tmp_path, monkeypatch
+    ):
+        spec = grid_spec()
+        run_campaign(spec, tmp_path / "camp")
+        monkeypatch.setattr(
+            executor_module, "code_fingerprint", lambda groups, root=None: "0" * 64
+        )
+        rerun = run_campaign(spec, tmp_path / "camp")
+        assert rerun.evaluated == len(rerun.jobs)
+        assert rerun.resumed == 0
+
+    def test_different_campaign_name_refused(self, tmp_path):
+        run_campaign(grid_spec(), tmp_path / "camp")
+        with pytest.raises(ValueError, match="belongs to campaign"):
+            run_campaign(grid_spec(name="imposter"), tmp_path / "camp")
+
+
+class TestResume:
+    def test_killed_campaign_resumes_exactly(self, tmp_path):
+        spec = grid_spec()
+        complete = run_campaign(spec, tmp_path / "full")
+        # Replay the first 3 journal lines plus a torn 4th into a fresh
+        # directory — the on-disk state an interrupted run leaves behind.
+        journal = manifest.journal_path(tmp_path / "full").read_text()
+        lines = journal.splitlines(keepends=True)
+        interrupted = tmp_path / "killed"
+        manifest.bind_directory(interrupted, spec)
+        manifest.journal_path(interrupted).write_text(
+            "".join(lines[:3]) + lines[3][:20]
+        )
+        resumed = run_campaign(spec, interrupted)
+        assert resumed.resumed == 3
+        assert resumed.evaluated == len(resumed.jobs) - 3
+        assert result_payloads(resumed) == result_payloads(complete)
+        status = campaign_status(interrupted)
+        assert status["completed"] == len(resumed.jobs)
+        assert status["pending"] == 0
+
+    def test_status_of_partial_campaign(self, tmp_path):
+        spec = grid_spec()
+        run_campaign(spec, tmp_path / "full")
+        journal = manifest.journal_path(tmp_path / "full").read_text()
+        partial = tmp_path / "partial"
+        manifest.bind_directory(partial, spec)
+        manifest.journal_path(partial).write_text(
+            "".join(journal.splitlines(keepends=True)[:5])
+        )
+        status = campaign_status(partial)
+        assert status["jobs"] == 8
+        assert status["completed"] == 5
+        assert status["pending"] == 3
+
+
+class TestSharding:
+    def test_sharded_results_bit_identical_to_serial(self, tmp_path, monkeypatch):
+        spec = grid_spec()
+        serial = run_campaign(spec, tmp_path / "serial", n_jobs=1)
+        # Force a genuine 2-worker thread fan-out regardless of host CPUs
+        # or the cost-aware downgrade (the jobs here are tiny).
+        monkeypatch.setattr(
+            "repro.analysis.runner.plan_execution",
+            lambda n_jobs, num_tasks, est_task_seconds=None, executor="process": (
+                2,
+                "thread",
+            ),
+        )
+        sharded = run_campaign(
+            spec, tmp_path / "sharded", n_jobs=2, executor="thread"
+        )
+        assert result_payloads(sharded) == result_payloads(serial)
+        # And the journals carry the same payloads (completion order may
+        # differ; compare as sets of canonical lines).
+        def journal_results(directory):
+            return sorted(
+                json.dumps(entry["result"], sort_keys=True)
+                for entry in manifest.load_journal(directory)
+            )
+
+        assert journal_results(tmp_path / "sharded") == journal_results(
+            tmp_path / "serial"
+        )
+
+
+class TestDryRun:
+    def test_dry_run_touches_nothing(self, tmp_path):
+        spec = grid_spec()
+        directory = tmp_path / "camp"
+        forecast = run_campaign(spec, directory, dry_run=True)
+        assert forecast.forecast_evaluations == len(forecast.jobs)
+        assert forecast.evaluated == 0
+        assert not directory.exists()
+
+    def test_dry_run_forecasts_cache_hits(self, tmp_path):
+        spec = grid_spec()
+        directory = tmp_path / "camp"
+        run_campaign(spec, directory)
+        edited = grid_spec(
+            scenarios=(cheap_scenario("s1"), cheap_scenario("s2", num_epochs=9))
+        )
+        journal_before = manifest.journal_path(directory).read_text()
+        forecast = run_campaign(edited, directory, dry_run=True)
+        assert forecast.resumed == 4
+        assert forecast.forecast_evaluations == 4
+        # Read-only: journal and spec file untouched.
+        assert manifest.journal_path(directory).read_text() == journal_before
+        assert manifest.load_spec(directory) == spec
+
+
+class TestAutoPlan:
+    def test_single_cpu_hosts_stay_serial(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        assert auto_plan(100) == (1, "thread")
+
+    def test_single_pending_job_stays_serial(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
+        assert auto_plan(1) == (1, "thread")
+
+    def test_weak_recorded_speedup_stays_serial(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
+        monkeypatch.setattr(
+            executor_module,
+            "_perf_record",
+            lambda path=None: {"speedup": 1.01, "n_jobs": 4, "executor": "thread"},
+        )
+        assert auto_plan(100) == (1, "thread")
+
+    def test_strong_recorded_speedup_reuses_the_shape(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
+        monkeypatch.setattr(
+            executor_module,
+            "_perf_record",
+            lambda path=None: {"speedup": 2.4, "n_jobs": 4, "executor": "thread"},
+        )
+        assert auto_plan(100) == (4, "thread")
+        # Capped by the pending job count.
+        assert auto_plan(3) == (3, "thread")
+
+    def test_no_history_fans_over_cpus(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 4)
+        monkeypatch.setattr(executor_module, "_perf_record", lambda path=None: None)
+        assert auto_plan(100) == (4, "thread")

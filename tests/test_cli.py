@@ -187,6 +187,80 @@ class TestScenarioCommand:
         assert capsys.readouterr().err.strip() != ""
 
 
+class TestCampaignCommand:
+    SPEC = {
+        "name": "cli-demo",
+        "scenarios": [
+            {
+                "name": "cheap",
+                "configuration": "A",
+                "scheme": "xy-shift",
+                "mode": "steady",
+                "num_epochs": 6,
+                "settle_epochs": 3,
+            }
+        ],
+        "configurations": ["A", "B"],
+    }
+
+    def _spec_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(self.SPEC))
+        return str(path)
+
+    def test_dry_run_forecasts_without_touching_disk(self, capsys, tmp_path):
+        spec = self._spec_file(tmp_path)
+        directory = tmp_path / "camp"
+        code = main(
+            ["campaign", "run", "-S", spec, "-d", str(directory), "--dry-run"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "would_evaluate" in out
+        assert "cheap@A/xy-shift/fs1/euler" in out
+        assert not directory.exists()
+
+    def test_run_then_warm_rerun_then_report(self, capsys, tmp_path):
+        spec = self._spec_file(tmp_path)
+        directory = str(tmp_path / "camp")
+        assert main(["campaign", "run", "-S", spec, "-d", directory]) == 0
+        out = capsys.readouterr().out
+        assert "evaluated" in out and "configuration" in out
+        assert main(["campaign", "run", "-S", spec, "-d", directory]) == 0
+        # Warm: everything replays from the journal.
+        assert main(["--csv", "campaign", "status", "-d", directory]) == 0
+        csv_out = capsys.readouterr().out.splitlines()[-1]
+        assert ",2,2,0," in csv_out
+        assert main(["campaign", "report", "-d", directory]) == 0
+        assert "mean_peak_c" in capsys.readouterr().out
+
+    def test_list_summarises_campaign_roots(self, capsys, tmp_path):
+        spec = self._spec_file(tmp_path)
+        root = tmp_path / "campaigns"
+        assert main(["campaign", "run", "-S", spec, "-d", str(root / "one")]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "list", "--root", str(root)]) == 0
+        assert "cli-demo" in capsys.readouterr().out
+
+    def test_list_without_campaigns_is_clean_error(self, capsys, tmp_path):
+        assert main(["campaign", "list", "--root", str(tmp_path)]) == 1
+        assert "no campaign directories" in capsys.readouterr().err
+
+    def test_missing_spec_file_is_clean_error(self, capsys, tmp_path):
+        code = main(
+            ["campaign", "run", "-S", str(tmp_path / "nope.json"),
+             "-d", str(tmp_path / "camp")]
+        )
+        assert code == 1
+        assert "cannot load campaign spec" in capsys.readouterr().err
+
+    def test_report_before_run_is_clean_error(self, capsys, tmp_path):
+        assert main(["campaign", "report", "-d", str(tmp_path)]) == 1
+        assert "no report.json" in capsys.readouterr().err
+
+
 class TestPerfTrendCommand:
     PAYLOAD = {
         "schema": 2,

@@ -303,3 +303,70 @@ class TestSpectralSequenceJump:
             assert np.allclose(
                 jumped.block_celsius[name], euler.block_celsius[name], atol=1e-9
             )
+
+
+class TestThreadPrivateFactors:
+    """Concurrent solves must never share LU factor memory.
+
+    ``lu_solve`` against shared ``(lu, piv)`` arrays is not reentrant on
+    every BLAS build: two threads solving the same chip's factorisation
+    concurrently returned corrupted temperatures.  Every solve therefore
+    goes through a per-thread private copy of the factor.
+    """
+
+    def test_solves_use_a_private_copy(self, solver4):
+        private = solver4._a_factor()
+        assert private[0] is not solver4._A_factor[0]
+        assert private[1] is not solver4._A_factor[1]
+        assert np.array_equal(private[0], solver4._A_factor[0])
+        assert np.array_equal(private[1], solver4._A_factor[1])
+
+    def test_copy_is_cached_per_thread(self, solver4):
+        assert solver4._a_factor()[0] is solver4._a_factor()[0]
+
+    def test_each_thread_gets_its_own_copy(self, solver4):
+        import threading
+
+        seen = {}
+
+        def grab(name):
+            seen[name] = solver4._a_factor()
+
+        threads = [
+            threading.Thread(target=grab, args=(index,)) for index in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert seen[0][0] is not seen[1][0]
+        assert np.array_equal(seen[0][0], seen[1][0])
+
+    def test_replaced_factor_refreshes_the_copy(self, solver4):
+        stale = solver4._a_factor()
+        from scipy.linalg import lu_factor
+
+        solver4._A_factor = lu_factor(solver4._A)
+        fresh = solver4._a_factor()
+        assert fresh[0] is not stale[0]
+
+    def test_concurrent_batches_match_serial(self, solver4, mesh4):
+        import concurrent.futures as cf
+
+        vector = solver4.network.power_vector(_uniform_power(mesh4, 2.0))
+        batch = np.vstack([vector * scale for scale in (0.5, 1.0, 1.5)])
+        expected = solver4.steady_state_batch(batch)
+        for _trial in range(20):
+            with cf.ThreadPoolExecutor(max_workers=2) as pool:
+                outs = list(
+                    pool.map(lambda _i: solver4.steady_state_batch(batch), range(2))
+                )
+            for out in outs:
+                assert np.array_equal(out, expected)
+
+    def test_pickled_solver_recreates_the_thread_store(self, solver4):
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(solver4))
+        private = clone._a_factor()
+        assert np.array_equal(private[0], solver4._A_factor[0])
