@@ -1,0 +1,213 @@
+"""Experiment O1 — the telemetry layer must be free when it is off.
+
+The observability layer (:mod:`repro.obs`) instruments the thermal solver,
+the LDPC decoders, the NoC vector kernel, the scenario compiler and the
+campaign executor with counters, timers and spans.  The contract that makes
+this acceptable on hot paths: **while telemetry is disabled (the default),
+every instrument call is one attribute load plus one branch** — no locks,
+no clocks, no allocation.
+
+The guard here is honest about what can be measured: the un-instrumented
+code no longer exists, so the disabled-path overhead is bounded as
+*(micro-benchmarked cost of one disabled instrument call) x (the exact
+number of instrument calls one scenario-suite run performs, counted from an
+enabled run)*, and compared against the suite's disabled wall-clock.  That
+bound must stay under 2% (waived in ``--smoke`` mode, like every other
+wall-clock floor).
+
+Also guarded structurally: a disabled run leaves the registry snapshot empty
+and records zero span events, and an enabled run of the same suite actually
+produces the expected instrument families.
+"""
+
+import perf_utils
+import pytest
+from conftest import print_rows
+
+from repro import obs
+from repro.analysis.report import compare_scenarios
+from repro.scenarios import all_scenarios
+
+#: Counters whose per-call amount is not 1 (they ride along with another
+#: counter whose value *is* the call count, used below instead).
+_AMOUNT_COUNTERS = {
+    "ldpc.decode_blocks",
+    "ldpc.decode_iterations",
+    "noc.vector.lane_cycles",
+}
+
+#: Disabled-overhead budget on the scenario suite.
+OVERHEAD_BUDGET = 0.02
+
+_MICRO_OPS = 200_000
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off_between_tests():
+    """Every test starts and ends with telemetry fully disabled and clean."""
+    obs.disable()
+    obs.stop_tracing()
+    obs.get_registry().reset()
+    obs.get_tracer().clear()
+    yield
+    obs.disable()
+    obs.stop_tracing()
+    obs.get_registry().reset()
+    obs.get_tracer().clear()
+
+
+def _disabled_per_op_seconds() -> float:
+    """Micro cost of one *disabled* instrument call (the worst family)."""
+    counter = obs.counter("bench.obs.micro")
+    timer = obs.timer("bench.obs.micro")
+    with perf_utils.timed() as counter_timer:
+        for _ in range(_MICRO_OPS):
+            counter.add()
+    with perf_utils.timed() as span_timer:
+        for _ in range(_MICRO_OPS):
+            with obs.span("bench.obs.micro"):
+                pass
+    with perf_utils.timed() as timer_timer:
+        for _ in range(_MICRO_OPS):
+            with timer.time():
+                pass
+    return (
+        max(counter_timer.seconds, span_timer.seconds, timer_timer.seconds)
+        / _MICRO_OPS
+    )
+
+
+def _instrument_calls(snapshot: "obs.TelemetrySummary", span_events: int) -> int:
+    """Exact instrument-call count of the run a snapshot describes."""
+    calls = sum(
+        value
+        for name, value in snapshot.counters.items()
+        if name not in _AMOUNT_COUNTERS
+    )
+    # decode_blocks + decode_iterations are bumped once per decode batch;
+    # lane_cycles once per run() / drain().
+    calls += 2 * snapshot.counters.get("ldpc.decode_batches", 0)
+    calls += snapshot.counters.get("noc.vector.runs", 0)
+    calls += snapshot.counters.get("noc.vector.drains", 0)
+    calls += sum(stats.get("count", 0) for stats in snapshot.timers.values())
+    calls += len(snapshot.gauges)
+    calls += span_events  # each span is one enter + exit pair, counted once
+    return int(calls)
+
+
+def test_disabled_telemetry_overhead_guard():
+    """The acceptance guard: disabled-path overhead <= 2% of the suite."""
+    specs = all_scenarios()
+    # Warm every process-wide cache (chips, probes, factorisations) so the
+    # timed runs measure the pipeline, not first-touch construction.
+    compare_scenarios(specs)
+
+    registry = obs.get_registry()
+    tracer = obs.get_tracer()
+
+    # --- Disabled run: the default path every user pays. -----------------
+    registry.reset()
+    tracer.clear()
+    with perf_utils.timed() as disabled_timer:
+        compare_scenarios(specs)
+    disabled_snapshot = registry.snapshot()
+    assert disabled_snapshot.empty, (
+        f"disabled run touched the registry: {disabled_snapshot.to_dict()}"
+    )
+    assert len(tracer) == 0, "disabled run recorded span events"
+
+    # --- Enabled run: counts exactly what the suite instruments. ---------
+    obs.enable()
+    obs.start_tracing(clear=True)
+    with perf_utils.timed() as enabled_timer:
+        compare_scenarios(specs)
+    snapshot = registry.snapshot()
+    span_events = len(tracer)
+    obs.disable()
+    obs.stop_tracing()
+
+    assert snapshot.counters.get("scenario.runs") == len(specs)
+    assert snapshot.counters.get("thermal.steady_solves", 0) > 0
+    assert span_events > 0
+
+    per_op = _disabled_per_op_seconds()
+    ops = _instrument_calls(snapshot, span_events)
+    bound_s = per_op * ops
+    overhead = bound_s / disabled_timer.seconds
+    assert overhead <= (1.0 if perf_utils.SMOKE else OVERHEAD_BUDGET), (
+        f"disabled-telemetry bound {100 * overhead:.3f}% "
+        f"({ops} instrument calls x {1e9 * per_op:.1f} ns) exceeds "
+        f"{100 * OVERHEAD_BUDGET:.0f}% of the {disabled_timer.seconds:.3f} s suite"
+    )
+
+    perf_utils.record_perf(
+        "obs.disabled_overhead",
+        disabled_timer.seconds,
+        throughput=len(specs) / disabled_timer.seconds,
+        throughput_unit="scenarios/s",
+        instrument_calls=ops,
+        per_op_ns=round(1e9 * per_op, 2),
+        overhead_bound_pct=round(100 * overhead, 4),
+        budget_pct=100 * OVERHEAD_BUDGET,
+    )
+    perf_utils.record_perf(
+        "obs.enabled_suite",
+        enabled_timer.seconds,
+        throughput=len(specs) / enabled_timer.seconds,
+        throughput_unit="scenarios/s",
+        baseline_wall_s=disabled_timer.seconds,
+        baseline="same suite with telemetry disabled",
+        span_events=span_events,
+    )
+    print_rows(
+        "Telemetry overhead on the scenario suite (guard: disabled <= 2%)",
+        [
+            {
+                "scenarios": len(specs),
+                "disabled_ms": round(1e3 * disabled_timer.seconds, 1),
+                "enabled_ms": round(1e3 * enabled_timer.seconds, 1),
+                "instrument_calls": ops,
+                "per_op_ns": round(1e9 * per_op, 1),
+                "overhead_bound_pct": round(100 * overhead, 3),
+            }
+        ],
+    )
+
+
+def test_enabled_counter_throughput():
+    """Record the enabled-path instrument costs so regressions are visible."""
+    obs.enable()
+    counter = obs.counter("bench.obs.enabled")
+    with perf_utils.timed() as counter_timer:
+        for _ in range(_MICRO_OPS):
+            counter.add()
+    obs.start_tracing(clear=True)
+    spans = 20_000
+    with perf_utils.timed() as span_timer:
+        for _ in range(spans):
+            with obs.span("bench.obs.enabled"):
+                pass
+    obs.stop_tracing()
+    obs.disable()
+
+    assert counter.value == _MICRO_OPS
+    assert len(obs.get_tracer()) == spans
+
+    perf_utils.record_perf(
+        "obs.enabled_ops",
+        counter_timer.seconds,
+        throughput=_MICRO_OPS / counter_timer.seconds,
+        throughput_unit="increments/s",
+        counter_ns=round(1e9 * counter_timer.seconds / _MICRO_OPS, 1),
+        span_ns=round(1e9 * span_timer.seconds / spans, 1),
+    )
+    print_rows(
+        "Enabled instrument costs",
+        [
+            {
+                "counter_ns": round(1e9 * counter_timer.seconds / _MICRO_OPS, 1),
+                "span_ns": round(1e9 * span_timer.seconds / spans, 1),
+                "span_events": spans,
+            }
+        ],
+    )

@@ -43,6 +43,8 @@ import atexit
 import dataclasses
 import os
 import threading
+import time
+from collections import namedtuple
 from concurrent.futures import (
     FIRST_COMPLETED,
     Executor,
@@ -59,10 +61,67 @@ from ..chips.configurations import ChipConfiguration
 from ..core.experiment import ExperimentSettings, ThermalExperiment
 from ..core.metrics import ExperimentResult
 from ..core.policy import make_policy
+from ..obs import counter as _obs_counter
+from ..obs import enabled as _obs_enabled
+from ..obs import gauge as _obs_gauge
+from ..obs import get_tracer as _obs_tracer
+from ..obs import timer as _obs_timer
+from ..obs import tracing_enabled as _obs_tracing
 from ..scenarios.compile import ScenarioResult, run_scenario
 from ..scenarios.spec import ScenarioSpec
 
 T = TypeVar("T")
+
+# Pool telemetry: tasks completed, time spent queued before a worker picked
+# the task up, and time spent executing.  ``runner.pool_workers`` is the
+# window size of the most recent parallel call.
+_OBS_TASKS = _obs_counter("runner.tasks")
+_OBS_QUEUE_WAIT = _obs_timer("runner.queue_wait")
+_OBS_TASK_TIME = _obs_timer("runner.task")
+_OBS_WORKERS = _obs_gauge("runner.pool_workers")
+
+#: Worker-side timing envelope around a task's result.  A plain namedtuple so
+#: process-pool workers can pickle it back; timestamps are wall-clock seconds
+#: (one shared clock across processes).
+_TaskOutcome = namedtuple(
+    "_TaskOutcome", ("result", "submitted_s", "started_s", "ended_s", "pid", "tid")
+)
+
+
+def _observed_task(task: Callable[[], T], submitted_s: float) -> "_TaskOutcome":
+    """Run ``task`` in the worker, capturing its timing envelope."""
+    started = time.time()
+    result = task()
+    return _TaskOutcome(
+        result=result,
+        submitted_s=submitted_s,
+        started_s=started,
+        ended_s=time.time(),
+        pid=os.getpid(),
+        tid=threading.get_native_id(),
+    )
+
+
+def _record_outcome(outcome: "_TaskOutcome", index: int) -> object:
+    """Fold a worker's timing envelope into the registry (and the tracer)."""
+    _OBS_TASKS.add()
+    _OBS_QUEUE_WAIT.record(max(0.0, outcome.started_s - outcome.submitted_s))
+    _OBS_TASK_TIME.record(max(0.0, outcome.ended_s - outcome.started_s))
+    if _obs_tracing():
+        _obs_tracer().add_raw(
+            name="runner.task",
+            ts_us=outcome.started_s * 1e6,
+            dur_us=max(0.0, outcome.ended_s - outcome.started_s) * 1e6,
+            pid=outcome.pid,
+            tid=outcome.tid,
+            args={
+                "index": index,
+                "queue_wait_ms": round(
+                    max(0.0, outcome.started_s - outcome.submitted_s) * 1e3, 3
+                ),
+            },
+        )
+    return outcome.result
 
 #: Executor kinds accepted by :func:`run_parallel`.
 EXECUTORS = ("process", "thread")
@@ -211,6 +270,9 @@ def run_parallel_iter(
         pool = _persistent_executor(executor, workers)
     else:
         pool = _make_executor(executor, workers)
+    observe = _obs_enabled()
+    if observe:
+        _OBS_WORKERS.set(workers)
     in_flight: Dict[Future, int] = {}
     try:
         # The cached pool may be larger than this call's n_jobs; windowed
@@ -219,11 +281,18 @@ def run_parallel_iter(
         next_index = 0
         while next_index < len(tasks) or in_flight:
             while next_index < len(tasks) and len(in_flight) < workers:
-                in_flight[pool.submit(tasks[next_index])] = next_index
+                task = tasks[next_index]
+                if observe:
+                    task = partial(_observed_task, task, time.time())
+                in_flight[pool.submit(task)] = next_index
                 next_index += 1
             done, _pending = wait(in_flight, return_when=FIRST_COMPLETED)
             for future in done:
-                yield in_flight.pop(future), future.result()
+                index = in_flight.pop(future)
+                value = future.result()
+                if observe and isinstance(value, _TaskOutcome):
+                    value = _record_outcome(value, index)
+                yield index, value
     except BrokenProcessPool:
         # A dead worker poisons the whole pool; evict it so later calls
         # start from a fresh one, then surface the failure.

@@ -39,6 +39,15 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from ..analysis.runner import run_parallel_iter
 from ..analysis.sweep import experiment_cost_hint_s
+from ..obs import counter as _obs_counter
+from ..obs import enable as _obs_enable
+from ..obs import enabled as _obs_enabled
+from ..obs import get_logger
+from ..obs import get_registry as _obs_registry
+from ..obs import get_tracer as _obs_tracer
+from ..obs import span as _obs_span
+from ..obs import start_tracing as _obs_start_tracing
+from ..obs import timer as _obs_timer
 from . import manifest
 from .cache import ResultCache, code_fingerprint, job_cache_key, modules_for_spec
 from .report import CampaignReport, build_report
@@ -46,6 +55,15 @@ from .spec import CampaignJob, CampaignSpec, JobResult, evaluate_job
 
 #: Minimum recorded multicore speedup before "auto" fans a campaign out.
 AUTO_SPEEDUP_GATE = 1.05
+
+_LOG = get_logger("campaign")
+
+# Campaign telemetry: how each job was satisfied (journal replay, cache hit,
+# fresh evaluation) plus the per-evaluation wall time.
+_OBS_REPLAYS = _obs_counter("campaign.journal_replays")
+_OBS_CACHE_HITS = _obs_counter("campaign.cache_hits")
+_OBS_EVALUATIONS = _obs_counter("campaign.evaluations")
+_OBS_JOB_TIME = _obs_timer("campaign.job")
 
 
 @dataclass
@@ -71,6 +89,9 @@ class CampaignRun:
     report: Optional[CampaignReport] = None
     #: The (workers, executor) plan the run settled on.
     plan: Tuple[int, str] = field(default=(1, "thread"))
+    #: Registry snapshot (``TelemetrySummary.to_dict()``) taken at the end of
+    #: the run; None while telemetry is disabled.
+    telemetry: Optional[Dict[str, object]] = None
 
     @property
     def completed(self) -> int:
@@ -121,17 +142,34 @@ def auto_plan(num_pending: int) -> Tuple[Optional[int], str]:
 
 
 def _evaluate_payload(
-    spec_payload: Dict[str, object], job_id: str, axes: Dict[str, object], index: int
-) -> Tuple[Dict[str, object], float]:
+    spec_payload: Dict[str, object],
+    job_id: str,
+    axes: Dict[str, object],
+    index: int,
+    collect_telemetry: bool = False,
+    parent_pid: Optional[int] = None,
+) -> Tuple[Dict[str, object], float, Optional[Dict[str, object]]]:
     """Worker: rebuild the job from plain JSON data, run it, time it.
 
     Takes only JSON-serialisable arguments so the same callable crosses
     process boundaries (sharded execution) and runs inline (serial plan)
     identically — which is what makes sharded output bit-identical to
     serial: both paths produce the result *as its JSON payload*.
+
+    With ``collect_telemetry`` the worker also returns a meta dict: its pid,
+    the job's counter/timer deltas (a thread-local scope, correct under both
+    thread and process pools), and — only when running in a *different*
+    process than ``parent_pid``, whose registry/tracer state the fork or
+    spawn did not share — the span events recorded during the job, serialised
+    so the parent can merge them onto the shared timeline.  Thread workers
+    skip the event capture: their spans already land in the parent's tracer.
     """
     from ..scenarios.spec import ScenarioSpec
 
+    fresh_process = parent_pid is not None and os.getpid() != parent_pid
+    if collect_telemetry and fresh_process and not _obs_enabled():
+        _obs_enable()
+        _obs_start_tracing()
     started = time.perf_counter()
     job = CampaignJob(
         index=index,
@@ -139,8 +177,24 @@ def _evaluate_payload(
         spec=ScenarioSpec.from_dict(spec_payload),
         axes=dict(axes),
     )
-    result = evaluate_job(job)
-    return result.to_dict(), time.perf_counter() - started
+    meta: Optional[Dict[str, object]] = None
+    if collect_telemetry:
+        tracer = _obs_tracer()
+        mark = tracer.mark()
+        with _obs_registry().scoped() as scope:
+            with _obs_span("campaign.job", job_id=job_id):
+                result = evaluate_job(job)
+        meta = {"pid": os.getpid(), "telemetry": scope.to_dict(), "events": []}
+        if fresh_process:
+            meta["events"] = [
+                event.to_dict() for event in tracer.events_since(mark)
+            ]
+            # Process workers persist across jobs and never export; drop the
+            # captured events so the worker-side buffer stays bounded.
+            tracer.clear()
+    else:
+        result = evaluate_job(job)
+    return result.to_dict(), time.perf_counter() - started, meta
 
 
 def _retarget(payload: Dict[str, object], job: CampaignJob) -> Dict[str, object]:
@@ -187,6 +241,25 @@ def run_campaign(
     expands the grid, replays the journal read-only and probes the cache,
     returning the exact evaluation forecast a real run would execute.
     """
+    with _obs_span("campaign.run", campaign=spec.name, dry_run=dry_run):
+        return _run_campaign(
+            spec,
+            directory,
+            n_jobs=n_jobs,
+            executor=executor,
+            cache_root=cache_root,
+            dry_run=dry_run,
+        )
+
+
+def _run_campaign(
+    spec: CampaignSpec,
+    directory: Union[str, Path],
+    n_jobs: Union[int, str, None] = "auto",
+    executor: Optional[str] = None,
+    cache_root: Optional[Union[str, Path]] = None,
+    dry_run: bool = False,
+) -> CampaignRun:
     started = time.perf_counter()
     directory = Path(directory)
     jobs = spec.expand()
@@ -205,6 +278,9 @@ def run_campaign(
         if isinstance(payload, dict):
             results[job_id] = JobResult.from_dict(payload)
             resumed += 1
+    if resumed:
+        _OBS_REPLAYS.add(resumed)
+        _LOG.info("campaign %s: replayed %d job(s) from journal", spec.name, resumed)
 
     cache_hits = 0
     pending: List[CampaignJob] = []
@@ -217,6 +293,7 @@ def run_campaign(
             payload = _retarget(payload, job)
             results[job.job_id] = JobResult.from_dict(payload)
             cache_hits += 1
+            _OBS_CACHE_HITS.add()
             if not dry_run:
                 manifest.append_journal_entry(
                     directory,
@@ -251,42 +328,74 @@ def run_campaign(
         hint = sum(
             experiment_cost_hint_s(job.spec.mode, job.spec.num_epochs) for job in unique
         ) / len(unique)
+        collect = _obs_enabled()
+        _LOG.info(
+            "campaign %s: evaluating %d job(s) on %s x%s",
+            spec.name,
+            len(unique),
+            executor_kind,
+            workers,
+        )
         tasks = [
-            partial(_evaluate_payload, job.spec.to_dict(), job.job_id, job.axes, job.index)
+            partial(
+                _evaluate_payload,
+                job.spec.to_dict(),
+                job.job_id,
+                job.axes,
+                job.index,
+                collect_telemetry=collect,
+                parent_pid=os.getpid(),
+            )
             for job in unique
         ]
-        for index, (payload, wall_s) in run_parallel_iter(
+        for index, (payload, wall_s, meta) in run_parallel_iter(
             tasks,
             n_jobs=workers,
             executor=executor_kind,
             est_task_seconds=hint,
         ):
             evaluated += 1
+            _OBS_EVALUATIONS.add()
+            _OBS_JOB_TIME.record(wall_s)
+            job_telemetry: Optional[Dict[str, object]] = None
+            if meta is not None:
+                job_telemetry = meta.get("telemetry")  # type: ignore[assignment]
+                events = meta.get("events")
+                if events and meta.get("pid") != os.getpid():
+                    _obs_tracer().add_serialized(events)  # type: ignore[arg-type]
             key = keys[unique[index].job_id]
             cache.put(key, payload)
             for job in by_key[key]:
                 job_payload = _retarget(payload, job)
                 results[job.job_id] = JobResult.from_dict(job_payload)
-                manifest.append_journal_entry(
-                    directory,
-                    {
-                        "job_id": job.job_id,
-                        "key": key,
-                        "from_cache": False,
-                        "wall_s": wall_s,
-                        "result": job_payload,
-                    },
-                )
+                entry = {
+                    "job_id": job.job_id,
+                    "key": key,
+                    "from_cache": False,
+                    "wall_s": wall_s,
+                    "result": job_payload,
+                }
+                if job_telemetry:
+                    entry["telemetry"] = job_telemetry
+                manifest.append_journal_entry(directory, entry)
         plan = (workers if isinstance(workers, int) else 1, executor_kind)
     else:
         plan = (1, executor or "thread")
 
     ordered: List[Optional[JobResult]] = [results.get(job.job_id) for job in jobs]
+    telemetry: Optional[Dict[str, object]] = None
+    if _obs_enabled():
+        snapshot = _obs_registry().snapshot()
+        if not snapshot.empty:
+            telemetry = snapshot.to_dict()
     report: Optional[CampaignReport] = None
     if not dry_run:
         complete = [result for result in ordered if result is not None]
         report = build_report(spec.name, complete)
-        manifest.write_report(directory, report.to_dict())
+        report_payload = report.to_dict()
+        if telemetry is not None:
+            report_payload["telemetry"] = telemetry
+        manifest.write_report(directory, report_payload)
 
     return CampaignRun(
         spec=spec,
@@ -301,6 +410,7 @@ def run_campaign(
         wall_s=time.perf_counter() - started,
         report=report,
         plan=plan,
+        telemetry=telemetry,
     )
 
 

@@ -14,9 +14,16 @@ Gives downstream users a no-code path to every experiment::
     python -m repro campaign run -S sweep.json -d campaigns/sweep
     python -m repro campaign status -d campaigns/sweep
     python -m repro perf-trend                 # BENCH_perf.json history
+    python -m repro obs summary trace.json     # telemetry table from a trace
+    python -m repro obs validate trace.json    # Chrome trace-event schema check
 
 Every subcommand prints plain text (and optionally CSV via ``--csv``), so the
 output can be piped into further analysis.
+
+Global flags: ``--trace FILE`` enables the telemetry layer for the whole
+invocation and writes a Chrome-trace-event JSON (open in Perfetto or
+``chrome://tracing``) with the registry snapshot embedded; ``-v``/``-q``
+raise/lower the ``repro.*`` logger verbosity.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ import argparse
 import csv
 import dataclasses
 import io
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -46,6 +54,15 @@ from .core.dtm import compare_with_migration
 from .core.experiment import ExperimentSettings, ThermalExperiment
 from .core.policy import make_policy
 from .migration.transforms import FIGURE1_SCHEMES
+from .obs import (
+    TelemetrySummary,
+    configure_logging,
+    export_chrome_trace,
+    validate_chrome_trace,
+)
+from .obs import enable as obs_enable
+from .obs import get_registry as obs_registry
+from .obs import start_tracing as obs_start_tracing
 from .scenarios import ScenarioSpec, all_scenarios, get_scenario, run_scenario
 from .thermal.grid import GridThermalModel
 
@@ -427,6 +444,50 @@ def cmd_campaign_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_telemetry_summary(path: Path) -> TelemetrySummary:
+    """A telemetry snapshot from a trace file, a report.json, or a bare dump.
+
+    Accepts any JSON document that either embeds a ``telemetry`` key (the
+    ``--trace`` output and campaign ``report.json`` both do) or *is* a
+    snapshot dict (``counters`` / ``gauges`` / ``timers``).
+    """
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    telemetry = payload.get("telemetry", payload)
+    if not isinstance(telemetry, dict) or not (
+        set(telemetry) & {"counters", "gauges", "timers"}
+    ):
+        raise ValueError(
+            f"{path}: no telemetry found (expected a 'telemetry' key or a "
+            "counters/gauges/timers snapshot)"
+        )
+    return TelemetrySummary.from_dict(telemetry)
+
+
+def cmd_obs_summary(args: argparse.Namespace) -> int:
+    try:
+        summary = _load_telemetry_summary(Path(args.path))
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(error, file=sys.stderr)
+        return 1
+    if summary.empty:
+        print(f"{args.path}: telemetry snapshot is empty", file=sys.stderr)
+        return 0
+    _print_rows(summary.to_rows(), args.csv)
+    return 0
+
+
+def cmd_obs_validate(args: argparse.Namespace) -> int:
+    errors = validate_chrome_trace(Path(args.path))
+    if errors:
+        for error in errors:
+            print(f"{args.path}: {error}", file=sys.stderr)
+        return 1
+    print(f"{args.path}: valid Chrome trace-event JSON")
+    return 0
+
+
 def cmd_perf_trend(args: argparse.Namespace) -> int:
     try:
         payload = load_perf_history(Path(args.path))
@@ -448,6 +509,13 @@ def build_parser() -> argparse.ArgumentParser:
         "Reconfiguration in Network-on-Chip' (DATE 2005).",
     )
     parser.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="enable telemetry and write a Chrome-trace-event "
+                             "JSON (Perfetto / chrome://tracing) on exit")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="more logging (-v info, -vv debug)")
+    parser.add_argument("-q", "--quiet", action="count", default=0,
+                        help="less logging (errors only)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     sub = subparsers.add_parser("chips", help="list the chip configurations")
@@ -583,6 +651,23 @@ def build_parser() -> argparse.ArgumentParser:
     camp.set_defaults(func=cmd_campaign_report)
 
     sub = subparsers.add_parser(
+        "obs", help="inspect telemetry snapshots and trace files"
+    )
+    obs_subparsers = sub.add_subparsers(dest="obs_command", required=True)
+
+    obs = obs_subparsers.add_parser(
+        "summary", help="counter/gauge/timer table from a trace or report file"
+    )
+    obs.add_argument("path", help="trace JSON, campaign report.json, or snapshot dump")
+    obs.set_defaults(func=cmd_obs_summary)
+
+    obs = obs_subparsers.add_parser(
+        "validate", help="schema-check a Chrome trace-event JSON file"
+    )
+    obs.add_argument("path", help="trace JSON file to validate")
+    obs.set_defaults(func=cmd_obs_validate)
+
+    sub = subparsers.add_parser(
         "perf-trend", help="per-benchmark trend table from BENCH_perf.json history"
     )
     sub.add_argument("--path", default="BENCH_perf.json",
@@ -597,7 +682,20 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    configure_logging(verbosity=args.verbose - args.quiet)
+    if args.trace is None:
+        return args.func(args)
+    obs_enable()
+    obs_start_tracing()
+    try:
+        return args.func(args)
+    finally:
+        snapshot = obs_registry().snapshot()
+        count = export_chrome_trace(
+            args.trace,
+            telemetry=None if snapshot.empty else snapshot.to_dict(),
+        )
+        print(f"wrote {count} span(s) to {args.trace}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

@@ -38,6 +38,7 @@ import numpy as np
 
 from ..chips.configurations import ChipConfiguration
 from ..migration.unit import MigrationCost, MigrationUnit
+from ..obs import span as _obs_span
 from ..power.trace import PowerTrace
 from ..thermal.model import ThermalModel
 from .controller import RuntimeReconfigurationController
@@ -317,9 +318,14 @@ class ThermalExperiment:
         """Run the configured experiment and return its result."""
         self.policy.reset()
         self.controller.reset()
-        if self.settings.mode == "steady":
-            return self._run_steady()
-        return self._run_transient()
+        with _obs_span(
+            "experiment.run",
+            mode=self.settings.mode,
+            epochs=self.settings.num_epochs,
+        ):
+            if self.settings.mode == "steady":
+                return self._run_steady()
+            return self._run_transient()
 
     # ------------------------------------------------------------------
     # Shared epoch loop

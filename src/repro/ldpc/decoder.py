@@ -19,7 +19,22 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..obs import counter as _obs_counter
+from ..obs import span as _obs_span
 from .tanner import TannerGraph
+
+# Registry counters shared by every decoder backend (no-ops while telemetry
+# is disabled): batches decoded, blocks in them, total iterations spent.
+_OBS_BATCHES = _obs_counter("ldpc.decode_batches")
+_OBS_BLOCKS = _obs_counter("ldpc.decode_blocks")
+_OBS_ITERATIONS = _obs_counter("ldpc.decode_iterations")
+
+
+def _observe_batch(result: "BatchDecodeResult") -> None:
+    """Fold one finished decode batch into the telemetry registry."""
+    _OBS_BATCHES.add()
+    _OBS_BLOCKS.add(len(result))
+    _OBS_ITERATIONS.add(int(result.iterations.sum()))
 
 
 @dataclass
@@ -101,6 +116,8 @@ class BatchDecodeResult:
 
 class _MessagePassingDecoder:
     """Shared structure of the sum-product and min-sum decoders."""
+
+    backend = "dense"
 
     def __init__(self, graph: TannerGraph, max_iterations: int = 20):
         if max_iterations < 1:
@@ -184,14 +201,19 @@ class _MessagePassingDecoder:
             references = np.asarray(reference_bits)
             if references.shape != llr.shape:
                 raise ValueError("reference_bits must match the LLR batch shape")
-        results = [
-            self.decode(
-                llr[block],
-                reference_bits=None if references is None else references[block],
-            )
-            for block in range(llr.shape[0])
-        ]
-        return BatchDecodeResult.from_results(results, n=self.n)
+        with _obs_span(
+            "ldpc.decode_batch", blocks=int(llr.shape[0]), backend=self.backend
+        ):
+            results = [
+                self.decode(
+                    llr[block],
+                    reference_bits=None if references is None else references[block],
+                )
+                for block in range(llr.shape[0])
+            ]
+            batch = BatchDecodeResult.from_results(results, n=self.n)
+        _observe_batch(batch)
+        return batch
 
     # ------------------------------------------------------------------
     def _check_node_update(self, v_to_c: np.ndarray) -> np.ndarray:

@@ -23,7 +23,8 @@ from typing import List, Optional
 import numpy as np
 from scipy.sparse import csr_matrix
 
-from .decoder import BatchDecodeResult, DecodeResult
+from ..obs import span as _obs_span
+from .decoder import BatchDecodeResult, DecodeResult, _observe_batch
 from .tanner import TannerGraph
 
 
@@ -175,6 +176,18 @@ class _SparseMessagePassingDecoder:
             if references.shape != llr.shape:
                 raise ValueError("reference_bits must match the LLR batch shape")
 
+        with _obs_span(
+            "ldpc.decode_batch", blocks=int(llr.shape[0]), backend=self.backend
+        ):
+            batch = self._decode_batch(llr, references)
+        _observe_batch(batch)
+        return batch
+
+    def _decode_batch(
+        self,
+        llr: np.ndarray,
+        references: Optional[np.ndarray],
+    ) -> BatchDecodeResult:
         edges = self.edges
         num_blocks = llr.shape[0]
         decoded = np.empty((num_blocks, self.n), dtype=np.uint8)

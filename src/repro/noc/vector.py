@@ -48,6 +48,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..obs import counter as _obs_counter
+from ..obs import span as _obs_span
 from .router import RouterActivity
 from .routing import RoutingAlgorithm, make_routing
 from .schedule import PACKET_CLASS_FROM_CODE, TrafficSchedule
@@ -64,6 +66,12 @@ _FLIT_MASK = (1 << _FLIT_BITS) - 1
 
 #: Opposite-direction table indexed by Direction value.
 _OPPOSITE = np.array([0, 2, 1, 4, 3], dtype=np.int64)
+
+# Registry counters for the batched cycle kernel (no-ops while telemetry is
+# disabled).  ``lane_cycles`` is lanes x cycles — the kernel's unit of work.
+_OBS_RUNS = _obs_counter("noc.vector.runs")
+_OBS_DRAINS = _obs_counter("noc.vector.drains")
+_OBS_LANE_CYCLES = _obs_counter("noc.vector.lane_cycles")
 
 
 class _MeshTables:
@@ -426,8 +434,11 @@ class VectorNetwork:
     # ------------------------------------------------------------------
     def run(self, cycles: int) -> None:
         """Advance all lanes by a fixed number of cycles."""
-        for _ in range(cycles):
-            self.step()
+        with _obs_span("noc.vector.run", lanes=self.num_lanes, cycles=int(cycles)):
+            for _ in range(cycles):
+                self.step()
+        _OBS_RUNS.add()
+        _OBS_LANE_CYCLES.add(self.num_lanes * int(cycles))
 
     def lane_idle(self) -> np.ndarray:
         """Boolean per-lane idleness (no queued, buffered or in-flight traffic).
@@ -451,20 +462,24 @@ class VectorNetwork:
         lane fails to drain within ``max_cycles``.
         """
         used = 0
-        active = ~self.lane_idle()
-        while active.any():
-            if used >= max_cycles:
-                agg = self._aggregate()
-                in_flight = int(
-                    (agg["lane_inj_packets"] - agg["lane_ej_packets"])[active].sum()
-                )
-                raise RuntimeError(
-                    f"network failed to drain within {max_cycles} cycles "
-                    f"({in_flight} packets in flight)"
-                )
-            self.step(active=active)
-            used += 1
+        with _obs_span("noc.vector.drain", lanes=self.num_lanes) as drain_span:
             active = ~self.lane_idle()
+            while active.any():
+                if used >= max_cycles:
+                    agg = self._aggregate()
+                    in_flight = int(
+                        (agg["lane_inj_packets"] - agg["lane_ej_packets"])[active].sum()
+                    )
+                    raise RuntimeError(
+                        f"network failed to drain within {max_cycles} cycles "
+                        f"({in_flight} packets in flight)"
+                    )
+                self.step(active=active)
+                used += 1
+                active = ~self.lane_idle()
+            drain_span.args["cycles"] = used
+        _OBS_DRAINS.add()
+        _OBS_LANE_CYCLES.add(self.num_lanes * used)
         return used
 
     # ------------------------------------------------------------------

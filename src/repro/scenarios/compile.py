@@ -33,6 +33,9 @@ from ..core.experiment import ExperimentSettings, ThermalExperiment
 from ..core.metrics import ExperimentResult
 from ..core.policy import ReconfigurationPolicy, make_policy
 from ..ldpc import BpskAwgnChannel, LdpcEncoder, make_decoder
+from ..obs import counter as _obs_counter
+from ..obs import get_registry as _obs_registry
+from ..obs import span as _obs_span
 from ..thermal.model import ThermalModel
 from .noc_cost import NocCostModel, rate_noc_latencies
 from .spec import ScenarioSpec
@@ -140,6 +143,9 @@ class ScenarioResult:
     ambient_offset_max_celsius: float
     decoder: Optional[DecoderEffort]
     noc: Optional[NocSummary] = None
+    #: Per-run counter/timer deltas (``TelemetryScope.to_dict()``), attached
+    #: only while telemetry is enabled.
+    telemetry: Optional[Dict[str, object]] = None
 
     def to_row(self) -> Dict[str, object]:
         """Flat comparison-table row."""
@@ -286,6 +292,12 @@ _PROBE_CACHE: Dict[Tuple[str, float], Tuple[float, float]] = {}
 _PROBE_KEY_LOCKS: Dict[Tuple[str, float], threading.Lock] = {}
 _PROBE_CACHE_LOCK = threading.Lock()
 
+# Probe-cache telemetry: a "hit" is any lookup the cache satisfied (including
+# threads that waited on a concurrent prober), a "miss" runs a decode batch.
+_OBS_PROBE_HITS = _obs_counter("scenario.probe_hits")
+_OBS_PROBE_MISSES = _obs_counter("scenario.probe_misses")
+_OBS_SCENARIOS = _obs_counter("scenario.runs")
+
 
 def _decode_probe(graph, code_digest: str, snr_q: float) -> Tuple[float, float]:
     """(mean iterations, success rate) of one LDPC code at one SNR.
@@ -301,23 +313,31 @@ def _decode_probe(graph, code_digest: str, snr_q: float) -> Tuple[float, float]:
     with _PROBE_CACHE_LOCK:
         cached = _PROBE_CACHE.get(key)
         if cached is not None:
+            _OBS_PROBE_HITS.add()
             return cached
         key_lock = _PROBE_KEY_LOCKS.setdefault(key, threading.Lock())
     with key_lock:
         with _PROBE_CACHE_LOCK:
             cached = _PROBE_CACHE.get(key)
         if cached is not None:
+            _OBS_PROBE_HITS.add()
             return cached
-        encoder = LdpcEncoder(graph.H)
-        channel = BpskAwgnChannel(snr_db=snr_q, rate=encoder.rate, seed=97)
-        codewords = [
-            encoder.random_codeword(seed=seed) for seed in range(DECODER_PROBE_BLOCKS)
-        ]
-        llrs = np.stack([channel.transmit_llr(word) for word in codewords])
-        decoder = make_decoder(
-            "min-sum", graph, max_iterations=DECODER_PROBE_MAX_ITERATIONS, backend="sparse"
-        )
-        result = decoder.decode_batch(llrs)
+        _OBS_PROBE_MISSES.add()
+        with _obs_span("scenario.decode_probe", snr_db=snr_q):
+            encoder = LdpcEncoder(graph.H)
+            channel = BpskAwgnChannel(snr_db=snr_q, rate=encoder.rate, seed=97)
+            codewords = [
+                encoder.random_codeword(seed=seed)
+                for seed in range(DECODER_PROBE_BLOCKS)
+            ]
+            llrs = np.stack([channel.transmit_llr(word) for word in codewords])
+            decoder = make_decoder(
+                "min-sum",
+                graph,
+                max_iterations=DECODER_PROBE_MAX_ITERATIONS,
+                backend="sparse",
+            )
+            result = decoder.decode_batch(llrs)
         outcome = (float(result.iterations.mean()), float(result.success.mean()))
         with _PROBE_CACHE_LOCK:
             _PROBE_CACHE[key] = outcome
@@ -371,24 +391,37 @@ def run_scenario(
     compiled = (
         scenario if isinstance(scenario, CompiledScenario) else compile_scenario(scenario)
     )
-    result = compiled.experiment(thermal_model=thermal_model).run()
+    registry = _obs_registry()
+    scope_ctx = registry.scoped() if registry.enabled else None
+    task_scope = None
+    with _obs_span("scenario.run", scenario=compiled.spec.name):
+        if scope_ctx is not None:
+            task_scope = scope_ctx.__enter__()
+        try:
+            _OBS_SCENARIOS.add()
+            result = compiled.experiment(thermal_model=thermal_model).run()
 
-    offsets = compiled.ambient_offsets
-    effort = (
-        decoder_effort(compiled.configuration, compiled.snr_schedule)
-        if compiled.snr_schedule is not None
-        else None
-    )
-    noc_summary: Optional[NocSummary] = None
-    if compiled.noc_model is not None and compiled.noc_rates is not None:
-        latencies, saturated = rate_noc_latencies(compiled.noc_model, compiled.noc_rates)
-        noc_summary = NocSummary(
-            mean_latency_cycles=float(latencies.mean()),
-            peak_latency_cycles=float(latencies.max()),
-            saturated_epochs=int(saturated.sum()),
-            saturation_rate=float(compiled.noc_model.saturation_rate),
-            peak_injection_rate=float(compiled.noc_rates.max()),
-        )
+            offsets = compiled.ambient_offsets
+            effort = (
+                decoder_effort(compiled.configuration, compiled.snr_schedule)
+                if compiled.snr_schedule is not None
+                else None
+            )
+            noc_summary: Optional[NocSummary] = None
+            if compiled.noc_model is not None and compiled.noc_rates is not None:
+                latencies, saturated = rate_noc_latencies(
+                    compiled.noc_model, compiled.noc_rates
+                )
+                noc_summary = NocSummary(
+                    mean_latency_cycles=float(latencies.mean()),
+                    peak_latency_cycles=float(latencies.max()),
+                    saturated_epochs=int(saturated.sum()),
+                    saturation_rate=float(compiled.noc_model.saturation_rate),
+                    peak_injection_rate=float(compiled.noc_rates.max()),
+                )
+        finally:
+            if scope_ctx is not None:
+                scope_ctx.__exit__(None, None, None)
     return ScenarioResult(
         spec=compiled.spec,
         experiment=result,
@@ -396,4 +429,5 @@ def run_scenario(
         ambient_offset_max_celsius=float(offsets.max()) if offsets is not None else 0.0,
         decoder=effort,
         noc=noc_summary,
+        telemetry=task_scope.to_dict() if task_scope is not None else None,
     )

@@ -31,8 +31,21 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 from scipy.linalg import eigh, lu_factor, lu_solve
 
+from ..obs import counter as _obs_counter
+from ..obs import span as _obs_span
 from .package import KELVIN_OFFSET
 from .rc_model import ThermalNetwork
+
+# Registry view of the solver counters: each increment of the per-solver
+# attributes below also bumps the matching process-wide counter (a no-op
+# while telemetry is disabled).  The attributes stay plain ints — they are
+# the per-instance live views the bench guards and tests pin against; the
+# registry aggregates across every solver in the process.
+_OBS_STEADY_SOLVES = _obs_counter("thermal.steady_solves")
+_OBS_FACTORIZATIONS = _obs_counter("thermal.step_factorizations")
+_OBS_TRANSIENTS = _obs_counter("thermal.transients")
+_OBS_SEQUENCES = _obs_counter("thermal.transient_sequences")
+_OBS_SPECTRAL_JUMPS = _obs_counter("thermal.spectral_jumps")
 
 #: Transient integration methods accepted by the solver.
 TRANSIENT_METHODS = ("euler", "spectral")
@@ -205,6 +218,7 @@ class ThermalSolver:
             c_over_dt = self.network.capacitance / time_step_s
             factor = lu_factor(np.diag(c_over_dt) + self._A)
             self.step_factorization_count += 1
+            _OBS_FACTORIZATIONS.add()
             propagator = _StepPropagator(time_step_s, c_over_dt, factor)
             if self.cache_propagators:
                 if len(self._step_cache) >= MAX_CACHED_PROPAGATORS:
@@ -291,6 +305,7 @@ class ThermalSolver:
         power = self._power_vector_of(block_power_w)
         rhs = power + self._boundary
         self.steady_solve_count += 1
+        _OBS_STEADY_SOLVES.add()
         temps_kelvin = lu_solve(self._a_factor(), rhs)
         return self._to_map(temps_kelvin)
 
@@ -311,7 +326,9 @@ class ThermalSolver:
             raise ValueError("negative power in batch")
         rhs = power + self._boundary[np.newaxis, :]
         self.steady_solve_count += 1
-        return lu_solve(self._a_factor(), rhs.T).T
+        _OBS_STEADY_SOLVES.add()
+        with _obs_span("thermal.steady_batch", rows=int(power.shape[0])):
+            return lu_solve(self._a_factor(), rhs.T).T
 
     # ------------------------------------------------------------------
     def transient(
@@ -351,6 +368,7 @@ class ThermalSolver:
             ambient would produce.
         """
         self.transient_count += 1
+        _OBS_TRANSIENTS.add()
         return self._transient(
             block_power_w,
             duration_s,
@@ -476,6 +494,28 @@ class ThermalSolver:
         if not intervals:
             raise ValueError("at least one interval is required")
         self.transient_sequence_count += 1
+        _OBS_SEQUENCES.add()
+        with _obs_span(
+            "thermal.transient_sequence", intervals=len(intervals), method=method
+        ):
+            return self._transient_sequence(
+                intervals,
+                initial_state=initial_state,
+                time_step_s=time_step_s,
+                record_every=record_every,
+                method=method,
+                ambient_offsets_kelvin=ambient_offsets_kelvin,
+            )
+
+    def _transient_sequence(
+        self,
+        intervals: List[Tuple[float, Dict[str, float]]],
+        initial_state: Optional[np.ndarray] = None,
+        time_step_s: Optional[float] = None,
+        record_every: int = 1,
+        method: str = "euler",
+        ambient_offsets_kelvin=None,
+    ) -> TransientResult:
         offsets = self._ambient_offsets_of(ambient_offsets_kelvin, len(intervals))
         if offsets is not None and initial_state is None:
             initial_state = np.full(
@@ -582,6 +622,7 @@ class ThermalSolver:
             recorded_list.append(recorded)
         assert shared_dt is not None
         self.spectral_jump_count += 1
+        _OBS_SPECTRAL_JUMPS.add()
 
         powers = np.vstack([self._power_vector_of(power) for _dur, power in intervals])
         rhs = powers + self._boundary[np.newaxis, :]

@@ -1,0 +1,34 @@
+"""Shared fixtures for the observability suite.
+
+Telemetry state is process-wide (one registry, one tracer); every test here
+starts from a clean, disabled slate and restores it afterwards so the suite
+never leaks enabled telemetry into unrelated tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    """Disable + zero the registry and tracer around every test."""
+    obs.disable()
+    obs.stop_tracing()
+    obs.get_registry().reset()
+    obs.get_tracer().clear()
+    yield
+    obs.disable()
+    obs.stop_tracing()
+    obs.get_registry().reset()
+    obs.get_tracer().clear()
+
+
+@pytest.fixture
+def enabled():
+    """Telemetry (registry + tracing) switched on for the test body."""
+    obs.enable()
+    obs.start_tracing(clear=True)
+    yield obs.get_registry()

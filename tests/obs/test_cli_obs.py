@@ -1,0 +1,106 @@
+"""CLI observability surface: ``--trace``, ``-v``/``-q``, ``obs`` commands."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import build_parser, main
+from repro.obs import validate_chrome_trace
+
+
+class TestGlobalFlags:
+    def test_trace_and_verbosity_parse(self):
+        args = build_parser().parse_args(
+            ["--trace", "out.json", "-vv", "chips"]
+        )
+        assert args.trace == "out.json"
+        assert args.verbose == 2
+        assert args.quiet == 0
+
+    def test_quiet_flag(self):
+        args = build_parser().parse_args(["-q", "chips"])
+        assert args.quiet == 1
+
+
+class TestTraceExport:
+    def test_trace_writes_valid_chrome_json(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        code = main(
+            ["--trace", str(trace),
+             "experiment", "-c", "A", "-s", "xy-shift", "--epochs", "6"]
+        )
+        assert code == 0
+        assert "wrote" in capsys.readouterr().err
+        assert validate_chrome_trace(trace) == []
+        document = json.loads(trace.read_text())
+        names = {
+            event["name"]
+            for event in document["traceEvents"]
+            if event["ph"] == "X"
+        }
+        assert "experiment.run" in names
+        assert "thermal.steady_batch" in names
+        assert document["telemetry"]["counters"]["thermal.steady_solves"] >= 1
+
+    def test_trace_disabled_by_default(self, tmp_path):
+        assert main(["chips"]) == 0  # no --trace: nothing written, no error
+
+
+class TestObsSummary:
+    def test_summary_from_trace_file(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        main(["--trace", str(trace),
+              "experiment", "-c", "A", "-s", "xy-shift", "--epochs", "6"])
+        capsys.readouterr()
+        assert main(["obs", "summary", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "thermal.steady_solves" in out
+        assert "counter" in out
+
+    def test_summary_csv(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        main(["--trace", str(trace),
+              "experiment", "-c", "A", "-s", "xy-shift", "--epochs", "6"])
+        capsys.readouterr()
+        assert main(["--csv", "obs", "summary", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("name,")
+
+    def test_summary_of_bare_snapshot_document(self, tmp_path, capsys):
+        path = tmp_path / "snapshot.json"
+        path.write_text(json.dumps({"counters": {"x": 3}}))
+        assert main(["obs", "summary", str(path)]) == 0
+        assert "x" in capsys.readouterr().out
+
+    def test_summary_of_empty_snapshot_is_graceful(self, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"telemetry": {"counters": {}}}))
+        assert main(["obs", "summary", str(path)]) == 0
+        assert "empty" in capsys.readouterr().err
+
+    def test_summary_rejects_document_without_telemetry(self, tmp_path, capsys):
+        path = tmp_path / "trace-only.json"
+        path.write_text(json.dumps({"traceEvents": []}))
+        assert main(["obs", "summary", str(path)]) == 1
+        assert "no telemetry" in capsys.readouterr().err
+
+    def test_summary_rejects_non_object_document(self, tmp_path, capsys):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        assert main(["obs", "summary", str(path)]) == 1
+        assert "expected a JSON object" in capsys.readouterr().err
+
+
+class TestObsValidate:
+    def test_valid_trace_passes(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        main(["--trace", str(trace), "chips"])
+        capsys.readouterr()
+        assert main(["obs", "validate", str(trace)]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_invalid_trace_fails_with_errors(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"traceEvents": [{"ph": "Z"}]}))
+        assert main(["obs", "validate", str(path)]) == 1
+        assert "unsupported phase" in capsys.readouterr().err

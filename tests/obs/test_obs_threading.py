@@ -1,0 +1,122 @@
+"""Telemetry under concurrency: persistent pools, scopes, span tracks.
+
+The registry and tracer are process-wide singletons shared by the persistent
+worker pools in :mod:`repro.analysis.runner`; these tests drive them from
+many threads at once and demand exact totals (lost updates would show up as
+undercounts) and correct per-thread attribution (scopes and span stacks are
+thread-local).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro import obs
+from repro.analysis.runner import run_parallel
+
+
+class TestConcurrentCounters:
+    def test_no_lost_updates_across_threads(self, enabled):
+        counter = obs.counter("test.thread.count")
+        increments, workers = 2000, 8
+
+        def hammer():
+            for _ in range(increments):
+                counter.add()
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            list(pool.map(lambda _: hammer(), range(workers)))
+        assert counter.value == increments * workers
+
+    def test_timer_counts_are_exact(self, enabled):
+        timer = obs.timer("test.thread.timer")
+        records, workers = 500, 6
+
+        def hammer():
+            for _ in range(records):
+                timer.record(0.001)
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            list(pool.map(lambda _: hammer(), range(workers)))
+        assert timer.count == records * workers
+        assert abs(timer.total_s - 0.001 * records * workers) < 1e-6
+
+
+class TestThreadLocalScopes:
+    def test_concurrent_scopes_do_not_bleed(self, enabled):
+        counter = obs.counter("test.thread.scope")
+        registry = obs.get_registry()
+        barrier = threading.Barrier(4)
+
+        def job(amount):
+            with registry.scoped() as scope:
+                barrier.wait()  # every scope is open simultaneously
+                for _ in range(amount):
+                    counter.add()
+            return scope.counters.get("test.thread.scope", 0)
+
+        amounts = [10, 20, 30, 40]
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            deltas = list(pool.map(job, amounts))
+        assert deltas == amounts
+        assert counter.value == sum(amounts)
+
+
+class TestSpansFromPools:
+    def test_span_stacks_are_per_thread(self, enabled):
+        barrier = threading.Barrier(3)
+
+        def job(index):
+            with obs.span("outer", index=index):
+                barrier.wait()
+                with obs.span("inner", index=index):
+                    pass
+            return True
+
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            assert all(pool.map(job, range(3)))
+        events = obs.get_tracer().events()
+        inner = [e for e in events if e.name == "inner"]
+        assert len(events) == 6
+        # Every inner span names "outer" as parent — never a sibling thread's.
+        assert all(e.args["parent"] == "outer" for e in inner)
+        assert len({e.tid for e in events}) == 3
+
+    def test_persistent_runner_pool_produces_distinct_tracks(self, enabled):
+        def job(index):
+            def run():
+                with obs.span("test.thread.task", index=index):
+                    obs.counter("test.thread.pool").add()
+                    threading.Event().wait(0.02)
+                return index
+
+            return run
+
+        results = run_parallel([job(i) for i in range(6)], n_jobs=3,
+                               executor="thread")
+        assert results == list(range(6))
+        assert obs.counter("test.thread.pool").value == 6
+        spans = [
+            e for e in obs.get_tracer().events() if e.name == "test.thread.task"
+        ]
+        assert sorted(e.args["index"] for e in spans) == list(range(6))
+        assert len({e.tid for e in spans}) > 1  # genuinely parallel tracks
+
+    def test_runner_pool_telemetry_instruments(self, enabled):
+        def task():
+            threading.Event().wait(0.01)
+            return 1
+
+        results = run_parallel([task] * 4, n_jobs=2, executor="thread")
+        assert results == [1] * 4
+        snapshot = obs.get_registry().snapshot()
+        assert snapshot.counters.get("runner.tasks") == 4
+        assert snapshot.gauges.get("runner.pool_workers") == 2
+        assert snapshot.timers["runner.task"]["count"] == 4
+        assert snapshot.timers["runner.queue_wait"]["count"] == 4
+        tracks = [
+            e for e in obs.get_tracer().events() if e.name == "runner.task"
+        ]
+        assert len(tracks) == 4
+        assert all("queue_wait_ms" in e.args for e in tracks)
