@@ -1,0 +1,161 @@
+"""Experiment S1 — unbounded streams run in constant memory at batch speed.
+
+The streaming engine's two acceptance claims:
+
+* **flat memory** — a stream 10x longer than a batch horizon must not grow
+  the process footprint: every per-epoch structure is either windowed
+  (deque rings), drained (migration events), or folded into O(1) rolling
+  aggregates.  Guarded with ``tracemalloc``: the *traced-allocation
+  watermark while streaming* (measured after the engine is armed, so
+  constant setup state is excluded) grows by less than 2x from a 1x-horizon
+  stream to a 10x-horizon stream — a per-epoch leak would grow it ~10x.
+  This is a structural guard, enforced in ``--smoke`` mode too.
+* **bounded window overhead** — epochs/s through the windowed path
+  (``stream.epochs_per_s``) stays within 5x of the whole-horizon batch
+  run's epochs/s on the same scenario.  The gap is the solve granularity
+  the stream *buys*: an 8-epoch window pays one steady solve per window
+  (6 per 48-epoch horizon) where the batch pays a single multi-RHS solve —
+  that is the price of bounded latency, and this floor pins it from
+  drifting into per-epoch costs.  Recorded as ``stream.window_overhead_x``
+  and floor-guarded outside smoke mode.
+"""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+import perf_utils
+from conftest import print_rows
+
+from repro.scenarios.compile import compile_scenario
+from repro.scenarios.patterns import DiurnalPattern
+from repro.scenarios.spec import ScenarioSpec
+from repro.stream import StreamingExperiment, scenario_windows
+
+#: Batch horizon (epochs); the long stream runs 10x this.
+HORIZON = 48
+WINDOW = 8
+#: Allowed growth of the streaming-phase allocation watermark from 1x to 10x.
+MEMORY_GROWTH_BUDGET = 2.0
+#: Allowed slowdown of streamed epochs/s vs the batch run (one solve per
+#: window instead of one multi-RHS solve per horizon).
+WINDOW_OVERHEAD_BUDGET = 5.0
+
+
+def _spec(num_epochs):
+    return ScenarioSpec(
+        name="stream-bench",
+        configuration="A",
+        scheme="xy-shift",
+        mode="steady",
+        num_epochs=num_epochs,
+        settle_epochs=8,
+        load=DiurnalPattern(mean=0.9, amplitude=0.2, period_epochs=12),
+    )
+
+
+def _stream_epochs(total_epochs, trace_memory=False):
+    """Stream ``total_epochs`` epochs; returns (wall_s, traced peak bytes)."""
+    compiled = compile_scenario(_spec(HORIZON))
+    engine = StreamingExperiment.from_scenario(compiled)
+    engine.prepare()
+    windows = scenario_windows(compiled, WINDOW, max_epochs=total_epochs)
+    if trace_memory:
+        tracemalloc.start()
+        tracemalloc.reset_peak()
+    with perf_utils.timed() as timer:
+        for _update in engine.process(windows, max_epochs=total_epochs):
+            pass
+        engine.finalize()
+    peak = 0
+    if trace_memory:
+        _size, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    return timer.seconds, peak
+
+
+class TestStreamingPerf:
+    def test_constant_memory_and_throughput(self):
+        # Warm every lazy cache (chip configuration, solver factorization)
+        # before measuring, so the 1x stream doesn't pay one-time setup.
+        _stream_epochs(HORIZON)
+
+        # Throughput runs untraced (tracemalloc inflates wall-clock)...
+        wall_10x, _ = _stream_epochs(10 * HORIZON)
+        # ... memory watermarks traced separately.
+        wall_1x, peak_1x = _stream_epochs(HORIZON, trace_memory=True)
+        _traced_10x, peak_10x = _stream_epochs(10 * HORIZON, trace_memory=True)
+
+        compiled = compile_scenario(_spec(HORIZON))
+        with perf_utils.timed() as batch_timer:
+            compiled.experiment().run()
+
+        batch_eps = HORIZON / max(batch_timer.seconds, 1e-9)
+        stream_eps = 10 * HORIZON / max(wall_10x, 1e-9)
+        growth = peak_10x / max(peak_1x, 1)
+        overhead = batch_eps / max(stream_eps, 1e-9)
+
+        print_rows(
+            "streaming engine",
+            [
+                {
+                    "epochs": HORIZON,
+                    "wall_s": round(wall_1x, 4),
+                    "alloc_peak_kb": round(peak_1x / 1024, 1),
+                },
+                {
+                    "epochs": 10 * HORIZON,
+                    "wall_s": round(wall_10x, 4),
+                    "alloc_peak_kb": round(peak_10x / 1024, 1),
+                },
+            ],
+        )
+        perf_utils.record_perf(
+            "stream.epochs_per_s",
+            wall_s=wall_10x,
+            throughput=stream_eps,
+            throughput_unit="epochs/s",
+            windows=10 * HORIZON // WINDOW,
+        )
+        perf_utils.record_perf(
+            "stream.memory_growth_10x",
+            wall_s=wall_10x,
+            alloc_peak_1x_bytes=int(peak_1x),
+            alloc_peak_10x_bytes=int(peak_10x),
+            growth_x=round(growth, 3),
+        )
+        perf_utils.record_perf(
+            "stream.window_overhead_x",
+            wall_s=wall_10x,
+            batch_epochs_per_s=round(batch_eps, 1),
+            stream_epochs_per_s=round(stream_eps, 1),
+            overhead_x=round(overhead, 3),
+        )
+
+        # Structural: a 10x-longer stream allocates like a 1x stream.
+        assert growth < MEMORY_GROWTH_BUDGET, (
+            f"streaming allocation watermark grew {growth:.2f}x from "
+            f"{HORIZON} to {10 * HORIZON} epochs — a per-epoch leak"
+        )
+        # Wall-clock floor (waived in smoke mode like all timing floors).
+        floor = perf_utils.speedup_floor(1.0 / WINDOW_OVERHEAD_BUDGET)
+        assert stream_eps >= floor * batch_eps, (
+            f"streamed epochs/s ({stream_eps:.1f}) fell more than "
+            f"{WINDOW_OVERHEAD_BUDGET}x below batch ({batch_eps:.1f})"
+        )
+
+    def test_streamed_numbers_match_batch(self):
+        # The benchmark must measure the *correct* engine: parity spot-check.
+        compiled = compile_scenario(_spec(HORIZON))
+        batch = compiled.experiment().run()
+        engine = StreamingExperiment.from_scenario(compiled)
+        for _update in engine.process(
+            scenario_windows(compiled, WINDOW, max_epochs=HORIZON)
+        ):
+            pass
+        streamed = engine.finalize()
+        assert streamed.settled_peak_celsius == pytest.approx(
+            batch.settled_peak_celsius, abs=1e-9
+        )
+        assert streamed.migrations_performed == batch.migrations_performed

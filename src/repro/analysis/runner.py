@@ -400,6 +400,53 @@ def run_experiment_grid(
 
 
 # ----------------------------------------------------------------------
+# Streaming scenarios
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class StreamedScenarioResult:
+    """Outcome of one scenario driven through the streaming engine."""
+
+    spec: ScenarioSpec
+    experiment: ExperimentResult
+    #: Rolling-summary snapshot at end of stream (windows, epochs, running
+    #: peak/mean, migration and decoder/NoC aggregates).
+    summary: Dict[str, object]
+    #: Windows actually processed.
+    windows: int
+
+
+def run_streaming_scenario(
+    spec: ScenarioSpec,
+    window_epochs: int,
+    max_epochs: Optional[int] = None,
+) -> StreamedScenarioResult:
+    """Run one scenario through the streaming engine (module-level worker).
+
+    Streams the scenario's own pattern cursors in ``window_epochs``-sized
+    windows up to ``max_epochs`` (the spec's horizon by default — which
+    reproduces the batch result), returning the finalized experiment result
+    plus the rolling summary.  Picklable, so process-pool fan-out works.
+    """
+    from ..stream import StreamingExperiment, scenario_windows
+    from ..scenarios.compile import compile_scenario
+
+    compiled = compile_scenario(spec)
+    horizon = max_epochs if max_epochs is not None else spec.num_epochs
+    engine = StreamingExperiment.from_scenario(compiled)
+    windows = 0
+    for _update in engine.process(
+        scenario_windows(compiled, window_epochs, max_epochs=horizon)
+    ):
+        windows += 1
+    return StreamedScenarioResult(
+        spec=spec,
+        experiment=engine.finalize(),
+        summary=engine.summary.snapshot(),
+        windows=windows,
+    )
+
+
+# ----------------------------------------------------------------------
 # Scenario suites
 # ----------------------------------------------------------------------
 class ScenarioRunner:
@@ -449,6 +496,35 @@ class ScenarioRunner:
 
     def run(self, specs: Sequence[ScenarioSpec]) -> List[ScenarioResult]:
         tasks = [partial(run_scenario, self._apply_overrides(spec)) for spec in specs]
+        return run_parallel(
+            tasks,
+            n_jobs=self.n_jobs,
+            executor=self.executor,
+            reuse_pool=self.reuse_pool,
+        )
+
+    def run_streaming(
+        self,
+        specs: Sequence[ScenarioSpec],
+        window_epochs: int,
+        max_epochs: Optional[int] = None,
+    ) -> List["StreamedScenarioResult"]:
+        """Run each scenario through the streaming engine, in suite order.
+
+        Every scenario is driven window by window (``window_epochs`` epochs
+        per window) up to ``max_epochs`` (its own horizon by default) — the
+        fleet counterpart of ``repro serve`` for suites whose members should
+        all stream the same way.
+        """
+        tasks = [
+            partial(
+                run_streaming_scenario,
+                self._apply_overrides(spec),
+                window_epochs,
+                max_epochs,
+            )
+            for spec in specs
+        ]
         return run_parallel(
             tasks,
             n_jobs=self.n_jobs,

@@ -48,6 +48,7 @@ MODULE_GROUPS: Dict[str, Tuple[str, ...]] = {
     ),
     "ldpc": ("ldpc",),
     "noc": ("noc",),
+    "stream": ("stream",),
 }
 
 
@@ -117,9 +118,19 @@ def code_fingerprint(
     return fingerprint
 
 
-def job_cache_key(spec: ScenarioSpec, fingerprint: str) -> str:
-    """Content-addressed key of one job: spec identity x code identity."""
+def job_cache_key(
+    spec: ScenarioSpec, fingerprint: str, variant: Optional[str] = None
+) -> str:
+    """Content-addressed key of one job: spec identity x code identity.
+
+    ``variant`` distinguishes evaluation modes of the same spec that can
+    produce different payloads — e.g. ``"stream:w8"`` for a streamed job
+    driven in 8-epoch windows — so batch and streamed results never share an
+    entry.  ``None`` (the batch path) keeps historical keys unchanged.
+    """
     payload = spec.canonical_json() + "\n" + fingerprint
+    if variant is not None:
+        payload += "\n" + variant
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 

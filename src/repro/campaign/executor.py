@@ -148,6 +148,7 @@ def _evaluate_payload(
     index: int,
     collect_telemetry: bool = False,
     parent_pid: Optional[int] = None,
+    stream_window: Optional[int] = None,
 ) -> Tuple[Dict[str, object], float, Optional[Dict[str, object]]]:
     """Worker: rebuild the job from plain JSON data, run it, time it.
 
@@ -176,6 +177,7 @@ def _evaluate_payload(
         job_id=job_id,
         spec=ScenarioSpec.from_dict(spec_payload),
         axes=dict(axes),
+        stream_window=stream_window,
     )
     meta: Optional[Dict[str, object]] = None
     if collect_telemetry:
@@ -217,11 +219,18 @@ def compute_job_keys(jobs: List[CampaignJob]) -> Dict[str, str]:
     keys: Dict[str, str] = {}
     for job in jobs:
         groups = modules_for_spec(job.spec)
+        if job.stream_window is not None:
+            # Streamed jobs additionally execute the streaming engine, so
+            # their keys must track its sources too.
+            groups = groups + ("stream",)
         fingerprint = fingerprints.get(groups)
         if fingerprint is None:
             fingerprint = code_fingerprint(groups)
             fingerprints[groups] = fingerprint
-        keys[job.job_id] = job_cache_key(job.spec, fingerprint)
+        variant = (
+            f"stream:w{job.stream_window}" if job.stream_window is not None else None
+        )
+        keys[job.job_id] = job_cache_key(job.spec, fingerprint, variant=variant)
     return keys
 
 
@@ -345,6 +354,7 @@ def _run_campaign(
                 job.index,
                 collect_telemetry=collect,
                 parent_pid=os.getpid(),
+                stream_window=job.stream_window,
             )
             for job in unique
         ]

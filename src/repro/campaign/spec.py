@@ -53,6 +53,11 @@ class CampaignSpec:
     schemes: Optional[Tuple[str, ...]] = None
     feedback_strides: Optional[Tuple[int, ...]] = None
     thermal_methods: Optional[Tuple[str, ...]] = None
+    #: Streaming window sizes (epochs per window) to sweep; ``None`` keeps
+    #: the classic whole-horizon batch evaluation.  Window sizes are an
+    #: *evaluation* axis — they do not change the derived scenario spec, so
+    #: the jobs get a distinct cache-key variant instead of a distinct spec.
+    stream_windows: Optional[Tuple[int, ...]] = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -61,7 +66,13 @@ class CampaignSpec:
         if not self.scenarios:
             raise ValueError("a campaign needs at least one scenario")
         object.__setattr__(self, "scenarios", tuple(self.scenarios))
-        for axis in ("configurations", "schemes", "feedback_strides", "thermal_methods"):
+        for axis in (
+            "configurations",
+            "schemes",
+            "feedback_strides",
+            "thermal_methods",
+            "stream_windows",
+        ):
             values = getattr(self, axis)
             if values is None:
                 continue
@@ -71,6 +82,10 @@ class CampaignSpec:
             if len(set(values)) != len(values):
                 raise ValueError(f"{axis} contains duplicates: {values}")
             object.__setattr__(self, axis, values)
+        if self.stream_windows is not None and any(
+            int(window) < 1 for window in self.stream_windows
+        ):
+            raise ValueError("stream_windows must be positive epoch counts")
         for entry in self.scenarios:
             if not isinstance(entry, (str, ScenarioSpec)):
                 raise TypeError(
@@ -96,6 +111,9 @@ class CampaignSpec:
             "thermal_methods": (
                 list(self.thermal_methods) if self.thermal_methods else None
             ),
+            "stream_windows": (
+                list(self.stream_windows) if self.stream_windows else None
+            ),
             "description": self.description,
         }
 
@@ -110,7 +128,13 @@ class CampaignSpec:
             entry if isinstance(entry, str) else ScenarioSpec.from_dict(entry)
             for entry in scenarios  # type: ignore[union-attr]
         )
-        for axis in ("configurations", "schemes", "feedback_strides", "thermal_methods"):
+        for axis in (
+            "configurations",
+            "schemes",
+            "feedback_strides",
+            "thermal_methods",
+            "stream_windows",
+        ):
             values = params.get(axis)
             if values is not None:
                 params[axis] = tuple(values)  # type: ignore[arg-type]
@@ -140,6 +164,7 @@ class CampaignSpec:
             "feedback_stride": self.feedback_strides or (None,),
             "thermal_method": self.thermal_methods or (None,),
         }
+        windows: Tuple[Optional[int], ...] = self.stream_windows or (None,)
         jobs: List[CampaignJob] = []
         for base in self._base_scenarios():
             for configuration in axis_values["configuration"]:
@@ -159,27 +184,38 @@ class CampaignSpec:
                                 if overrides
                                 else base
                             )
-                            axes = {
-                                "scenario": base.name,
-                                "configuration": derived.configuration,
-                                "scheme": derived.scheme,
-                                "feedback_stride": derived.feedback_stride,
-                                "thermal_method": derived.thermal_method,
-                            }
-                            job_id = (
-                                f"{base.name}@{derived.configuration}"
-                                f"/{derived.scheme}"
-                                f"/fs{derived.feedback_stride}"
-                                f"/{derived.thermal_method}"
-                            )
-                            jobs.append(
-                                CampaignJob(
-                                    index=len(jobs),
-                                    job_id=job_id,
-                                    spec=derived,
-                                    axes=axes,
+                            for window in windows:
+                                axes = {
+                                    "scenario": base.name,
+                                    "configuration": derived.configuration,
+                                    "scheme": derived.scheme,
+                                    "feedback_stride": derived.feedback_stride,
+                                    "thermal_method": derived.thermal_method,
+                                }
+                                job_id = (
+                                    f"{base.name}@{derived.configuration}"
+                                    f"/{derived.scheme}"
+                                    f"/fs{derived.feedback_stride}"
+                                    f"/{derived.thermal_method}"
                                 )
-                            )
+                                if window is not None:
+                                    # The streaming axis only decorates ids
+                                    # and axes when actually swept, keeping
+                                    # batch campaigns' journals and cache
+                                    # keys byte-stable.
+                                    axes["stream_window"] = int(window)
+                                    job_id += f"/w{int(window)}"
+                                jobs.append(
+                                    CampaignJob(
+                                        index=len(jobs),
+                                        job_id=job_id,
+                                        spec=derived,
+                                        axes=axes,
+                                        stream_window=(
+                                            int(window) if window is not None else None
+                                        ),
+                                    )
+                                )
         return jobs
 
 
@@ -192,6 +228,9 @@ class CampaignJob:
     spec: ScenarioSpec
     #: The axis values this job pins, for the per-axis marginal report.
     axes: Dict[str, object]
+    #: Epochs per window when the job is evaluated through the streaming
+    #: engine; ``None`` runs the classic whole-horizon batch path.
+    stream_window: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -245,11 +284,15 @@ def evaluate_job(job: CampaignJob) -> JobResult:
 
     This is the single evaluation path for both serial and sharded campaign
     execution, so a cached :class:`JobResult` is bit-identical to a fresh one
-    by construction (floats survive the JSON round-trip exactly).
+    by construction (floats survive the JSON round-trip exactly).  Jobs with
+    a ``stream_window`` run the same spec through the streaming engine in
+    windows of that many epochs instead of one whole-horizon batch.
     """
     from ..scenarios.compile import compile_scenario
 
     compiled = compile_scenario(job.spec)
+    if job.stream_window is not None:
+        return _evaluate_streaming_job(job, compiled)
     outcome = run_scenario(compiled)
     experiment = outcome.experiment
     return JobResult(
@@ -273,5 +316,50 @@ def evaluate_job(job: CampaignJob) -> JobResult:
         ),
         noc_saturated_epochs=(
             int(outcome.noc.saturated_epochs) if outcome.noc else None
+        ),
+    )
+
+
+def _evaluate_streaming_job(job: CampaignJob, compiled) -> JobResult:
+    """Evaluate one job through the streaming engine (windowed horizon)."""
+    from ..stream import StreamingExperiment, scenario_windows
+
+    window = int(job.stream_window)  # type: ignore[arg-type]
+    engine = StreamingExperiment.from_scenario(compiled)
+    for _update in engine.process(
+        scenario_windows(compiled, window, max_epochs=job.spec.num_epochs)
+    ):
+        pass
+    experiment = engine.finalize()
+    summary = engine.summary
+    offsets = compiled.ambient_offsets
+    nominal = compiled.configuration.workload.parameters.iterations_per_block
+    mean_iterations = summary.decoder_mean_iterations
+    num_windows = -(-job.spec.num_epochs // window)
+    return JobResult(
+        job_id=job.job_id,
+        axes=dict(job.axes),
+        baseline_peak_celsius=float(experiment.baseline_peak_celsius),
+        settled_peak_celsius=float(experiment.settled_peak_celsius),
+        peak_reduction_celsius=float(experiment.peak_reduction_celsius),
+        settled_mean_celsius=float(experiment.settled_mean_celsius),
+        throughput_penalty=float(experiment.throughput_penalty),
+        migrations=int(experiment.migrations_performed),
+        steady_solves=int(compiled.expected_steady_solves(windows=num_windows)),
+        ambient_span_celsius=(
+            float(offsets.max() - offsets.min()) if offsets is not None else 0.0
+        ),
+        decoder_throughput_factor=(
+            float(nominal / mean_iterations) if mean_iterations else None
+        ),
+        noc_mean_latency_cycles=(
+            float(summary.noc_mean_latency_cycles)
+            if summary.noc_mean_latency_cycles is not None
+            else None
+        ),
+        noc_saturated_epochs=(
+            int(summary.noc_saturated_epochs)
+            if summary.noc_mean_latency_cycles is not None
+            else None
         ),
     )

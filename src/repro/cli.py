@@ -13,6 +13,9 @@ Gives downstream users a no-code path to every experiment::
     python -m repro scenario compare           # whole scenario suite
     python -m repro campaign run -S sweep.json -d campaigns/sweep
     python -m repro campaign status -d campaigns/sweep
+    python -m repro serve diurnal-load --window 8    # stream a scenario
+    python -m repro serve --input windows.jsonl -c A # serve external windows
+    python -m repro serve diurnal-load --checkpoint ckpt/  # resumable stream
     python -m repro perf-trend                 # BENCH_perf.json history
     python -m repro obs summary trace.json     # telemetry table from a trace
     python -m repro obs validate trace.json    # Chrome trace-event schema check
@@ -488,6 +491,116 @@ def cmd_obs_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_emit(update) -> None:
+    """One JSONL record per processed window: cursor, lag, rolling summary."""
+    record = {
+        "start_epoch": update.start_epoch,
+        "window_epochs": update.outcome.num_epochs,
+        "lag_s": round(update.lag_s, 6),
+        "checkpointed": update.checkpointed,
+    }
+    # The rolling summary's keys ("windows", "epochs", ...) are cumulative.
+    record.update(update.summary)
+    print(json.dumps(record), flush=True)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .scenarios.compile import compile_scenario
+    from .stream import (
+        CheckpointStore,
+        StreamingExperiment,
+        jsonl_windows,
+        scenario_windows,
+    )
+
+    if args.name is not None and args.input is not None:
+        print("serve takes a scenario NAME or --input FILE, not both",
+              file=sys.stderr)
+        return 1
+    if args.name is None and args.input is None:
+        print("serve needs a scenario NAME or --input FILE", file=sys.stderr)
+        return 1
+    store = CheckpointStore(Path(args.checkpoint)) if args.checkpoint else None
+    handle = None
+    try:
+        if args.name is not None:
+            try:
+                spec = get_scenario(args.name)
+                compiled = compile_scenario(spec)
+            except ValueError as error:
+                print(error, file=sys.stderr)
+                return 1
+            engine = StreamingExperiment.from_scenario(compiled, checkpoint=store)
+            resume = engine.prepare()
+            if args.max_epochs is None:
+                horizon: Optional[int] = spec.num_epochs
+            else:
+                # --max-epochs 0 serves the scenario's patterns forever.
+                horizon = args.max_epochs or None
+            windows = scenario_windows(
+                compiled, args.window, max_epochs=horizon, start_epoch=resume
+            )
+        else:
+            chip = get_configuration(args.configuration)
+            policy_kwargs = {}
+            if args.trigger is not None:
+                policy_kwargs["trigger_celsius"] = args.trigger
+            try:
+                policy = make_policy(
+                    args.scheme, chip.topology, period_us=args.period,
+                    **policy_kwargs,
+                )
+            except (TypeError, ValueError):
+                print(
+                    f"cannot build scheme {args.scheme!r}: threshold-* "
+                    "schemes need --trigger CELSIUS, others reject it",
+                    file=sys.stderr,
+                )
+                return 1
+            settings = ExperimentSettings(
+                num_epochs=max(args.settled, 1), mode=args.mode
+            )
+            experiment = ThermalExperiment(chip, policy, settings=settings)
+            engine = StreamingExperiment(
+                experiment, settled_capacity=args.settled, checkpoint=store
+            )
+            engine.prepare()
+            handle = (
+                sys.stdin
+                if args.input == "-"
+                else open(args.input, "r", encoding="utf-8")
+            )
+            horizon = args.max_epochs or None
+            windows = jsonl_windows(handle)
+        try:
+            for update in engine.process(windows, max_epochs=horizon):
+                _serve_emit(update)
+        except ValueError as error:
+            # Misaligned window, malformed JSONL line, or an identity
+            # mismatch against the checkpoint journal: one-line error.
+            print(error, file=sys.stderr)
+            return 1
+        result = engine.finalize()
+        print(
+            json.dumps(
+                {
+                    "final": True,
+                    "baseline_peak_c": round(result.baseline_peak_celsius, 4),
+                    "settled_peak_c": round(result.settled_peak_celsius, 4),
+                    "peak_reduction_c": round(result.peak_reduction_celsius, 4),
+                    "settled_mean_c": round(result.settled_mean_celsius, 4),
+                    "migrations": result.migrations_performed,
+                    "throughput_penalty": round(result.throughput_penalty, 6),
+                }
+            ),
+            flush=True,
+        )
+        return 0
+    finally:
+        if handle is not None and handle is not sys.stdin:
+            handle.close()
+
+
 def cmd_perf_trend(args: argparse.Namespace) -> int:
     try:
         payload = load_perf_history(Path(args.path))
@@ -649,6 +762,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     camp.add_argument("-d", "--directory", required=True, help="campaign directory")
     camp.set_defaults(func=cmd_campaign_report)
+
+    sub = subparsers.add_parser(
+        "serve",
+        help="long-lived streaming loop over epoch windows (scenario or JSONL)",
+    )
+    sub.add_argument("name", nargs="?",
+                     help="named scenario to stream (see `scenario list`)")
+    sub.add_argument("--input", metavar="FILE", default=None,
+                     help="JSONL epoch-window file instead of a scenario "
+                          "('-' reads stdin)")
+    sub.add_argument("--window", type=int, default=8, metavar="N",
+                     help="epochs per window for a scenario stream (default 8)")
+    sub.add_argument("--max-epochs", type=int, default=None, metavar="N",
+                     help="stop after N epochs (default: the scenario's "
+                          "horizon; 0 streams forever)")
+    sub.add_argument("--checkpoint", metavar="DIR", default=None,
+                     help="durable checkpoint directory: every window "
+                          "publishes an atomic snapshot and a restart "
+                          "resumes exactly where it left off")
+    sub.add_argument("-c", "--configuration", default="A",
+                     help="chip configuration for --input streams")
+    sub.add_argument("-s", "--scheme", default="xy-shift",
+                     help="migration scheme for --input streams")
+    sub.add_argument("--period", type=float, default=109.0,
+                     help="migration period in us for --input streams")
+    sub.add_argument("--mode", choices=("steady", "transient"), default="steady",
+                     help="thermal mode for --input streams")
+    sub.add_argument("--settled", type=int, default=16, metavar="N",
+                     help="settled-regime window (epochs) for --input streams")
+    sub.add_argument("--trigger", type=float, default=None, metavar="CELSIUS",
+                     help="trigger temperature for threshold-* schemes "
+                          "(--input streams)")
+    sub.set_defaults(func=cmd_serve)
 
     sub = subparsers.add_parser(
         "obs", help="inspect telemetry snapshots and trace files"

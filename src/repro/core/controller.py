@@ -78,6 +78,12 @@ class RuntimeReconfigurationController:
         self.io_translator = IoAddressTranslator(self.topology)
         self.events: List[MigrationEvent] = []
         self._epoch_index = 0
+        # Running totals, maintained O(1) per migration so accounting stays
+        # correct after :meth:`drain_events` trims the event log (streaming
+        # runs drain every window to keep memory flat).
+        self._migration_count = 0
+        self._migration_cycles = 0
+        self._migration_energy_j = 0.0
         #: (transform key, mapping permutation) -> (cost, resulting mapping,
         #: moved-task count).  Mappings are treated as immutable everywhere
         #: (mutation goes through ``apply_transform``, which returns a new
@@ -97,15 +103,28 @@ class RuntimeReconfigurationController:
     # ------------------------------------------------------------------
     @property
     def migrations_performed(self) -> int:
-        return len(self.events)
+        return self._migration_count
 
     @property
     def total_migration_cycles(self) -> int:
-        return sum(event.cycles for event in self.events)
+        return self._migration_cycles
 
     @property
     def total_migration_energy_j(self) -> float:
-        return sum(event.energy_j for event in self.events)
+        return self._migration_energy_j
+
+    def drain_events(self) -> List[MigrationEvent]:
+        """Return and clear the per-migration event log.
+
+        The running totals (:attr:`migrations_performed`,
+        :attr:`total_migration_cycles`, :attr:`total_migration_energy_j`)
+        are unaffected — they are separate counters precisely so a streaming
+        run can drain the log every window and still report exact aggregate
+        accounting over an unbounded stream.
+        """
+        drained = list(self.events)
+        self.events.clear()
+        return drained
 
     def reset(self) -> None:
         """Return to the static mapping and forget all history."""
@@ -113,6 +132,40 @@ class RuntimeReconfigurationController:
         self.io_translator.reset()
         self.events.clear()
         self._epoch_index = 0
+        self._migration_count = 0
+        self._migration_cycles = 0
+        self._migration_energy_j = 0.0
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot of the migration-relevant state.
+
+        Captures the current mapping (as a node-id permutation), the epoch
+        index, the running migration totals and the I/O translator's
+        cumulative map — everything a resumed stream needs to continue
+        bit-identically.  The event log is deliberately excluded (it is
+        drained state, not carried state).
+        """
+        return {
+            "mapping": self.current_mapping.to_permutation(),
+            "epoch_index": self._epoch_index,
+            "migrations": self._migration_count,
+            "migration_cycles": self._migration_cycles,
+            "migration_energy_j": self._migration_energy_j,
+            "io": self.io_translator.state_dict(),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Inverse of :meth:`state_dict`."""
+        self.current_mapping = Mapping.from_permutation(
+            self.topology, [int(node) for node in state["mapping"]]  # type: ignore[union-attr]
+        )
+        self._epoch_index = int(state["epoch_index"])  # type: ignore[arg-type]
+        self._migration_count = int(state["migrations"])  # type: ignore[arg-type]
+        self._migration_cycles = int(state["migration_cycles"])  # type: ignore[arg-type]
+        self._migration_energy_j = float(state["migration_energy_j"])  # type: ignore[arg-type]
+        self.io_translator.restore_state(state["io"])  # type: ignore[arg-type]
+        self.events.clear()
 
     # ------------------------------------------------------------------
     def _transform_key(self, transform: MigrationTransform) -> Tuple[int, ...]:
@@ -174,6 +227,9 @@ class RuntimeReconfigurationController:
                 moved_tasks=moved,
             )
         )
+        self._migration_count += 1
+        self._migration_cycles += cost.cycles
+        self._migration_energy_j += energy
         return cost
 
     def advance_epoch(self) -> int:

@@ -27,12 +27,24 @@ estimates from a :class:`FeedbackPlan`: one multi-RHS steady batch per
 Any :class:`repro.thermal.model.ThermalModel` — the
 block-level :class:`repro.thermal.hotspot.HotSpotModel` or the refined
 :class:`repro.thermal.grid.GridThermalModel` — can drive the experiment.
+
+The driver is **window-native**: :meth:`ThermalExperiment.prepare` arms the
+run, :meth:`ThermalExperiment.step_window` advances it by any number of
+epochs (one batched steady solve or one ``transient_sequence`` call per
+window, thermal state, feedback state and the settled-regime rings carried
+across window boundaries in constant memory), and
+:meth:`ThermalExperiment.finalize` assembles the
+:class:`repro.core.metrics.ExperimentResult`.  The classic whole-horizon
+:meth:`run` is literally one window — ``prepare(); step_window(num_epochs,
+is_last=True); finalize()`` — so batch and streaming
+(:mod:`repro.stream`) share one code path and one set of numbers.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -61,7 +73,10 @@ class ExperimentSettings:
     settle_fraction: float = 0.5
     #: Explicit number of settled epochs; overrides ``settle_fraction`` when
     #: set.  Choosing a multiple of the transform's orbit length (e.g. 20 or
-    #: 40, which divides by 2, 4 and 5) makes the time average exact.
+    #: 40, which divides by 2, 4 and 5) makes the time average exact.  A
+    #: streamed run with an unknown horizon *requires* an explicit settled
+    #: window (here or via ``prepare(settled_capacity=...)``) because the
+    #: fraction has nothing to take a fraction of.
     settle_epochs: Optional[int] = None
     #: Implicit-Euler steps per epoch in transient mode.
     transient_steps_per_epoch: int = 8
@@ -138,6 +153,12 @@ class FeedbackPlan:
     solves here; with ``stride=1`` every decision sees exactly what the
     seed per-epoch path produced (to solver precision), because each
     refresh then solves precisely the one previous-epoch row.
+
+    Ambient offsets come either as a whole-horizon array
+    (``ambient_offsets``, the direct-construction path) or incrementally per
+    epoch window via :meth:`add_offsets` — the windowed driver feeds each
+    window's offsets as it arrives, so the plan never needs the horizon up
+    front and its offset map stays bounded by the refresh lookback.
     """
 
     #: Queue tag for the pre-experiment static power (the epoch-0 probe);
@@ -174,6 +195,9 @@ class FeedbackPlan:
         self._solved: dict = {}
         self._last_epoch: Optional[int] = None
         self._metrics: dict = {}
+        #: absolute epoch index -> ambient offset, filled window by window
+        #: via :meth:`add_offsets` and pruned past the refresh lookback.
+        self._offset_map: Dict[int, float] = {}
 
     # ------------------------------------------------------------------
     def prime(self, static_power: np.ndarray) -> None:
@@ -186,12 +210,31 @@ class FeedbackPlan:
         self._pending_rows.append(power_row)
         self._pending_epochs.append(epoch_index)
 
+    def add_offsets(self, start_epoch: int, offsets: Optional[np.ndarray]) -> None:
+        """Register the ambient offsets of epochs ``start_epoch + i``.
+
+        The windowed counterpart of the constructor's whole-horizon array.
+        Entries older than two refresh strides before ``start_epoch`` can no
+        longer be read by any future refresh (a refresh at epoch ``e`` only
+        flushes rows observed since the previous one, i.e. tags ``>= e -
+        stride``), so they are pruned — the map stays O(stride) over an
+        unbounded stream.
+        """
+        if offsets is None:
+            return
+        values = np.asarray(offsets, dtype=float)
+        for index, value in enumerate(values):
+            self._offset_map[start_epoch + index] = float(value)
+        cutoff = start_epoch - 2 * self.stride
+        for key in [key for key in self._offset_map if key < cutoff]:
+            del self._offset_map[key]
+
     # ------------------------------------------------------------------
     def _offset_for(self, epoch_tag: int) -> float:
-        if self.ambient_offsets is None:
-            return 0.0
         index = 0 if epoch_tag == self.PROBE else epoch_tag
-        return float(self.ambient_offsets[index])
+        if self.ambient_offsets is not None:
+            return float(self.ambient_offsets[index])
+        return self._offset_map.get(index, 0.0)
 
     def _refresh(self) -> None:
         """Evaluate every queued row with one multi-RHS steady batch."""
@@ -241,6 +284,70 @@ class FeedbackPlan:
             )
         return self._metrics_for(self._last_epoch)
 
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot of the carried feedback state.
+
+        Pending rows, the newest solved batch and the counters — everything
+        a resumed stream needs to keep the refresh cadence and predictor
+        answers bit-identical.  (The lazily-built metrics cache is derived
+        state and is rebuilt on demand.)
+        """
+        return {
+            "pending_rows": [row.tolist() for row in self._pending_rows],
+            "pending_epochs": list(self._pending_epochs),
+            "solved": {str(tag): row.tolist() for tag, row in self._solved.items()},
+            "last_epoch": self._last_epoch,
+            "batch_solves": self.batch_solves,
+            "rows_solved": self.rows_solved,
+            "predictions_served": self.predictions_served,
+            "offsets": {str(key): value for key, value in self._offset_map.items()},
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Inverse of :meth:`state_dict`."""
+        self._pending_rows = [
+            np.asarray(row, dtype=float) for row in state["pending_rows"]  # type: ignore[union-attr]
+        ]
+        self._pending_epochs = [int(tag) for tag in state["pending_epochs"]]  # type: ignore[union-attr]
+        self._solved = {
+            int(tag): np.asarray(row, dtype=float)
+            for tag, row in state["solved"].items()  # type: ignore[union-attr]
+        }
+        last = state["last_epoch"]
+        self._last_epoch = int(last) if last is not None else None  # type: ignore[arg-type]
+        self.batch_solves = int(state["batch_solves"])  # type: ignore[arg-type]
+        self.rows_solved = int(state["rows_solved"])  # type: ignore[arg-type]
+        self.predictions_served = int(state["predictions_served"])  # type: ignore[arg-type]
+        self._offset_map = {
+            int(key): float(value) for key, value in state["offsets"].items()  # type: ignore[union-attr]
+        }
+        self._metrics = {}
+
+
+@dataclass
+class WindowOutcome:
+    """Everything one stepped window produced (window-local views).
+
+    ``epoch_metrics``/``peak_by_epoch``/``mean_by_epoch`` are indexed by the
+    window-local epoch (global index ``start_epoch + i``); ``baseline`` is
+    populated only by the first window of a run, ``settled`` only by a
+    window stepped with ``is_last=True`` in steady mode (transient settled
+    statistics live on the experiment and surface in
+    :meth:`ThermalExperiment.finalize`).
+    """
+
+    start_epoch: int
+    num_epochs: int
+    trace: PowerTrace
+    costs: List[Optional[MigrationCost]]
+    names: List[Optional[str]]
+    epoch_metrics: List[ThermalMetrics]
+    peak_by_epoch: np.ndarray
+    mean_by_epoch: np.ndarray
+    baseline: Optional[ThermalMetrics] = None
+    settled: Optional[ThermalMetrics] = None
+
 
 class ThermalExperiment:
     """Runs one (configuration, policy) experiment.
@@ -264,6 +371,12 @@ class ThermalExperiment:
     actually integrates the time-varying ambient, at no extra solves.  The
     static baseline is always reported at the nominal ambient with
     unmodulated load.
+
+    Besides the whole-horizon :meth:`run`, the experiment exposes the
+    windowed lifecycle it is built from: :meth:`prepare` /
+    :meth:`step_window` / :meth:`finalize`, with :meth:`state_dict` /
+    :meth:`restore_state` snapshotting the carried state between windows for
+    checkpoint/resume (see :mod:`repro.stream`).
     """
 
     def __init__(
@@ -312,36 +425,278 @@ class ThermalExperiment:
         #: The chunked feedback evaluator of the most recent run (None for
         #: feedback-free policies); exposes batch/row counters for tests.
         self.feedback_plan: Optional[FeedbackPlan] = None
+        self._active = False
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """Whether a prepared run is in flight (between prepare and finalize)."""
+        return self._active
+
+    @property
+    def next_epoch(self) -> int:
+        """Global index of the next epoch a stepped window would start at."""
+        if not self._active:
+            raise RuntimeError("next_epoch is only defined for a prepared run")
+        return self._next_epoch
 
     # ------------------------------------------------------------------
     def run(self) -> ExperimentResult:
-        """Run the configured experiment and return its result."""
-        self.policy.reset()
-        self.controller.reset()
+        """Run the configured experiment and return its result.
+
+        The batch path is one window of the streaming lifecycle: prepare,
+        step the whole horizon as a single window (so steady mode is still
+        exactly one multi-RHS solve and transient mode one
+        ``transient_sequence`` call), finalize.
+        """
         with _obs_span(
             "experiment.run",
             mode=self.settings.mode,
             epochs=self.settings.num_epochs,
         ):
-            if self.settings.mode == "steady":
-                return self._run_steady()
-            return self._run_transient()
+            self.prepare(total_epochs=self.settings.num_epochs, collect_records=True)
+            self.step_window(
+                self.settings.num_epochs,
+                power_modulation=self.power_modulation,
+                ambient_offsets=self.ambient_offsets,
+                is_last=True,
+            )
+            return self.finalize()
+
+    # ------------------------------------------------------------------
+    # Windowed lifecycle
+    # ------------------------------------------------------------------
+    def prepare(
+        self,
+        total_epochs: Optional[int] = None,
+        settled_capacity: Optional[int] = None,
+        collect_records: bool = False,
+        warm_power: Optional[np.ndarray] = None,
+    ) -> None:
+        """Arm a fresh run: reset policy/controller, initialise carried state.
+
+        ``total_epochs`` sizes the settled-regime window from the settings
+        when the horizon is known (the batch path); an unbounded stream
+        instead gives ``settled_capacity`` explicitly (or sets
+        ``settings.settle_epochs``).  ``collect_records`` keeps the
+        per-epoch :class:`EpochRecord` list growing across windows — batch
+        semantics; streaming leaves it off so memory stays constant.
+        ``warm_power`` overrides the transient warm-start power (by default
+        the first window's time-weighted average, which for a single
+        whole-horizon window is exactly the batch warm start).
+        """
+        self.policy.reset()
+        self.controller.reset()
+        self._init_stream_state(
+            total_epochs=total_epochs,
+            settled_capacity=settled_capacity,
+            collect_records=collect_records,
+            warm_power=warm_power,
+            thermal_feedback=self._needs_thermal_feedback(),
+        )
+
+    def _init_stream_state(
+        self,
+        total_epochs: Optional[int],
+        settled_capacity: Optional[int],
+        collect_records: bool,
+        warm_power: Optional[np.ndarray],
+        thermal_feedback: bool,
+    ) -> None:
+        if total_epochs is not None:
+            capacity = self.settings.settled_count(total_epochs)
+        elif settled_capacity is not None:
+            if settled_capacity < 1:
+                raise ValueError("settled_capacity must be at least 1")
+            capacity = settled_capacity
+        elif self.settings.settle_epochs is not None:
+            capacity = self.settings.settle_epochs
+        else:
+            raise ValueError(
+                "streaming with an unknown horizon needs an explicit settled "
+                "window: set settings.settle_epochs or pass "
+                "prepare(settled_capacity=...) — settle_fraction has nothing "
+                "to take a fraction of"
+            )
+        self._settled_capacity = capacity
+        self._thermal_feedback = thermal_feedback
+        self._collect_records = collect_records
+        self._records_acc: List[EpochRecord] = []
+        self._next_epoch = 0
+        self._previous_power = self.controller.static_power_vector()
+        self._baseline_peak: Optional[float] = None
+        self._baseline_mean: Optional[float] = None
+        self._settled_peak: Optional[float] = None
+        self._settled_mean: Optional[float] = None
+        self._thermal_state: Optional[np.ndarray] = None
+        self._warm_started = False
+        self._warm_power = (
+            np.asarray(warm_power, dtype=float) if warm_power is not None else None
+        )
+        self._had_offsets = False
+        # Constant-memory settled-regime state: steady mode remembers the
+        # last `capacity` power rows (+ their ambient offsets) so the settled
+        # mean can ride the final window's batch; transient mode only needs
+        # the per-epoch (peak, mean) scalars.
+        self._power_ring: Deque[np.ndarray] = deque(maxlen=capacity)
+        self._offset_ring: Deque[float] = deque(maxlen=capacity)
+        self._peak_ring: Deque[float] = deque(maxlen=capacity)
+        self._mean_ring: Deque[float] = deque(maxlen=capacity)
+        period_s = self.policy.period_us * 1e-6
+        self._period_cycles = self.configuration.block_period_cycles(
+            self.policy.period_us
+        )
+        self._time_step = period_s / self.settings.transient_steps_per_epoch
+        plan: Optional[FeedbackPlan] = None
+        if thermal_feedback:
+            plan = FeedbackPlan(
+                self.thermal_model,
+                self.configuration.topology,
+                stride=self.settings.feedback_stride,
+                predictor=self.settings.feedback_predictor,
+            )
+            plan.prime(self._previous_power)
+        self.feedback_plan = plan
+        self._active = True
+
+    def step_window(
+        self,
+        num_epochs: int,
+        power_modulation: Optional[np.ndarray] = None,
+        ambient_offsets: Optional[np.ndarray] = None,
+        *,
+        is_last: bool = False,
+    ) -> WindowOutcome:
+        """Advance the run by ``num_epochs`` epochs as one batched window.
+
+        Runs the policy/controller loop over the window, then evaluates it
+        with exactly one multi-RHS steady solve (steady mode; the static
+        baseline rides the first window's batch and the settled-regime
+        average rides the last's) or one ``transient_sequence`` call
+        (transient mode; thermal state carried across window boundaries).
+        ``power_modulation`` is ``(num_epochs, num_units)`` and
+        ``ambient_offsets`` ``(num_epochs,)``, both window-local.
+        ``is_last`` folds the settled-regime evaluation into this window's
+        batch; a stream that simply stops computes it in :meth:`finalize`
+        instead (one extra solve in steady mode).
+        """
+        if not self._active:
+            raise RuntimeError("call prepare() before step_window()")
+        if num_epochs < 1:
+            raise ValueError("a window must contain at least one epoch")
+        num_units = self.configuration.topology.num_nodes
+        modulation: Optional[np.ndarray] = None
+        if power_modulation is not None:
+            modulation = np.asarray(power_modulation, dtype=float)
+            if modulation.shape != (num_epochs, num_units):
+                raise ValueError(
+                    f"window power_modulation must be ({num_epochs}, {num_units}), "
+                    f"got shape {modulation.shape}"
+                )
+            if not np.all(np.isfinite(modulation)) or modulation.min() < 0:
+                raise ValueError("power_modulation must be finite and non-negative")
+        offsets: Optional[np.ndarray] = None
+        if ambient_offsets is not None:
+            offsets = np.asarray(ambient_offsets, dtype=float)
+            if offsets.shape != (num_epochs,):
+                raise ValueError(
+                    f"window ambient_offsets must have {num_epochs} entries, "
+                    f"got shape {offsets.shape}"
+                )
+            if not np.all(np.isfinite(offsets)):
+                raise ValueError("ambient offsets must be finite")
+
+        start_epoch = self._next_epoch
+        if self.feedback_plan is not None:
+            self.feedback_plan.add_offsets(start_epoch, offsets)
+        trace, costs, names = self._loop_window(num_epochs, modulation, offsets)
+        if offsets is not None:
+            self._had_offsets = True
+        if self.settings.mode == "steady":
+            powers = trace.powers
+            for index in range(len(trace)):
+                self._power_ring.append(np.array(powers[index]))
+                self._offset_ring.append(
+                    float(offsets[index]) if offsets is not None else 0.0
+                )
+            outcome = self._step_steady(trace, costs, names, offsets, start_epoch, is_last)
+        else:
+            outcome = self._step_transient(
+                trace, costs, names, offsets, start_epoch, is_last
+            )
+        if self._collect_records:
+            self._records_acc.extend(
+                self._records(trace, costs, names, outcome.epoch_metrics, start_epoch)
+            )
+        return outcome
+
+    def finalize(self) -> ExperimentResult:
+        """Assemble the :class:`ExperimentResult` of the stepped windows.
+
+        If no window was stepped with ``is_last=True`` (a stream that simply
+        stopped), the settled-regime statistics are computed here from the
+        carried rings — at the cost of one extra steady solve in steady
+        mode; transient mode already has the per-epoch scalars.
+        """
+        if not self._active:
+            raise RuntimeError("call prepare() and step_window() before finalize()")
+        if self._next_epoch == 0:
+            raise RuntimeError("finalize() needs at least one stepped window")
+        if self._settled_peak is None:
+            self._compute_settled_late()
+        result = ExperimentResult(
+            configuration_name=self.configuration.name,
+            scheme_name=self.policy.name,
+            period_us=self.policy.period_us,
+            baseline_peak_celsius=self._baseline_peak,
+            baseline_mean_celsius=self._baseline_mean,
+            epochs=self._records_acc,
+            performance=self._performance(self._next_epoch),
+            total_migration_energy_j=self.controller.total_migration_energy_j,
+            settled_peak_celsius=self._settled_peak,
+            settled_mean_celsius=self._settled_mean,
+        )
+        self._active = False
+        return result
+
+    def _compute_settled_late(self) -> None:
+        """Settled statistics for a run that never stepped an ``is_last`` window."""
+        count = min(self._settled_capacity, self._next_epoch)
+        if self.settings.mode == "steady":
+            settled_power = np.vstack(list(self._power_ring)[-count:]).mean(axis=0)
+            values = self.thermal_model.steady_temperatures(
+                settled_power[np.newaxis, :]
+            )[0]
+            if self._had_offsets:
+                values = values + float(
+                    np.mean(np.array(list(self._offset_ring)[-count:], dtype=float))
+                )
+            settled = ThermalMetrics.from_vector(self.configuration.topology, values)
+            self._settled_peak = settled.peak_celsius
+            self._settled_mean = settled.mean_celsius
+        else:
+            self._settled_peak = float(
+                np.max(np.array(list(self._peak_ring)[-count:], dtype=float))
+            )
+            self._settled_mean = float(
+                np.mean(np.array(list(self._mean_ring)[-count:], dtype=float))
+            )
 
     # ------------------------------------------------------------------
     # Shared epoch loop
     # ------------------------------------------------------------------
-    def _epoch_sequence(
-        self, thermal_feedback: bool
+    def _loop_window(
+        self,
+        num_epochs: int,
+        power_modulation: Optional[np.ndarray],
+        ambient_offsets: Optional[np.ndarray],
     ) -> Tuple[PowerTrace, List[Optional[MigrationCost]], List[Optional[str]]]:
-        """Run the policy/controller loop and collect the epoch power trace.
+        """Run the policy/controller loop for one window of epochs.
 
-        Returns the trace (one row per epoch) plus the per-epoch migration
-        cost and transform name.  ``thermal_feedback`` controls whether the
-        policy sees predicted steady-state temperatures; when it does, a
-        :class:`FeedbackPlan` evaluates them in chunks of
-        ``settings.feedback_stride`` epochs — one multi-RHS batch per chunk
-        against the cached factorisation, with the epoch-0 probe folded into
-        the first batch.  The loop itself is dict-free: policies receive the
+        Epoch indices are **global** (``self._next_epoch + local``), so
+        policies, the feedback plan's refresh cadence and the migration
+        records behave identically regardless of how the horizon is
+        windowed.  The loop itself is dict-free: policies receive the
         previous power row as a vector (the dict view is built lazily only
         if a policy reads it).
         """
@@ -349,25 +704,16 @@ class ThermalExperiment:
         controller = self.controller
         period_s = self.policy.period_us * 1e-6
         topology = configuration.topology
+        thermal_feedback = self._thermal_feedback
+        plan = self.feedback_plan
 
         trace = PowerTrace(topology)
         costs: List[Optional[MigrationCost]] = []
         names: List[Optional[str]] = []
-        previous_power = controller.static_power_vector()
+        previous_power = self._previous_power
 
-        plan: Optional[FeedbackPlan] = None
-        if thermal_feedback:
-            plan = FeedbackPlan(
-                self.thermal_model,
-                topology,
-                stride=self.settings.feedback_stride,
-                ambient_offsets=self.ambient_offsets,
-                predictor=self.settings.feedback_predictor,
-            )
-            plan.prime(previous_power)
-        self.feedback_plan = plan
-
-        for epoch_index in range(self.settings.num_epochs):
+        for local_index in range(num_epochs):
+            epoch_index = self._next_epoch + local_index
             context = PolicyContext(
                 epoch_index=epoch_index,
                 current_thermal=(
@@ -383,11 +729,11 @@ class ThermalExperiment:
                 cost = controller.apply_migration(transform, epoch_index)
                 name = transform.name
             power = controller.epoch_power_vector(period_s, cost)
-            if self.power_modulation is not None:
+            if power_modulation is not None:
                 # Scenario hook: scale this epoch's row as it is emitted, so
                 # the trace, the feedback path and the records all see the
                 # modulated chip.
-                power = power * self.power_modulation[epoch_index]
+                power = power * power_modulation[local_index]
             trace.add_interval(period_s, power)
             costs.append(cost)
             names.append(name)
@@ -396,7 +742,32 @@ class ThermalExperiment:
                 plan.observe(epoch_index, power)
             previous_power = power
             controller.advance_epoch()
+        self._previous_power = previous_power
+        self._next_epoch += num_epochs
         return trace, costs, names
+
+    def _epoch_sequence(
+        self, thermal_feedback: bool
+    ) -> Tuple[PowerTrace, List[Optional[MigrationCost]], List[Optional[str]]]:
+        """Run the whole-horizon policy/controller loop (test/diagnostic hook).
+
+        Initialises the windowed state without resetting the policy or
+        controller (the historical contract) and runs one horizon-sized
+        window, returning the trace plus per-epoch migration costs and
+        transform names.
+        """
+        self._init_stream_state(
+            total_epochs=self.settings.num_epochs,
+            settled_capacity=None,
+            collect_records=False,
+            warm_power=None,
+            thermal_feedback=thermal_feedback,
+        )
+        if self.feedback_plan is not None:
+            self.feedback_plan.add_offsets(0, self.ambient_offsets)
+        return self._loop_window(
+            self.settings.num_epochs, self.power_modulation, self.ambient_offsets
+        )
 
     def _needs_thermal_feedback(self) -> bool:
         """Whether the policy declared it reads feedback temperatures.
@@ -408,8 +779,8 @@ class ThermalExperiment:
         return bool(getattr(self.policy, "requires_thermal_feedback", False))
 
     # ------------------------------------------------------------------
-    def _performance(self, period_cycles: int) -> PerformanceMetrics:
-        total_cycles = period_cycles * self.settings.num_epochs
+    def _performance(self, epochs_run: int) -> PerformanceMetrics:
+        total_cycles = self._period_cycles * epochs_run
         return PerformanceMetrics(
             total_cycles=total_cycles,
             migration_cycles=min(self.controller.total_migration_cycles, total_cycles),
@@ -422,11 +793,12 @@ class ThermalExperiment:
         costs: List[Optional[MigrationCost]],
         names: List[Optional[str]],
         epoch_metrics: List[ThermalMetrics],
+        start_epoch: int = 0,
     ) -> List[EpochRecord]:
         """Per-epoch records (dict views of the trace at the report edge)."""
         return [
             EpochRecord(
-                epoch_index=idx,
+                epoch_index=start_epoch + idx,
                 mapping_permutation=[],
                 transform_applied=names[idx],
                 migration_cycles=costs[idx].cycles if costs[idx] else 0,
@@ -438,99 +810,137 @@ class ThermalExperiment:
         ]
 
     # ------------------------------------------------------------------
-    def _run_steady(self) -> ExperimentResult:
-        configuration = self.configuration
-        thermal_model = self.thermal_model
-        topology = configuration.topology
-        period_cycles = configuration.block_period_cycles(self.policy.period_us)
+    def _step_steady(
+        self,
+        trace: PowerTrace,
+        costs: List[Optional[MigrationCost]],
+        names: List[Optional[str]],
+        offsets: Optional[np.ndarray],
+        start_epoch: int,
+        is_last: bool,
+    ) -> WindowOutcome:
+        """Evaluate one steady-mode window with a single multi-RHS solve.
 
-        trace, costs, names = self._epoch_sequence(
-            thermal_feedback=self._needs_thermal_feedback()
-        )
-
-        # One batch carries everything steady mode needs: the static
-        # baseline, every epoch's power row, and the settled-regime average
-        # (the time-mean over the final epochs — one or more full orbits of
-        # the transform).  A single multi-RHS solve evaluates all of them.
-        settle_count = self.settings.settled_count(len(trace))
-        settled_power = trace.mean_tail_vector(settle_count)
-        batch = np.vstack(
-            [
-                self.controller.static_power_vector()[np.newaxis, :],
-                trace.powers,
-                settled_power[np.newaxis, :],
-            ]
-        )
-        temperatures = thermal_model.steady_temperatures(batch)
-        if self.ambient_offsets is not None:
+        One batch carries everything the window needs: the static baseline
+        (first window only), every epoch's power row, and the settled-regime
+        average (last window only — the time-mean over the final epochs, one
+        or more full orbits of the transform).  With a single horizon-sized
+        window this is exactly the classic batch layout.
+        """
+        topology = self.configuration.topology
+        is_first = start_epoch == 0
+        parts: List[np.ndarray] = []
+        if is_first:
+            parts.append(self.controller.static_power_vector()[np.newaxis, :])
+        parts.append(trace.powers)
+        settled_offset: Optional[float] = None
+        if is_last:
+            count = min(self._settled_capacity, self._next_epoch)
+            if count <= len(trace):
+                settled_power = trace.mean_tail_vector(count)
+            else:
+                settled_power = np.vstack(list(self._power_ring)[-count:]).mean(axis=0)
+            parts.append(settled_power[np.newaxis, :])
+            if self._had_offsets:
+                settled_offset = float(
+                    np.mean(np.array(list(self._offset_ring)[-count:], dtype=float))
+                )
+        batch = np.vstack(parts)
+        temperatures = self.thermal_model.steady_temperatures(batch)
+        base = 1 if is_first else 0
+        stop = base + len(trace)
+        if offsets is not None:
             # A uniform ambient shift moves every steady temperature by the
             # same amount (the conduction block conserves energy), so adding
             # the per-epoch offsets after the one batched solve is exact.
             # The settled row solved the mean tail power, so it gets the mean
             # tail offset; the baseline stays at nominal ambient.
-            temperatures[1:-1] += self.ambient_offsets[:, np.newaxis]
-            temperatures[-1] += float(np.mean(self.ambient_offsets[-settle_count:]))
-        baseline = ThermalMetrics.from_vector(topology, temperatures[0])
-        settled = ThermalMetrics.from_vector(topology, temperatures[-1])
+            temperatures[base:stop] += offsets[:, np.newaxis]
+        if settled_offset is not None:
+            temperatures[-1] += settled_offset
+        baseline: Optional[ThermalMetrics] = None
+        if is_first:
+            baseline = ThermalMetrics.from_vector(topology, temperatures[0])
+            self._baseline_peak = baseline.peak_celsius
+            self._baseline_mean = baseline.mean_celsius
+        settled: Optional[ThermalMetrics] = None
+        if is_last:
+            settled = ThermalMetrics.from_vector(topology, temperatures[-1])
+            self._settled_peak = settled.peak_celsius
+            self._settled_mean = settled.mean_celsius
         epoch_metrics = [
-            ThermalMetrics.from_vector(topology, row) for row in temperatures[1:-1]
+            ThermalMetrics.from_vector(topology, row) for row in temperatures[base:stop]
         ]
-
-        return ExperimentResult(
-            configuration_name=configuration.name,
-            scheme_name=self.policy.name,
-            period_us=self.policy.period_us,
-            baseline_peak_celsius=baseline.peak_celsius,
-            baseline_mean_celsius=baseline.mean_celsius,
-            epochs=self._records(trace, costs, names, epoch_metrics),
-            performance=self._performance(period_cycles),
-            total_migration_energy_j=self.controller.total_migration_energy_j,
-            settled_peak_celsius=settled.peak_celsius,
-            settled_mean_celsius=settled.mean_celsius,
+        return WindowOutcome(
+            start_epoch=start_epoch,
+            num_epochs=len(trace),
+            trace=trace,
+            costs=costs,
+            names=names,
+            epoch_metrics=epoch_metrics,
+            peak_by_epoch=np.array([m.peak_celsius for m in epoch_metrics]),
+            mean_by_epoch=np.array([m.mean_celsius for m in epoch_metrics]),
+            baseline=baseline,
+            settled=settled,
         )
 
-    # ------------------------------------------------------------------
-    def _run_transient(self) -> ExperimentResult:
-        configuration = self.configuration
+    def _step_transient(
+        self,
+        trace: PowerTrace,
+        costs: List[Optional[MigrationCost]],
+        names: List[Optional[str]],
+        offsets: Optional[np.ndarray],
+        start_epoch: int,
+        is_last: bool,
+    ) -> WindowOutcome:
+        """Integrate one transient-mode window with a single sequence call.
+
+        The first window pays the batch path's fixed costs — the static
+        baseline steady solve and the settled-regime warm start (steady
+        state of the warm power at the first epoch's ambient) — then the
+        window's piecewise-constant trace goes through one
+        ``transient_sequence`` call.  Subsequent windows chain
+        ``final_state_kelvin``, which is exactly the state the batch path
+        would have carried, so windowing does not change the trajectory.
+        """
         thermal_model = self.thermal_model
-        topology = configuration.topology
-        period_s = self.policy.period_us * 1e-6
-        period_cycles = configuration.block_period_cycles(self.policy.period_us)
-        time_step = period_s / self.settings.transient_steps_per_epoch
-
-        trace, costs, names = self._epoch_sequence(
-            thermal_feedback=self._needs_thermal_feedback()
-        )
-
-        # The baseline is still a steady solve of the static power.
-        baseline = ThermalMetrics.from_vector(
-            topology,
-            thermal_model.steady_temperatures(
-                self.controller.static_power_vector()[np.newaxis, :]
-            )[0],
-        )
-
-        # Start from the settled regime: steady state of the time-weighted
-        # average power (equal-duration epochs reduce this to the plain mean,
-        # but variable-duration traces need the weighting) at the epoch-0
-        # ambient, so the transient only has to resolve the within-period
-        # ripple.  The whole piecewise-constant trace then goes through one
-        # transient_sequence call with state carried across epochs — no
-        # per-epoch Python round-trip; the per-epoch ambient offsets enter as
-        # an affine boundary term, so time-varying ambient is exact here.
-        state = thermal_model.warm_state(
-            trace.average_vector(),
-            ambient_offset_kelvin=(
-                float(self.ambient_offsets[0]) if self.ambient_offsets is not None else 0.0
-            ),
-        )
+        topology = self.configuration.topology
+        baseline: Optional[ThermalMetrics] = None
+        if not self._warm_started:
+            # The baseline is still a steady solve of the static power.
+            baseline = ThermalMetrics.from_vector(
+                topology,
+                thermal_model.steady_temperatures(
+                    self.controller.static_power_vector()[np.newaxis, :]
+                )[0],
+            )
+            self._baseline_peak = baseline.peak_celsius
+            self._baseline_mean = baseline.mean_celsius
+            # Start from the settled regime: steady state of the time-weighted
+            # average power (the first window's, or an explicit warm_power
+            # override — identical to the batch warm start when the first
+            # window spans the horizon) at the first epoch's ambient, so the
+            # transient only has to resolve the within-period ripple.
+            warm = (
+                self._warm_power
+                if self._warm_power is not None
+                else trace.average_vector()
+            )
+            self._thermal_state = thermal_model.warm_state(
+                warm,
+                ambient_offset_kelvin=(
+                    float(offsets[0]) if offsets is not None else 0.0
+                ),
+            )
+            self._warm_started = True
         result = thermal_model.transient_sequence(
             trace,
-            initial_state=state,
-            time_step_s=time_step,
+            initial_state=self._thermal_state,
+            time_step_s=self._time_step,
             method=self.settings.thermal_method,
-            ambient_offsets_kelvin=self.ambient_offsets,
+            ambient_offsets_kelvin=offsets,
         )
+        self._thermal_state = np.asarray(result.final_state_kelvin, dtype=float)
 
         # Per-epoch metrics come from segment reductions over the
         # concatenated series: each epoch's peak is the maximum over its
@@ -552,20 +962,106 @@ class ThermalExperiment:
             for idx in range(len(trace))
         ]
         mean_by_epoch = np.array([metric.mean_celsius for metric in epoch_metrics])
-
-        settle_count = self.settings.settled_count(len(trace))
-        settled_peak = float(np.max(peak_by_epoch[-settle_count:]))
-        settled_mean = float(np.mean(mean_by_epoch[-settle_count:]))
-
-        return ExperimentResult(
-            configuration_name=configuration.name,
-            scheme_name=self.policy.name,
-            period_us=self.policy.period_us,
-            baseline_peak_celsius=baseline.peak_celsius,
-            baseline_mean_celsius=baseline.mean_celsius,
-            epochs=self._records(trace, costs, names, epoch_metrics),
-            performance=self._performance(period_cycles),
-            total_migration_energy_j=self.controller.total_migration_energy_j,
-            settled_peak_celsius=settled_peak,
-            settled_mean_celsius=settled_mean,
+        for peak, mean in zip(peak_by_epoch, mean_by_epoch):
+            self._peak_ring.append(float(peak))
+            self._mean_ring.append(float(mean))
+        if is_last:
+            count = min(self._settled_capacity, self._next_epoch)
+            self._settled_peak = float(
+                np.max(np.array(list(self._peak_ring)[-count:], dtype=float))
+            )
+            self._settled_mean = float(
+                np.mean(np.array(list(self._mean_ring)[-count:], dtype=float))
+            )
+        return WindowOutcome(
+            start_epoch=start_epoch,
+            num_epochs=len(trace),
+            trace=trace,
+            costs=costs,
+            names=names,
+            epoch_metrics=epoch_metrics,
+            peak_by_epoch=np.asarray(peak_by_epoch, dtype=float),
+            mean_by_epoch=mean_by_epoch,
+            baseline=baseline,
+            settled=None,
         )
+
+    # ------------------------------------------------------------------
+    # Checkpoint state
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot of all state carried between windows.
+
+        Covers the experiment's own stream state (epoch cursor, previous
+        power, thermal state, settled rings, baseline/settled statistics),
+        the controller (mapping permutation, migration totals, I/O
+        translator) and the policy/feedback-plan state.  Restoring this onto
+        a freshly ``prepare()``-ed experiment of the identical configuration
+        resumes the stream bit-identically (floats round-trip JSON exactly).
+        Per-epoch records are deliberately not captured — checkpointable
+        runs stream with ``collect_records=False``.
+        """
+        if not self._active:
+            raise RuntimeError("state_dict() needs an active prepared run")
+        return {
+            "next_epoch": self._next_epoch,
+            "previous_power": self._previous_power.tolist(),
+            "baseline_peak": self._baseline_peak,
+            "baseline_mean": self._baseline_mean,
+            "settled_peak": self._settled_peak,
+            "settled_mean": self._settled_mean,
+            "settled_capacity": self._settled_capacity,
+            "had_offsets": self._had_offsets,
+            "warm_started": self._warm_started,
+            "thermal_state": (
+                self._thermal_state.tolist() if self._thermal_state is not None else None
+            ),
+            "power_ring": [row.tolist() for row in self._power_ring],
+            "offset_ring": list(self._offset_ring),
+            "peak_ring": list(self._peak_ring),
+            "mean_ring": list(self._mean_ring),
+            "controller": self.controller.state_dict(),
+            "policy": self.policy.state_dict(),
+            "feedback": (
+                self.feedback_plan.state_dict()
+                if self.feedback_plan is not None
+                else None
+            ),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Inverse of :meth:`state_dict`; call after :meth:`prepare`."""
+        if not self._active:
+            raise RuntimeError("prepare() the experiment before restore_state()")
+        capacity = int(state["settled_capacity"])  # type: ignore[arg-type]
+        self._settled_capacity = capacity
+        self._next_epoch = int(state["next_epoch"])  # type: ignore[arg-type]
+        self._previous_power = np.asarray(state["previous_power"], dtype=float)
+        self._baseline_peak = state["baseline_peak"]  # type: ignore[assignment]
+        self._baseline_mean = state["baseline_mean"]  # type: ignore[assignment]
+        self._settled_peak = state["settled_peak"]  # type: ignore[assignment]
+        self._settled_mean = state["settled_mean"]  # type: ignore[assignment]
+        self._had_offsets = bool(state["had_offsets"])
+        self._warm_started = bool(state["warm_started"])
+        thermal_state = state["thermal_state"]
+        self._thermal_state = (
+            np.asarray(thermal_state, dtype=float) if thermal_state is not None else None
+        )
+        self._power_ring = deque(
+            (np.asarray(row, dtype=float) for row in state["power_ring"]),  # type: ignore[union-attr]
+            maxlen=capacity,
+        )
+        self._offset_ring = deque(
+            (float(value) for value in state["offset_ring"]), maxlen=capacity  # type: ignore[union-attr]
+        )
+        self._peak_ring = deque(
+            (float(value) for value in state["peak_ring"]), maxlen=capacity  # type: ignore[union-attr]
+        )
+        self._mean_ring = deque(
+            (float(value) for value in state["mean_ring"]), maxlen=capacity  # type: ignore[union-attr]
+        )
+        self.controller.restore_state(state["controller"])  # type: ignore[arg-type]
+        self.policy.restore_state(state["policy"])  # type: ignore[arg-type]
+        feedback_state = state["feedback"]
+        if self.feedback_plan is not None and feedback_state is not None:
+            self.feedback_plan.restore_state(feedback_state)  # type: ignore[arg-type]

@@ -108,6 +108,22 @@ class ReconfigurationPolicy(ABC):
     def reset(self) -> None:
         """Clear any internal state before a fresh experiment run."""
 
+    def compact(self) -> None:
+        """Fold any per-epoch logs into aggregate counters.
+
+        Streaming runs call this once per window so policy state stays
+        constant-size over an unbounded stream.  Policies whose state is
+        already O(1) (all the built-ins except adaptive's choice log) need
+        not override it.
+        """
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot of the decision-relevant state."""
+        return {}
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Inverse of :meth:`state_dict`."""
+
 
 class NoMigrationPolicy(ReconfigurationPolicy):
     """Baseline: never migrate (static thermally-aware mapping only)."""
@@ -181,6 +197,12 @@ class ThresholdMigrationPolicy(ReconfigurationPolicy):
     def reset(self) -> None:
         self.migrations_triggered = 0
 
+    def state_dict(self) -> Dict[str, object]:
+        return {"migrations_triggered": self.migrations_triggered}
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        self.migrations_triggered = int(state["migrations_triggered"])  # type: ignore[arg-type]
+
 
 class AdaptiveMigrationPolicy(ReconfigurationPolicy):
     """Pick, each period, the candidate transform that best cools the hotspot.
@@ -215,12 +237,14 @@ class AdaptiveMigrationPolicy(ReconfigurationPolicy):
             raise ValueError("no valid candidate transforms for this topology")
         self.name = "adaptive"
         self.choices: List[str] = []
+        #: transform name -> times chosen, including compacted-away entries.
+        self.choice_counts: Dict[str, int] = {}
 
     def decide(self, context: PolicyContext) -> Optional[MigrationTransform]:
         thermal = context.current_thermal
         if thermal is None or not context.has_power:
             choice = self.candidates[0]
-            self.choices.append(choice.name)
+            self._record_choice(choice.name)
             return choice
         hottest = thermal.hottest_unit()
         if hottest is None:
@@ -238,10 +262,27 @@ class AdaptiveMigrationPolicy(ReconfigurationPolicy):
             if best_score is None or score > best_score:
                 best_score = score
                 best = transform
-        self.choices.append(best.name)
+        self._record_choice(best.name)
         return best
 
+    def _record_choice(self, name: str) -> None:
+        self.choices.append(name)
+        self.choice_counts[name] = self.choice_counts.get(name, 0) + 1
+
     def reset(self) -> None:
+        self.choices = []
+        self.choice_counts = {}
+
+    def compact(self) -> None:
+        """Drop the per-epoch choice log; :attr:`choice_counts` keeps totals."""
+        self.choices = []
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"choice_counts": dict(self.choice_counts)}
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        counts = state["choice_counts"]
+        self.choice_counts = {str(k): int(v) for k, v in counts.items()}  # type: ignore[union-attr]
         self.choices = []
 
 

@@ -33,15 +33,16 @@ class IoAddressTranslator:
             coord: coord for coord in topology.coordinates()
         }
         self._history: List[str] = []
+        self._applied = 0
 
     # ------------------------------------------------------------------
     @property
     def migrations_applied(self) -> int:
-        return len(self._history)
+        return self._applied
 
     @property
     def history(self) -> List[str]:
-        """Names of the transforms applied, in order."""
+        """Names of the transforms applied since the last compaction."""
         return list(self._history)
 
     def record_migration(self, transform: MigrationTransform) -> None:
@@ -51,6 +52,17 @@ class IoAddressTranslator:
             for original, current in self._current_of_original.items()
         }
         self._history.append(transform.name)
+        self._applied += 1
+
+    def compact_history(self) -> None:
+        """Drop the per-migration name log, keeping the cumulative map.
+
+        The composed coordinate map and :attr:`migrations_applied` are all
+        the translator needs to keep routing packets; the name log exists for
+        reports and tests.  A streaming run compacts after every window so
+        translator state stays O(mesh) over an unbounded stream.
+        """
+        self._history.clear()
 
     def reset(self) -> None:
         """Forget all migrations (chip returns to the design-time layout)."""
@@ -58,6 +70,30 @@ class IoAddressTranslator:
             coord: coord for coord in self.topology.coordinates()
         }
         self._history.clear()
+        self._applied = 0
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot (cumulative map as a permutation)."""
+        return {
+            "permutation": [
+                self.topology.node_id(self._current_of_original[coord])
+                for coord in self.topology.coordinates()
+            ],
+            "applied": self._applied,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Inverse of :meth:`state_dict` (the name log is not restored)."""
+        coords = list(self.topology.coordinates())
+        permutation = [int(node) for node in state["permutation"]]  # type: ignore[union-attr]
+        if sorted(permutation) != list(range(len(coords))):
+            raise ValueError("translator permutation must cover every node id")
+        self._current_of_original = {
+            coords[index]: coords[node] for index, node in enumerate(permutation)
+        }
+        self._history = []
+        self._applied = int(state["applied"])  # type: ignore[arg-type]
 
     # ------------------------------------------------------------------
     def current_location(self, original: Coordinate) -> Coordinate:

@@ -98,6 +98,7 @@ class PowerTrace:
         self._durations = np.zeros(self._capacity)
         self._powers = np.zeros((self._capacity, self._num_units))
         self._length = 0
+        self._grows = 0
         for sample in samples or ():
             self.append(sample)
 
@@ -148,6 +149,17 @@ class PowerTrace:
         self._capacity = new_capacity
         self._durations = durations
         self._powers = powers
+        self._grows += 1
+
+    @property
+    def growth_count(self) -> int:
+        """Number of backing-store reallocations so far.
+
+        Capacity doubles on reallocation, so appending ``n`` rows one at a
+        time costs ``O(log n)`` grows — the amortisation guard the streaming
+        tests pin (a quadratic-recopy builder would grow once per row).
+        """
+        return self._grows
 
     def append(self, sample: PowerSample) -> None:
         """Append one dict-view sample (validated by :class:`PowerSample`)."""
@@ -177,6 +189,56 @@ class PowerTrace:
         self._durations[self._length] = duration_s
         self._powers[self._length] = vector
         self._length += 1
+
+    def extend(self, durations_s: np.ndarray, power_w: np.ndarray) -> None:
+        """Append many intervals at once (one validation pass, one copy).
+
+        The bulk counterpart of :meth:`add_interval` — the streaming engine
+        assembles each epoch window with a single ``extend`` so per-window
+        trace construction stays amortised ``O(rows)`` rather than paying a
+        Python-level append per epoch.
+        """
+        durations = np.asarray(durations_s, dtype=float)
+        powers = np.asarray(power_w, dtype=float)
+        if durations.ndim != 1:
+            raise ValueError("durations must be a 1-D array")
+        if powers.shape != (durations.size, self._num_units):
+            raise ValueError(
+                f"power matrix must be (num_samples, {self._num_units}), "
+                f"got shape {powers.shape}"
+            )
+        if durations.size == 0:
+            return
+        if not np.all(np.isfinite(durations)) or durations.min() <= 0:
+            raise ValueError("sample durations must be positive and finite")
+        if not np.all(np.isfinite(powers)) or powers.min() < 0:
+            raise ValueError("non-finite or negative power in trace")
+        needed = self._length + durations.size
+        if needed > self._capacity:
+            self._grow_to(needed)
+        self._durations[self._length : needed] = durations
+        self._powers[self._length : needed] = powers
+        self._length = needed
+
+    def window(self, start: int, stop: int) -> "PowerTrace":
+        """Zero-copy trace over rows ``[start, stop)`` of this trace.
+
+        The returned trace shares this trace's backing arrays (appending to
+        the view reallocates it first, so the parent is never corrupted);
+        extracting successive windows of a long trace therefore costs
+        ``O(window)`` each instead of the ``O(E)`` copy of
+        :meth:`from_arrays`.
+        """
+        if not 0 <= start < stop <= self._length:
+            raise ValueError(
+                f"window [{start}, {stop}) out of range for {self._length} samples"
+            )
+        view = PowerTrace(self.topology)
+        view._capacity = stop - start
+        view._durations = self._durations[start:stop]
+        view._powers = self._powers[start:stop]
+        view._length = stop - start
+        return view
 
     # ------------------------------------------------------------------
     # Array views (the native representation)

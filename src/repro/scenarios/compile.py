@@ -88,15 +88,28 @@ class CompiledScenario:
         """Whether the compiled policy reads feedback temperatures."""
         return bool(getattr(self.policy, "requires_thermal_feedback", False))
 
-    def expected_steady_solves(self) -> int:
+    def expected_steady_solves(self, windows: Optional[int] = None) -> int:
         """Steady solves one run of this scenario performs — the bench guard.
 
         Feedback-free scenarios cost one batched solve in steady mode and
         two (baseline + warm start) in transient mode.  Feedback policies
         add ``ceil(num_epochs / feedback_stride)`` chunked feedback batches
         on top — never a per-epoch solve.
+
+        ``windows`` is the streamed evaluation of the same horizon split
+        into that many windows: steady mode costs one batched solve *per
+        window* (the baseline rides the first window's batch and the
+        settled average the last's), transient mode still costs exactly the
+        two fixed steady solves (the per-window work is ``transient_sequence``
+        calls), and the feedback budget is windowing-invariant because the
+        refresh cadence follows global epoch indices.
         """
-        solves = 1 if self.spec.mode == "steady" else 2
+        if windows is None:
+            solves = 1 if self.spec.mode == "steady" else 2
+        elif windows < 1:
+            raise ValueError("windows must be at least 1")
+        else:
+            solves = windows if self.spec.mode == "steady" else 2
         if self.uses_thermal_feedback:
             solves += -(-self.spec.num_epochs // self.spec.feedback_stride)
         return solves
@@ -275,6 +288,90 @@ def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
         noc_model=noc_model,
         noc_rates=noc_rates,
     )
+
+
+def compile_window(
+    compiled: CompiledScenario, start_epoch: int, end_epoch: int
+) -> Tuple[
+    Optional[np.ndarray],
+    Optional[np.ndarray],
+    Optional[np.ndarray],
+    Optional[np.ndarray],
+]:
+    """Evaluate a compiled scenario's patterns over ``[start_epoch, end_epoch)``.
+
+    Returns ``(load_modulation, ambient_offsets, snr_schedule, noc_rates)``
+    window arrays (each None when the scenario does not drive that channel).
+    The patterns are evaluated lazily via their window cursors, so a stream
+    can walk epochs far beyond ``spec.num_epochs`` without ever materialising
+    a whole-horizon array — and inside the horizon the values are exactly the
+    slices :func:`compile_scenario` would have produced.
+    """
+    if end_epoch <= start_epoch:
+        raise ValueError("compile_window needs a non-empty [start, end) window")
+    spec = compiled.spec
+    configuration = compiled.configuration
+    num = end_epoch - start_epoch
+
+    modulation: Optional[np.ndarray] = None
+    if spec.load is not None:
+        values = np.asarray(
+            spec.load.evaluate_window(
+                start_epoch, end_epoch, configuration.topology
+            ),
+            dtype=float,
+        )
+        if values.ndim == 1:
+            values = np.broadcast_to(
+                values[:, np.newaxis], (num, configuration.num_units)
+            ).copy()
+        if values.shape != (num, configuration.num_units):
+            raise ValueError(
+                f"load pattern produced shape {values.shape}, expected "
+                f"({num}, {configuration.num_units})"
+            )
+        if not np.all(np.isfinite(values)):
+            raise ValueError("load pattern produced non-finite values")
+        if values.min() < 0:
+            raise ValueError("load modulation must be non-negative")
+        modulation = values
+
+    ambient: Optional[np.ndarray] = None
+    if spec.ambient_celsius is not None:
+        ambient = np.asarray(
+            spec.ambient_celsius.evaluate_window(start_epoch, end_epoch), dtype=float
+        )
+    snr: Optional[np.ndarray] = None
+    if spec.snr_db is not None:
+        snr = np.asarray(
+            spec.snr_db.evaluate_window(start_epoch, end_epoch), dtype=float
+        )
+
+    noc_rates: Optional[np.ndarray] = None
+    if spec.noc is not None:
+        channel = spec.noc
+        if channel.rate_pattern is not None:
+            factors = np.asarray(
+                channel.rate_pattern.evaluate_window(start_epoch, end_epoch),
+                dtype=float,
+            )
+        elif modulation is not None:
+            factors = modulation.mean(axis=1)
+        else:
+            factors = np.ones(num, dtype=float)
+        noc_rates = np.clip(factors, 0.0, None) * channel.injection_rate
+
+    for name, values in (("ambient", ambient), ("snr", snr), ("noc rate", noc_rates)):
+        if values is None:
+            continue
+        if values.shape != (num,):
+            raise ValueError(
+                f"{name} pattern produced shape {values.shape}, expected ({num},)"
+            )
+        if not np.all(np.isfinite(values)):
+            raise ValueError(f"{name} pattern produced non-finite values")
+
+    return modulation, ambient, snr, noc_rates
 
 
 # ----------------------------------------------------------------------

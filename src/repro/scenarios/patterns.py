@@ -10,6 +10,16 @@ series, evaluated **vectorized over all epochs at once**:
   matrix in the topology's row-major coordinate order and describe per-PE
   effects (a localized hotspot multiplier, a PE whose load collapses).
 
+Every built-in pattern is a pure function of the **absolute** epoch index,
+which is what makes patterns double as stream *cursors*: in addition to the
+whole-horizon :meth:`Pattern.evaluate`, :meth:`Pattern.evaluate_window`
+evaluates any half-open window ``[start_epoch, end_epoch)`` lazily, so a
+registry scenario can generate an unbounded epoch stream window by window
+(see :mod:`repro.stream`) without ever materialising a horizon-sized array.
+The one horizon-dependent construct — :class:`RampPattern` with
+``end_epoch=None``, which ramps over "the whole horizon" — refuses windowed
+evaluation and asks for an explicit ``end_epoch`` instead.
+
 Patterns compose with ``+`` and ``*`` (a temporal series broadcasts across
 units when combined with a spatial one), so ``DiurnalPattern(...) *
 HotspotPattern(...)`` is a hotspot that breathes with the day cycle.  Every
@@ -49,6 +59,21 @@ class Pattern(ABC):
 
     # ------------------------------------------------------------------
     @abstractmethod
+    def _values(
+        self,
+        epochs: np.ndarray,
+        topology: Optional[MeshTopology],
+        horizon: Optional[int],
+    ) -> np.ndarray:
+        """Modulation values at the given **absolute** epoch indices.
+
+        ``epochs`` is a 1-D integer array of absolute epoch indices (not
+        necessarily starting at zero); ``horizon`` is the total epoch count
+        when the caller knows it (:meth:`evaluate`) and ``None`` for windowed
+        evaluation.  Temporal patterns return ``(len(epochs),)``; spatial
+        patterns return ``(len(epochs), topology.num_nodes)``.
+        """
+
     def evaluate(
         self, num_epochs: int, topology: Optional[MeshTopology] = None
     ) -> np.ndarray:
@@ -57,6 +82,27 @@ class Pattern(ABC):
         Temporal patterns return shape ``(num_epochs,)``; spatial patterns
         return ``(num_epochs, topology.num_nodes)`` and require ``topology``.
         """
+        return self._values(np.arange(num_epochs), topology, num_epochs)
+
+    def evaluate_window(
+        self,
+        start_epoch: int,
+        end_epoch: int,
+        topology: Optional[MeshTopology] = None,
+    ) -> np.ndarray:
+        """Modulation values over the half-open window ``[start_epoch, end_epoch)``.
+
+        The streaming cursor: identical to the corresponding slice of
+        :meth:`evaluate` for every pattern whose values do not depend on the
+        total horizon, without materialising the prefix.  Patterns that *do*
+        need the horizon (a :class:`RampPattern` with ``end_epoch=None``)
+        raise ``ValueError`` here.
+        """
+        if start_epoch < 0:
+            raise ValueError("window start_epoch cannot be negative")
+        if end_epoch <= start_epoch:
+            raise ValueError("window end_epoch must be after start_epoch")
+        return self._values(np.arange(start_epoch, end_epoch), topology, None)
 
     @property
     def is_spatial(self) -> bool:
@@ -141,10 +187,15 @@ class SumPattern(Pattern):
     def is_spatial(self) -> bool:
         return any(term.is_spatial for term in self.terms)
 
-    def evaluate(
-        self, num_epochs: int, topology: Optional[MeshTopology] = None
+    def _values(
+        self,
+        epochs: np.ndarray,
+        topology: Optional[MeshTopology],
+        horizon: Optional[int],
     ) -> np.ndarray:
-        parts = [_as_columns(term.evaluate(num_epochs, topology)) for term in self.terms]
+        parts = [
+            _as_columns(term._values(epochs, topology, horizon)) for term in self.terms
+        ]
         total = parts[0]
         for part in parts[1:]:
             total = total + part
@@ -173,11 +224,15 @@ class ProductPattern(Pattern):
     def is_spatial(self) -> bool:
         return any(factor.is_spatial for factor in self.factors)
 
-    def evaluate(
-        self, num_epochs: int, topology: Optional[MeshTopology] = None
+    def _values(
+        self,
+        epochs: np.ndarray,
+        topology: Optional[MeshTopology],
+        horizon: Optional[int],
     ) -> np.ndarray:
         parts = [
-            _as_columns(factor.evaluate(num_epochs, topology)) for factor in self.factors
+            _as_columns(factor._values(epochs, topology, horizon))
+            for factor in self.factors
         ]
         total = parts[0]
         for part in parts[1:]:
@@ -207,10 +262,13 @@ class ConstantPattern(Pattern):
     value: float = 1.0
     kind: ClassVar[str] = "constant"
 
-    def evaluate(
-        self, num_epochs: int, topology: Optional[MeshTopology] = None
+    def _values(
+        self,
+        epochs: np.ndarray,
+        topology: Optional[MeshTopology],
+        horizon: Optional[int],
     ) -> np.ndarray:
-        return np.full(num_epochs, float(self.value))
+        return np.full(epochs.shape, float(self.value))
 
 
 @dataclass(frozen=True)
@@ -222,10 +280,12 @@ class StepPattern(Pattern):
     step_epoch: int
     kind: ClassVar[str] = "step"
 
-    def evaluate(
-        self, num_epochs: int, topology: Optional[MeshTopology] = None
+    def _values(
+        self,
+        epochs: np.ndarray,
+        topology: Optional[MeshTopology],
+        horizon: Optional[int],
     ) -> np.ndarray:
-        epochs = np.arange(num_epochs)
         return np.where(epochs < self.step_epoch, float(self.before), float(self.after))
 
 
@@ -247,8 +307,11 @@ class RampPattern(Pattern):
         if self.end_epoch is not None and self.end_epoch <= self.start_epoch:
             raise ValueError("ramp end_epoch must be after start_epoch")
 
-    def evaluate(
-        self, num_epochs: int, topology: Optional[MeshTopology] = None
+    def _values(
+        self,
+        epochs: np.ndarray,
+        topology: Optional[MeshTopology],
+        horizon: Optional[int],
     ) -> np.ndarray:
         # The defaulted window ramps over the whole horizon; when the horizon
         # ends at or before start_epoch the window degenerates to a one-epoch
@@ -256,10 +319,16 @@ class RampPattern(Pattern):
         # than dividing by zero or leaking the end value before the start.
         end_epoch = self.end_epoch
         if end_epoch is None:
-            end_epoch = max(num_epochs - 1, self.start_epoch + 1)
-        epochs = np.arange(num_epochs, dtype=float)
+            if horizon is None:
+                raise ValueError(
+                    "RampPattern with end_epoch=None ramps over the whole "
+                    "horizon and cannot be evaluated over a window; give the "
+                    "ramp an explicit end_epoch for streaming use"
+                )
+            end_epoch = max(horizon - 1, self.start_epoch + 1)
+        values = np.asarray(epochs, dtype=float)
         progress = np.clip(
-            (epochs - self.start_epoch) / (end_epoch - self.start_epoch), 0.0, 1.0
+            (values - self.start_epoch) / (end_epoch - self.start_epoch), 0.0, 1.0
         )
         return float(self.start) + (float(self.end) - float(self.start)) * progress
 
@@ -286,10 +355,12 @@ class BurstPattern(Pattern):
         if self.every is not None and self.every < self.length:
             raise ValueError("burst recurrence must be at least the burst length")
 
-    def evaluate(
-        self, num_epochs: int, topology: Optional[MeshTopology] = None
+    def _values(
+        self,
+        epochs: np.ndarray,
+        topology: Optional[MeshTopology],
+        horizon: Optional[int],
     ) -> np.ndarray:
-        epochs = np.arange(num_epochs)
         offset = epochs - self.start_epoch
         if self.every is None:
             bursting = (offset >= 0) & (offset < self.length)
@@ -316,11 +387,14 @@ class DiurnalPattern(Pattern):
         if self.period_epochs <= 0:
             raise ValueError("diurnal period must be positive")
 
-    def evaluate(
-        self, num_epochs: int, topology: Optional[MeshTopology] = None
+    def _values(
+        self,
+        epochs: np.ndarray,
+        topology: Optional[MeshTopology],
+        horizon: Optional[int],
     ) -> np.ndarray:
-        epochs = np.arange(num_epochs, dtype=float)
-        phase = 2.0 * np.pi * (epochs - self.phase_epochs) / self.period_epochs
+        values = np.asarray(epochs, dtype=float)
+        phase = 2.0 * np.pi * (values - self.phase_epochs) / self.period_epochs
         return float(self.mean) + float(self.amplitude) * np.sin(phase)
 
 
@@ -339,10 +413,12 @@ class DutyCyclePattern(Pattern):
         if self.on_epochs < 1 or self.off_epochs < 1:
             raise ValueError("duty-cycle phases must last at least one epoch")
 
-    def evaluate(
-        self, num_epochs: int, topology: Optional[MeshTopology] = None
+    def _values(
+        self,
+        epochs: np.ndarray,
+        topology: Optional[MeshTopology],
+        horizon: Optional[int],
     ) -> np.ndarray:
-        epochs = np.arange(num_epochs)
         cycle = self.on_epochs + self.off_epochs
         phase = (epochs - self.start_epoch) % cycle
         # Before the cycling starts the chip runs normally (on), matching
@@ -386,8 +462,11 @@ class HotspotPattern(Pattern):
     def is_spatial(self) -> bool:
         return True
 
-    def evaluate(
-        self, num_epochs: int, topology: Optional[MeshTopology] = None
+    def _values(
+        self,
+        epochs: np.ndarray,
+        topology: Optional[MeshTopology],
+        horizon: Optional[int],
     ) -> np.ndarray:
         topology = _require_topology(self, topology)
         center = tuple(self.center)
@@ -398,7 +477,7 @@ class HotspotPattern(Pattern):
         profile = float(self.background) + (
             float(self.peak) - float(self.background)
         ) * np.exp(-squared / (2.0 * self.sigma**2))
-        return np.tile(profile, (num_epochs, 1))
+        return np.tile(profile, (len(epochs), 1))
 
     @classmethod
     def _from_params(cls, params: Dict[str, object]) -> "HotspotPattern":
@@ -434,15 +513,17 @@ class FaultPattern(Pattern):
     def is_spatial(self) -> bool:
         return True
 
-    def evaluate(
-        self, num_epochs: int, topology: Optional[MeshTopology] = None
+    def _values(
+        self,
+        epochs: np.ndarray,
+        topology: Optional[MeshTopology],
+        horizon: Optional[int],
     ) -> np.ndarray:
         topology = _require_topology(self, topology)
-        matrix = np.ones((num_epochs, topology.num_nodes))
-        epochs = np.arange(num_epochs)
+        matrix = np.ones((len(epochs), topology.num_nodes))
         active = epochs >= self.start_epoch
         if self.end_epoch is not None:
-            active &= epochs < self.end_epoch
+            active = active & (epochs < self.end_epoch)
         for unit in self.units:
             coord = tuple(unit)
             if not topology.contains(coord):

@@ -1,0 +1,153 @@
+"""Durable checkpoints for streamed experiments.
+
+A :class:`CheckpointStore` appends one JSON checkpoint per line to
+``checkpoints.jsonl`` inside its directory, fsyncing each append so a
+published checkpoint survives the process dying right after it.  The failure
+mode of an append-only journal is a **torn tail** — the process died mid-line
+— and the store follows the campaign journal's contract
+(:mod:`repro.campaign.manifest`): a torn *last* line is detected, reported
+and truncated away on resume (the stream replays from the previous good
+checkpoint); a torn line anywhere *else* means external corruption and
+raises.  Compaction (keeping only the newest checkpoints once the journal
+grows past ``max_entries``) rewrites through a temp file published with
+``os.replace`` — readers never observe a partially-compacted journal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Journal file name inside the checkpoint directory.
+CHECKPOINT_JOURNAL = "checkpoints.jsonl"
+
+
+class TornCheckpointError(ValueError):
+    """A checkpoint line other than the last failed to parse."""
+
+
+class CheckpointStore:
+    """Append-only, crash-tolerant checkpoint journal.
+
+    Parameters
+    ----------
+    directory:
+        Where the journal lives; created on first use.
+    keep:
+        Checkpoints retained by a compaction.
+    max_entries:
+        Journal length that triggers a compaction on the next save.
+    """
+
+    def __init__(self, directory, keep: int = 4, max_entries: int = 64):
+        if keep < 1:
+            raise ValueError("keep must be at least 1")
+        if max_entries < keep:
+            raise ValueError("max_entries must be at least keep")
+        self.directory = Path(directory)
+        self.keep = keep
+        self.max_entries = max_entries
+        self._entries: Optional[int] = None
+
+    @property
+    def path(self) -> Path:
+        return self.directory / CHECKPOINT_JOURNAL
+
+    # ------------------------------------------------------------------
+    def _count_entries(self) -> int:
+        if self._entries is None:
+            if self.path.exists():
+                with self.path.open("rb") as handle:
+                    self._entries = sum(1 for _ in handle)
+            else:
+                self._entries = 0
+        return self._entries
+
+    def repair(self) -> bool:
+        """Truncate a torn (unterminated) final line; True if one was cut.
+
+        Safe to call any time: a journal whose last byte is a newline is
+        left untouched.
+        """
+        if not self.path.exists():
+            return False
+        with self.path.open("rb+") as handle:
+            data = handle.read()
+            if not data or data.endswith(b"\n"):
+                return False
+            keep = data.rfind(b"\n") + 1
+            handle.seek(keep)
+            handle.truncate(keep)
+        self._entries = None
+        return True
+
+    # ------------------------------------------------------------------
+    def save(self, payload: Dict[str, object]) -> None:
+        """Append one checkpoint, durably; compacts past ``max_entries``."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.repair()
+        line = json.dumps(payload, separators=(",", ":")) + "\n"
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._entries = self._count_entries() + 1
+        if self._entries > self.max_entries:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Atomically rewrite the journal keeping the newest ``keep`` entries."""
+        entries = self.load_all()
+        tail = entries[-self.keep :]
+        descriptor, temp_path = tempfile.mkstemp(
+            dir=self.directory, prefix=".checkpoints-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                for entry in tail:
+                    handle.write(json.dumps(entry, separators=(",", ":")) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+        self._entries = len(tail)
+
+    # ------------------------------------------------------------------
+    def load_all(self) -> List[Dict[str, object]]:
+        """Every intact checkpoint, oldest first; torn-tail tolerant.
+
+        A final line that fails to parse (torn by a crash mid-append) is
+        skipped; a malformed line anywhere else raises
+        :class:`TornCheckpointError`.
+        """
+        if not self.path.exists():
+            return []
+        text = self.path.read_text(encoding="utf-8")
+        lines = text.splitlines()
+        entries: List[Dict[str, object]] = []
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    continue
+                raise TornCheckpointError(
+                    f"corrupt checkpoint journal {self.path}: line {index + 1} "
+                    "is malformed but is not the final (torn-tail) line"
+                )
+        return entries
+
+    def load_latest(self) -> Optional[Dict[str, object]]:
+        """The newest intact checkpoint, or None for a fresh run."""
+        entries = self.load_all()
+        return entries[-1] if entries else None

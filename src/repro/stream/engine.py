@@ -1,0 +1,308 @@
+"""The streaming co-simulation engine.
+
+:class:`StreamingExperiment` drives a prepared
+:class:`repro.core.experiment.ThermalExperiment` from an **iterator of epoch
+windows** instead of a fixed horizon: each window goes through the same
+batched machinery the whole-horizon path uses (one multi-RHS steady solve or
+one ``transient_sequence`` call per window, thermal state and feedback state
+carried across windows), per-window migration events are drained into the
+constant-memory :class:`repro.stream.summary.RollingSummary`, and an optional
+:class:`repro.stream.checkpoint.CheckpointStore` publishes a resumable
+snapshot after every window.  A window sized to the horizon *is* the batch
+run — streaming is the general case, batch its special case.
+
+Observability: every processed window runs under a ``stream.window`` span,
+bumps the ``stream.windows`` / ``stream.epochs`` counters and sets the
+``stream.lag_s`` gauge to the wall seconds the window took to process (the
+serving lag a real-time co-simulator would accumulate).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Optional
+
+import numpy as np
+
+from ..core.experiment import ThermalExperiment, WindowOutcome
+from ..core.metrics import ExperimentResult
+from ..obs import counter as _obs_counter
+from ..obs import gauge as _obs_gauge
+from ..obs import span as _obs_span
+from ..scenarios.compile import (
+    CompiledScenario,
+    compile_scenario,
+    decoder_effort,
+)
+from ..scenarios.noc_cost import NocCostModel, rate_noc_latencies
+from ..scenarios.spec import ScenarioSpec
+from ..thermal.model import ThermalModel
+from .checkpoint import CheckpointStore
+from .summary import RollingSummary
+from .window import EpochWindow
+
+_OBS_WINDOWS = _obs_counter("stream.windows")
+_OBS_EPOCHS = _obs_counter("stream.epochs")
+_OBS_LAG = _obs_gauge("stream.lag_s")
+
+
+@dataclass
+class StreamUpdate:
+    """What one processed window reports back to the consumer."""
+
+    #: Global epoch index the window started at.
+    start_epoch: int
+    #: The window's batched outcome (window-local views).
+    outcome: WindowOutcome
+    #: Rolling-summary snapshot *after* folding this window in.
+    summary: Dict[str, object]
+    #: Wall seconds spent processing the window (the serving lag).
+    lag_s: float
+    #: Whether a checkpoint was published for this window.
+    checkpointed: bool
+
+
+class StreamingExperiment:
+    """Consume an unbounded stream of epoch windows through one experiment.
+
+    Parameters
+    ----------
+    experiment:
+        The (unprepared) experiment to drive.
+    settled_capacity:
+        Settled-regime window for :meth:`ThermalExperiment.prepare`; defaults
+        to ``settings.settle_epochs`` (an unbounded stream needs one of the
+        two — there is no horizon to take a fraction of).
+    warm_power:
+        Optional transient warm-start override (see
+        :meth:`ThermalExperiment.prepare`).
+    checkpoint:
+        Optional durable checkpoint store; when set, every processed window
+        publishes a resumable snapshot and :meth:`prepare` restores the
+        newest one.
+    noc_model:
+        Optional NoC pricing model: windows carrying ``noc_rates`` are priced
+        through it into the rolling summary.
+    price_decoder:
+        Whether windows carrying an SNR schedule run the decoder-effort
+        probe (cached process-wide per quantized SNR).
+    source_tag:
+        Provenance string mixed into the checkpoint identity so a journal
+        written by one stream is never restored into a different one.
+    """
+
+    def __init__(
+        self,
+        experiment: ThermalExperiment,
+        *,
+        settled_capacity: Optional[int] = None,
+        warm_power: Optional[np.ndarray] = None,
+        checkpoint: Optional[CheckpointStore] = None,
+        noc_model: Optional[NocCostModel] = None,
+        price_decoder: bool = True,
+        source_tag: str = "windows",
+    ):
+        self.experiment = experiment
+        self.summary = RollingSummary()
+        self.checkpoint = checkpoint
+        self.noc_model = noc_model
+        self.price_decoder = price_decoder
+        self._settled_capacity = settled_capacity
+        self._warm_power = warm_power
+        self._prepared = False
+        self.identity = self._build_identity(source_tag)
+
+    @classmethod
+    def from_scenario(
+        cls,
+        scenario: "ScenarioSpec | CompiledScenario",
+        *,
+        settled_capacity: Optional[int] = None,
+        warm_power: Optional[np.ndarray] = None,
+        checkpoint: Optional[CheckpointStore] = None,
+        thermal_model: Optional[ThermalModel] = None,
+        price_decoder: bool = True,
+    ) -> "StreamingExperiment":
+        """Wire a streaming engine from a (compiled) scenario spec.
+
+        The settled-regime window defaults to what the batch run of the same
+        spec would use (``settings.settled_count(spec.num_epochs)``), so a
+        stream capped at the spec's horizon reproduces the batch numbers.
+        """
+        compiled = (
+            scenario
+            if isinstance(scenario, CompiledScenario)
+            else compile_scenario(scenario)
+        )
+        if settled_capacity is None:
+            settled_capacity = compiled.settings.settled_count(
+                compiled.spec.num_epochs
+            )
+        tag = hashlib.sha1(
+            compiled.spec.canonical_json().encode("utf-8")
+        ).hexdigest()[:12]
+        return cls(
+            compiled.experiment(thermal_model=thermal_model),
+            settled_capacity=settled_capacity,
+            warm_power=warm_power,
+            checkpoint=checkpoint,
+            noc_model=compiled.noc_model,
+            price_decoder=price_decoder,
+            source_tag=f"scenario:{compiled.spec.name}:{tag}",
+        )
+
+    # ------------------------------------------------------------------
+    def _build_identity(self, source_tag: str) -> str:
+        """Checkpoint-compatibility key: what must match to restore state."""
+        experiment = self.experiment
+        return "/".join(
+            [
+                experiment.configuration.name,
+                experiment.policy.name,
+                experiment.settings.mode,
+                f"stride{experiment.settings.feedback_stride}",
+                type(experiment.thermal_model).__name__,
+                source_tag,
+            ]
+        )
+
+    def prepare(self) -> int:
+        """Arm the experiment, restoring the newest checkpoint if present.
+
+        Returns the global epoch the stream resumes from (0 for a fresh
+        run).  A checkpoint journal written under a different identity —
+        another scenario, policy, mode or thermal model — raises instead of
+        silently corrupting the resumed stream.
+        """
+        self.experiment.prepare(
+            settled_capacity=self._settled_capacity,
+            warm_power=self._warm_power,
+            collect_records=False,
+        )
+        self._prepared = True
+        if self.checkpoint is not None:
+            payload = self.checkpoint.load_latest()
+            if payload is not None:
+                if payload.get("identity") != self.identity:
+                    raise ValueError(
+                        "checkpoint identity mismatch: journal was written by "
+                        f"{payload.get('identity')!r}, this stream is "
+                        f"{self.identity!r}"
+                    )
+                self.experiment.restore_state(payload["experiment"])  # type: ignore[arg-type]
+                self.summary.restore_state(payload["summary"])  # type: ignore[arg-type]
+        return self.experiment.next_epoch
+
+    # ------------------------------------------------------------------
+    def process(
+        self,
+        windows: Iterable[EpochWindow],
+        max_epochs: Optional[int] = None,
+    ) -> Iterator[StreamUpdate]:
+        """Drive the stream, yielding one :class:`StreamUpdate` per window.
+
+        The iterator is consumed with one window of lookahead so the final
+        window folds the settled-regime evaluation into its own batch
+        (``is_last=True``) — a capped stream costs exactly as many solves as
+        the batch run of the same horizon.  On a resumed stream, windows
+        that carry ``start_epoch`` and fall entirely before the resume
+        cursor are skipped; a window that straddles or leaps the cursor
+        raises (checkpoints are per-window, so an aligned producer never
+        straddles).  Windows without ``start_epoch`` are taken on faith as
+        the next chunk.
+        """
+        if not self._prepared:
+            self.prepare()
+        experiment = self.experiment
+        num_units = experiment.configuration.topology.num_nodes
+        iterator = iter(windows)
+        pending = next(iterator, None)
+        while pending is not None:
+            window = pending
+            pending = next(iterator, None)
+            cursor = experiment.next_epoch
+            if max_epochs is not None and cursor >= max_epochs:
+                break
+            if window.start_epoch is not None:
+                if window.start_epoch + window.num_epochs <= cursor:
+                    # Already covered by the restored checkpoint: replay skip.
+                    continue
+                if window.start_epoch != cursor:
+                    raise ValueError(
+                        f"window starts at epoch {window.start_epoch} but the "
+                        f"stream cursor is at {cursor}; windows must arrive "
+                        "aligned and in order"
+                    )
+            if max_epochs is not None and cursor + window.num_epochs > max_epochs:
+                window = window.head(max_epochs - cursor)
+            is_last = pending is None or (
+                max_epochs is not None and cursor + window.num_epochs >= max_epochs
+            )
+            yield self._process_window(window, cursor, is_last)
+
+    def _process_window(
+        self, window: EpochWindow, start_epoch: int, is_last: bool
+    ) -> StreamUpdate:
+        experiment = self.experiment
+        began = time.perf_counter()
+        with _obs_span(
+            "stream.window", start_epoch=start_epoch, epochs=window.num_epochs
+        ):
+            outcome = experiment.step_window(
+                window.num_epochs,
+                power_modulation=window.modulation_matrix(
+                    experiment.configuration.topology.num_nodes
+                ),
+                ambient_offsets=window.ambient_offsets,
+                is_last=is_last,
+            )
+            events = experiment.controller.drain_events()
+            # Constant-memory invariant: fold per-epoch logs into counters
+            # every window so no component's state grows with the stream.
+            experiment.policy.compact()
+            experiment.controller.io_translator.compact_history()
+            self.summary.observe_window(outcome, events)
+            if window.snr_schedule is not None and self.price_decoder:
+                effort = decoder_effort(
+                    experiment.configuration, window.snr_schedule
+                )
+                self.summary.observe_decoder(
+                    window.num_epochs,
+                    effort.mean_iterations,
+                    effort.success_rate,
+                    effort.throughput_factor,
+                )
+            if window.noc_rates is not None and self.noc_model is not None:
+                latencies, saturated = rate_noc_latencies(
+                    self.noc_model, window.noc_rates
+                )
+                self.summary.observe_noc(latencies, saturated)
+        lag_s = time.perf_counter() - began
+        _OBS_WINDOWS.add()
+        _OBS_EPOCHS.add(window.num_epochs)
+        _OBS_LAG.set(lag_s)
+        checkpointed = False
+        if self.checkpoint is not None:
+            self.checkpoint.save(
+                {
+                    "identity": self.identity,
+                    "next_epoch": experiment.next_epoch,
+                    "experiment": experiment.state_dict(),
+                    "summary": self.summary.state_dict(),
+                }
+            )
+            checkpointed = True
+        return StreamUpdate(
+            start_epoch=start_epoch,
+            outcome=outcome,
+            summary=self.summary.snapshot(),
+            lag_s=lag_s,
+            checkpointed=checkpointed,
+        )
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> ExperimentResult:
+        """Close the stream and assemble the classic experiment result."""
+        return self.experiment.finalize()

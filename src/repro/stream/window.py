@@ -1,0 +1,172 @@
+"""The unit of streaming work: one window of epochs and its schedules.
+
+An :class:`EpochWindow` carries everything the experiment driver needs to
+advance by ``num_epochs`` epochs: the optional load modulation (per-unit or
+chip-global), the ambient-offset schedule and the channel SNR schedule, plus
+the optional NoC injection rates for the pricing model.  Windows are the
+wire format of ``repro serve`` — one JSON object per line — so a producer
+can feed an unbounded co-simulation over a pipe, and the scenario source
+(:mod:`repro.stream.source`) emits the same records from pattern cursors.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+
+def _as_schedule(values, name: str, num_epochs: int) -> Optional[np.ndarray]:
+    """Coerce an optional ``(num_epochs,)`` float schedule, validating it."""
+    if values is None:
+        return None
+    array = np.asarray(values, dtype=float)
+    if array.shape != (num_epochs,):
+        raise ValueError(
+            f"{name} must have shape ({num_epochs},), got {array.shape}"
+        )
+    if not np.all(np.isfinite(array)):
+        raise ValueError(f"{name} must be finite")
+    return array
+
+
+@dataclass
+class EpochWindow:
+    """One contiguous chunk of a (possibly unbounded) epoch stream.
+
+    ``load_modulation`` may be chip-global ``(num_epochs,)`` — broadcast to
+    every unit by the consumer — or per-unit ``(num_epochs, num_units)``.
+    ``start_epoch`` is optional provenance: when set, the consumer checks it
+    against its epoch cursor (resumed streams skip fully-processed windows).
+    """
+
+    num_epochs: int
+    start_epoch: Optional[int] = None
+    load_modulation: Optional[np.ndarray] = None
+    ambient_offsets: Optional[np.ndarray] = None
+    snr_schedule: Optional[np.ndarray] = None
+    noc_rates: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.num_epochs < 1:
+            raise ValueError("a window must contain at least one epoch")
+        if self.start_epoch is not None and self.start_epoch < 0:
+            raise ValueError("start_epoch must be non-negative")
+        if self.load_modulation is not None:
+            values = np.asarray(self.load_modulation, dtype=float)
+            if values.ndim not in (1, 2) or values.shape[0] != self.num_epochs:
+                raise ValueError(
+                    "load_modulation must be (num_epochs,) or "
+                    f"(num_epochs, num_units), got {values.shape}"
+                )
+            if not np.all(np.isfinite(values)) or values.min() < 0:
+                raise ValueError("load_modulation must be finite and non-negative")
+            self.load_modulation = values
+        self.ambient_offsets = _as_schedule(
+            self.ambient_offsets, "ambient_offsets", self.num_epochs
+        )
+        self.snr_schedule = _as_schedule(
+            self.snr_schedule, "snr_schedule", self.num_epochs
+        )
+        self.noc_rates = _as_schedule(self.noc_rates, "noc_rates", self.num_epochs)
+        if self.noc_rates is not None and self.noc_rates.min() < 0:
+            raise ValueError("noc_rates must be non-negative")
+
+    # ------------------------------------------------------------------
+    def modulation_matrix(self, num_units: int) -> Optional[np.ndarray]:
+        """The ``(num_epochs, num_units)`` modulation the driver consumes."""
+        if self.load_modulation is None:
+            return None
+        values = self.load_modulation
+        if values.ndim == 1:
+            return np.broadcast_to(
+                values[:, np.newaxis], (self.num_epochs, num_units)
+            ).copy()
+        if values.shape[1] != num_units:
+            raise ValueError(
+                f"load_modulation has {values.shape[1]} units, chip has {num_units}"
+            )
+        return values
+
+    def head(self, num_epochs: int) -> "EpochWindow":
+        """The first ``num_epochs`` epochs of this window (for cap trimming)."""
+        if not 1 <= num_epochs <= self.num_epochs:
+            raise ValueError("head() needs 1 <= num_epochs <= window size")
+        if num_epochs == self.num_epochs:
+            return self
+        return EpochWindow(
+            num_epochs=num_epochs,
+            start_epoch=self.start_epoch,
+            load_modulation=(
+                self.load_modulation[:num_epochs]
+                if self.load_modulation is not None
+                else None
+            ),
+            ambient_offsets=(
+                self.ambient_offsets[:num_epochs]
+                if self.ambient_offsets is not None
+                else None
+            ),
+            snr_schedule=(
+                self.snr_schedule[:num_epochs]
+                if self.snr_schedule is not None
+                else None
+            ),
+            noc_rates=(
+                self.noc_rates[:num_epochs] if self.noc_rates is not None else None
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # JSONL codec
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {"num_epochs": self.num_epochs}
+        if self.start_epoch is not None:
+            record["start_epoch"] = self.start_epoch
+        if self.load_modulation is not None:
+            record["load_modulation"] = self.load_modulation.tolist()
+        if self.ambient_offsets is not None:
+            record["ambient_offsets"] = self.ambient_offsets.tolist()
+        if self.snr_schedule is not None:
+            record["snr_schedule"] = self.snr_schedule.tolist()
+        if self.noc_rates is not None:
+            record["noc_rates"] = self.noc_rates.tolist()
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "EpochWindow":
+        unknown = set(record) - {
+            "num_epochs",
+            "start_epoch",
+            "load_modulation",
+            "ambient_offsets",
+            "snr_schedule",
+            "noc_rates",
+        }
+        if unknown:
+            raise ValueError(f"unknown EpochWindow fields: {sorted(unknown)}")
+        if "num_epochs" not in record:
+            raise ValueError("EpochWindow record needs num_epochs")
+        start = record.get("start_epoch")
+        return cls(
+            num_epochs=int(record["num_epochs"]),  # type: ignore[arg-type]
+            start_epoch=int(start) if start is not None else None,  # type: ignore[arg-type]
+            load_modulation=record.get("load_modulation"),
+            ambient_offsets=record.get("ambient_offsets"),
+            snr_schedule=record.get("snr_schedule"),
+            noc_rates=record.get("noc_rates"),
+        )
+
+    def to_json_line(self) -> str:
+        """One JSONL record (no trailing newline)."""
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+    @classmethod
+    def from_json_line(cls, line: str) -> "EpochWindow":
+        record = json.loads(line)
+        if not isinstance(record, dict):
+            raise ValueError("an EpochWindow line must be a JSON object")
+        return cls.from_dict(record)

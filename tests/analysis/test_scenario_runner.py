@@ -105,3 +105,36 @@ class TestScenarioComparison:
         assert "no scenarios" in empty.format_table()
         with pytest.raises(ValueError, match="no scenarios"):
             empty.hottest_scenario()
+
+
+class TestStreamingRunner:
+    def test_streamed_suite_matches_batch(self):
+        from repro.analysis.runner import run_streaming_scenario
+
+        spec = _tiny_spec("streamed")
+        batch = ScenarioRunner().run([spec])[0]
+        streamed = run_streaming_scenario(spec, window_epochs=2)
+        assert streamed.windows == 3  # 5 epochs in 2-epoch windows
+        assert streamed.summary["epochs"] == 5
+        assert streamed.experiment.settled_peak_celsius == pytest.approx(
+            batch.experiment.settled_peak_celsius, abs=1e-9
+        )
+        assert (
+            streamed.experiment.migrations_performed
+            == batch.experiment.migrations_performed
+        )
+
+    def test_run_streaming_suite_order_and_overrides(self):
+        specs = [_tiny_spec("first"), _tiny_spec("second", configuration="C")]
+        results = ScenarioRunner().run_streaming(specs, window_epochs=3)
+        assert [r.spec.name for r in results] == ["first", "second"]
+        assert all(r.windows == 2 for r in results)
+
+    def test_max_epochs_caps_the_stream(self):
+        from repro.analysis.runner import run_streaming_scenario
+
+        streamed = run_streaming_scenario(
+            _tiny_spec("capped"), window_epochs=2, max_epochs=4
+        )
+        assert streamed.windows == 2
+        assert streamed.summary["epochs"] == 4

@@ -127,6 +127,52 @@ class TestCompositionAlgebra:
         assert np.all(np.isfinite(values))
 
 
+class TestWindowCursor:
+    """The streaming contract: a window equals the slice of the full series."""
+
+    @given(
+        pattern=any_pattern,
+        start=st.integers(min_value=0, max_value=30),
+        length=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_window_equals_evaluate_slice(self, pattern, start, length):
+        end = start + length
+        full = pattern.evaluate(end, _MESH)
+        window = pattern.evaluate_window(start, end, _MESH)
+        assert np.array_equal(window, full[start:end])
+
+    @given(
+        a=any_pattern,
+        b=any_pattern,
+        start=st.integers(min_value=0, max_value=20),
+        length=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_window_commutes_with_composition(self, a, b, start, length):
+        end = start + length
+        combined = (a + b).evaluate_window(start, end, _MESH)
+        left = a.evaluate_window(start, end, _MESH)
+        right = b.evaluate_window(start, end, _MESH)
+        # Temporal series broadcast over spatial maps, as in composition.
+        if left.ndim != right.ndim:
+            if left.ndim == 1:
+                left = left[:, np.newaxis]
+            else:
+                right = right[:, np.newaxis]
+        assert np.allclose(combined, left + right, atol=0, rtol=0)
+
+    @given(pattern=any_pattern)
+    @settings(max_examples=20, deadline=None)
+    def test_window_validates_bounds(self, pattern):
+        import pytest
+
+        with pytest.raises(ValueError):
+            pattern.evaluate_window(-1, 4, _MESH)
+        with pytest.raises(ValueError):
+            pattern.evaluate_window(4, 4, _MESH)
+
+
 class TestSerializationProperties:
     @given(pattern=any_pattern)
     @settings(max_examples=80, deadline=None)

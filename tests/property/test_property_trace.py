@@ -83,6 +83,63 @@ class TestTraceRoundTrip:
         assert np.array_equal(incremental.durations, bulk.durations)
 
 
+class TestExtendBuilder:
+    """The streaming builder: chunked extends == one at-once construction."""
+
+    @given(
+        rows=st.lists(st.tuples(durations, power_rows), min_size=1, max_size=24),
+        chunk=st.integers(min_value=1, max_value=7),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_chunked_extend_equals_at_once(self, rows, chunk):
+        dur = np.array([duration for duration, _values in rows])
+        powers = np.array([values for _duration, values in rows])
+        at_once = PowerTrace.from_arrays(_MESH, dur, powers)
+        incremental = PowerTrace(_MESH)
+        for start in range(0, len(rows), chunk):
+            incremental.extend(
+                dur[start : start + chunk], powers[start : start + chunk]
+            )
+        assert np.array_equal(incremental.durations, at_once.durations)
+        assert np.array_equal(incremental.powers, at_once.powers)
+        assert incremental.total_energy_j == at_once.total_energy_j
+        assert np.array_equal(
+            incremental.average_vector(), at_once.average_vector()
+        )
+
+    @given(rows=st.lists(st.tuples(durations, power_rows), min_size=1, max_size=16))
+    @settings(max_examples=30, deadline=None)
+    def test_extend_interleaves_with_append(self, rows):
+        mixed = PowerTrace(_MESH)
+        reference = PowerTrace(_MESH)
+        for index, (duration, values) in enumerate(rows):
+            reference.add_interval(duration, np.array(values))
+            if index % 2:
+                mixed.extend(np.array([duration]), np.array([values]))
+            else:
+                mixed.add_interval(duration, np.array(values))
+        assert np.array_equal(mixed.durations, reference.durations)
+        assert np.array_equal(mixed.powers, reference.powers)
+
+    def test_growth_is_amortised_logarithmic(self):
+        # Appending n rows one at a time must reallocate O(log n) times —
+        # the guard that keeps unbounded streams from quadratic recopying.
+        import math
+
+        trace = PowerTrace(_MESH)
+        n = 4096
+        for _ in range(n):
+            trace.add_interval(1.0, np.zeros(16))
+        assert len(trace) == n
+        assert trace.growth_count <= math.ceil(math.log2(n)) + 1
+
+    def test_empty_extend_is_a_no_op(self):
+        trace = PowerTrace(_MESH)
+        trace.extend(np.zeros(0), np.zeros((0, 16)))
+        assert len(trace) == 0
+        assert trace.growth_count == 0
+
+
 class TestTraceAggregates:
     @given(rows=st.lists(st.tuples(durations, power_rows), min_size=1, max_size=8))
     @settings(max_examples=40, deadline=None)

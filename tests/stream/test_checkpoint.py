@@ -1,0 +1,94 @@
+"""CheckpointStore: durable appends, torn-tail repair and atomic compaction."""
+
+import json
+
+import pytest
+
+from repro.stream import CheckpointStore, TornCheckpointError
+
+
+class TestSaveLoad:
+    def test_round_trip_newest_last(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"next_epoch": 4})
+        store.save({"next_epoch": 8})
+        assert store.load_latest() == {"next_epoch": 8}
+        assert [entry["next_epoch"] for entry in store.load_all()] == [4, 8]
+
+    def test_empty_directory_is_fresh(self, tmp_path):
+        store = CheckpointStore(tmp_path / "never-created")
+        assert store.load_latest() is None
+        assert store.load_all() == []
+
+    def test_validates_retention_parameters(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointStore(tmp_path, keep=0)
+        with pytest.raises(ValueError):
+            CheckpointStore(tmp_path, keep=4, max_entries=2)
+
+
+class TestTornTail:
+    def test_torn_final_line_is_skipped_on_load(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"next_epoch": 4})
+        with store.path.open("a", encoding="utf-8") as handle:
+            handle.write('{"next_epoch": 8')  # crash mid-append
+        assert store.load_latest() == {"next_epoch": 4}
+
+    def test_repair_truncates_torn_tail(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"next_epoch": 4})
+        with store.path.open("a", encoding="utf-8") as handle:
+            handle.write('{"torn": ')
+        assert store.repair() is True
+        assert store.path.read_text().endswith("\n")
+        assert store.load_latest() == {"next_epoch": 4}
+        # Idempotent: a clean journal is untouched.
+        assert store.repair() is False
+
+    def test_save_repairs_before_appending(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"next_epoch": 4})
+        with store.path.open("a", encoding="utf-8") as handle:
+            handle.write('{"torn": ')
+        store.save({"next_epoch": 8})
+        assert [e["next_epoch"] for e in store.load_all()] == [4, 8]
+
+    def test_interior_corruption_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"next_epoch": 4})
+        store.save({"next_epoch": 8})
+        lines = store.path.read_text().splitlines()
+        lines[0] = '{"broken'
+        store.path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TornCheckpointError, match="line 1"):
+            store.load_all()
+
+
+class TestCompaction:
+    def test_compacts_past_max_entries(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=3, max_entries=6)
+        for epoch in range(8):
+            store.save({"next_epoch": epoch})
+        entries = store.load_all()
+        # Every save past max_entries compacts down to the newest `keep`.
+        assert len(entries) <= store.max_entries
+        assert entries[-1] == {"next_epoch": 7}
+        with store.path.open("rb") as handle:
+            assert sum(1 for _ in handle) == len(entries)
+
+    def test_compaction_preserves_newest(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=2, max_entries=2)
+        for epoch in range(5):
+            store.save({"next_epoch": epoch})
+        assert store.load_latest() == {"next_epoch": 4}
+        # No temp files left behind by the atomic rewrite.
+        leftovers = [p for p in tmp_path.iterdir() if p.name != store.path.name]
+        assert leftovers == []
+
+    def test_payloads_survive_compaction_byte_exact(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=1, max_entries=1)
+        payload = {"identity": "x/y", "state": {"temps": [1.5, 2.25]}}
+        store.save({"identity": "old"})
+        store.save(payload)
+        assert store.load_latest() == json.loads(json.dumps(payload))

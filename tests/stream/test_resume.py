@@ -1,0 +1,169 @@
+"""Crash/resume regression: a killed stream resumes bit-identically.
+
+The scenario the checkpoint layer exists for: a stream dies mid-run (even
+mid-append, leaving a torn journal line), a fresh process re-arms the same
+experiment, restores the newest intact checkpoint and replays the producer —
+and the final numbers are *bit-identical* to the uninterrupted run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.scenarios.compile import compile_scenario
+from repro.scenarios.patterns import DiurnalPattern
+from repro.scenarios.spec import ScenarioSpec
+from repro.stream import (
+    CheckpointStore,
+    EpochWindow,
+    StreamingExperiment,
+    scenario_windows,
+)
+
+
+def _spec(**kwargs):
+    defaults = dict(
+        name="resume-test",
+        configuration="A",
+        scheme="threshold-xy-shift",
+        policy_params={"trigger_celsius": 75.0},
+        mode="steady",
+        num_epochs=24,
+        settle_epochs=6,
+        load=DiurnalPattern(mean=0.9, amplitude=0.25, period_epochs=12),
+    )
+    defaults.update(kwargs)
+    return ScenarioSpec(**defaults)
+
+
+def _run(compiled, windows_iter, store=None):
+    engine = StreamingExperiment.from_scenario(compiled, checkpoint=store)
+    resume = engine.prepare()
+    updates = list(
+        engine.process(windows_iter(resume), max_epochs=compiled.spec.num_epochs)
+    )
+    return engine, engine.finalize(), updates
+
+
+class TestCrashResume:
+    def test_killed_stream_resumes_bit_identically(self, tmp_path):
+        spec = _spec()
+        compiled = compile_scenario(spec)
+
+        # Reference: one uninterrupted streamed run (no checkpointing).
+        _engine, reference, _updates = _run(
+            compiled, lambda r: scenario_windows(compiled, 6, 24, start_epoch=r)
+        )
+
+        # First process: dies after two of four windows...
+        store = CheckpointStore(tmp_path)
+        engine = StreamingExperiment.from_scenario(compiled, checkpoint=store)
+        engine.prepare()
+        windows = scenario_windows(compiled, 6, max_epochs=24)
+        processed = 0
+        for _update in engine.process(windows, max_epochs=24):
+            processed += 1
+            if processed == 2:
+                break  # simulated crash: no finalize, no more windows
+        # ... and tears the journal mid-append on the way down.
+        with store.path.open("a", encoding="utf-8") as handle:
+            handle.write('{"identity": "torn-mid-append')
+
+        # Second process: fresh engine, same spec, same journal.
+        resumed_store = CheckpointStore(tmp_path)
+        resumed_engine = StreamingExperiment.from_scenario(
+            compiled, checkpoint=resumed_store
+        )
+        resume_epoch = resumed_engine.prepare()
+        assert resume_epoch == 12  # two 6-epoch windows survived
+        _updates = list(
+            resumed_engine.process(
+                scenario_windows(compiled, 6, max_epochs=24, start_epoch=resume_epoch),
+                max_epochs=24,
+            )
+        )
+        resumed = resumed_engine.finalize()
+
+        assert resumed.settled_peak_celsius == reference.settled_peak_celsius
+        assert resumed.settled_mean_celsius == reference.settled_mean_celsius
+        assert resumed.peak_reduction_celsius == reference.peak_reduction_celsius
+        assert resumed.migrations_performed == reference.migrations_performed
+        assert resumed.throughput_penalty == reference.throughput_penalty
+        # The rolling summary is restored exactly too.
+        assert resumed_engine.summary.epochs == 24
+        assert resumed_engine.summary.windows == 4
+
+    def test_resume_skips_replayed_windows(self, tmp_path):
+        spec = _spec()
+        compiled = compile_scenario(spec)
+        store = CheckpointStore(tmp_path)
+        engine = StreamingExperiment.from_scenario(compiled, checkpoint=store)
+        engine.prepare()
+        for index, _update in enumerate(engine.process(
+            scenario_windows(compiled, 6, max_epochs=24), max_epochs=24
+        )):
+            if index == 1:
+                break
+
+        # A naive producer that replays from epoch 0: covered windows skip.
+        resumed = StreamingExperiment.from_scenario(
+            compiled, checkpoint=CheckpointStore(tmp_path)
+        )
+        resumed.prepare()
+        updates = list(
+            resumed.process(scenario_windows(compiled, 6, max_epochs=24), max_epochs=24)
+        )
+        assert [u.start_epoch for u in updates] == [12, 18]
+        assert resumed.finalize().settled_peak_celsius == pytest.approx(
+            compiled.experiment().run().settled_peak_celsius, abs=1e-9
+        )
+
+    def test_identity_mismatch_refuses_restore(self, tmp_path):
+        spec = _spec()
+        compiled = compile_scenario(spec)
+        store = CheckpointStore(tmp_path)
+        engine = StreamingExperiment.from_scenario(compiled, checkpoint=store)
+        engine.prepare()
+        next(iter(engine.process(scenario_windows(compiled, 6, 24), max_epochs=24)))
+
+        other = compile_scenario(
+            _spec(name="other-stream", scheme="adaptive", policy_params=None)
+        )
+        stranger = StreamingExperiment.from_scenario(
+            other, checkpoint=CheckpointStore(tmp_path)
+        )
+        with pytest.raises(ValueError, match="identity mismatch"):
+            stranger.prepare()
+
+
+class TestStreamSemantics:
+    def test_misaligned_window_raises(self):
+        compiled = compile_scenario(_spec())
+        engine = StreamingExperiment.from_scenario(compiled)
+        engine.prepare()
+        windows = [
+            EpochWindow(num_epochs=6, start_epoch=0),
+            EpochWindow(num_epochs=6, start_epoch=9),  # gap: cursor will be 6
+        ]
+        with pytest.raises(ValueError, match="cursor is at 6"):
+            list(engine.process(iter(windows)))
+
+    def test_max_epochs_trims_final_window(self):
+        compiled = compile_scenario(_spec())
+        engine = StreamingExperiment.from_scenario(compiled)
+        engine.prepare()
+        updates = list(
+            engine.process(scenario_windows(compiled, 10), max_epochs=24)
+        )
+        assert [u.outcome.num_epochs for u in updates] == [10, 10, 4]
+        assert engine.summary.epochs == 24
+
+    def test_constant_memory_invariant(self):
+        # Per-epoch logs are folded into counters every window: nothing on
+        # the experiment grows with the number of processed windows.
+        compiled = compile_scenario(_spec())
+        engine = StreamingExperiment.from_scenario(compiled)
+        engine.prepare()
+        experiment = engine.experiment
+        for _update in engine.process(scenario_windows(compiled, 4), max_epochs=24):
+            assert experiment.controller.events == []
+            assert experiment.controller.io_translator.history == []

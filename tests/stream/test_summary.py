@@ -1,0 +1,117 @@
+"""RollingSummary: exact incremental aggregates in O(1) state."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.controller import MigrationEvent
+from repro.core.experiment import WindowOutcome
+from repro.stream import RollingSummary
+
+
+def _outcome(start, peaks, means):
+    peaks = np.asarray(peaks, dtype=float)
+    means = np.asarray(means, dtype=float)
+    return WindowOutcome(
+        start_epoch=start,
+        num_epochs=peaks.size,
+        trace=None,
+        costs=[None] * peaks.size,
+        names=[None] * peaks.size,
+        epoch_metrics=[],
+        peak_by_epoch=peaks,
+        mean_by_epoch=means,
+    )
+
+
+def _event(transform="xy-shift", cycles=10, energy=1e-6):
+    return MigrationEvent(
+        epoch_index=0,
+        transform_name=transform,
+        cycles=cycles,
+        energy_j=energy,
+        moved_tasks=4,
+    )
+
+
+class TestThermalAggregates:
+    def test_empty_summary(self):
+        summary = RollingSummary()
+        assert summary.peak_celsius is None
+        assert summary.mean_celsius is None
+        row = summary.snapshot()
+        assert row["windows"] == 0 and row["epochs"] == 0
+
+    def test_running_peak_and_weighted_mean(self):
+        summary = RollingSummary()
+        summary.observe_window(_outcome(0, [70.0, 90.0], [60.0, 62.0]))
+        summary.observe_window(_outcome(2, [80.0, 85.0, 75.0], [64.0, 66.0, 68.0]))
+        assert summary.windows == 2
+        assert summary.epochs == 5
+        assert summary.peak_celsius == 90.0
+        assert summary.last_peak_celsius == 75.0
+        assert summary.last_mean_celsius == 68.0
+        assert summary.mean_celsius == pytest.approx((60 + 62 + 64 + 66 + 68) / 5)
+
+    def test_migration_accounting(self):
+        summary = RollingSummary()
+        summary.observe_window(
+            _outcome(0, [70.0], [60.0]),
+            events=[_event("xy-shift"), _event("rotation", cycles=20, energy=2e-6)],
+        )
+        assert summary.migrations == 2
+        assert summary.migration_cycles == 30
+        assert summary.migration_energy_j == pytest.approx(3e-6)
+        assert summary.transform_counts == {"xy-shift": 1, "rotation": 1}
+
+
+class TestChannelAggregates:
+    def test_decoder_epoch_weighting(self):
+        summary = RollingSummary()
+        summary.observe_decoder(2, mean_iterations=4.0, success_rate=1.0,
+                                throughput_factor=0.9)
+        summary.observe_decoder(6, mean_iterations=8.0, success_rate=0.5,
+                                throughput_factor=0.8)
+        assert summary.decoder_mean_iterations == pytest.approx((2 * 4 + 6 * 8) / 8)
+        assert summary.decoder_success_rate == pytest.approx((2 * 1.0 + 6 * 0.5) / 8)
+        assert summary.last_throughput_factor == 0.8
+
+    def test_noc_aggregates(self):
+        summary = RollingSummary()
+        summary.observe_noc(np.array([10.0, 30.0]), np.array([False, True]))
+        summary.observe_noc(np.array([20.0]), np.array([False]))
+        assert summary.noc_mean_latency_cycles == pytest.approx(20.0)
+        assert summary.noc_peak_latency_cycles == 30.0
+        assert summary.noc_saturated_epochs == 1
+
+    def test_snapshot_gates_channel_keys(self):
+        summary = RollingSummary()
+        summary.observe_window(_outcome(0, [70.0], [60.0]))
+        row = summary.snapshot()
+        assert "decoder_mean_iterations" not in row
+        assert "noc_mean_latency_cyc" not in row
+        summary.observe_decoder(1, 5.0, 1.0, 0.95)
+        summary.observe_noc(np.array([12.0]), np.array([False]))
+        row = summary.snapshot()
+        assert row["decoder_mean_iterations"] == 5.0
+        assert row["noc_mean_latency_cyc"] == 12.0
+
+
+class TestStateRoundTrip:
+    def test_state_dict_is_json_safe_and_exact(self):
+        summary = RollingSummary()
+        summary.observe_window(
+            _outcome(0, [70.0, 90.0], [60.0, 62.0]), events=[_event()]
+        )
+        summary.observe_decoder(2, 4.5, 0.75, 0.9)
+        summary.observe_noc(np.array([15.0]), np.array([True]))
+        state = json.loads(json.dumps(summary.state_dict()))
+        restored = RollingSummary()
+        restored.restore_state(state)
+        assert restored.snapshot() == summary.snapshot()
+        assert restored.state_dict() == summary.state_dict()
+        # Restored summaries keep accumulating correctly.
+        restored.observe_window(_outcome(2, [95.0], [63.0]))
+        assert restored.peak_celsius == 95.0
+        assert restored.epochs == 3

@@ -313,3 +313,98 @@ class TestPerfTrendCommand:
         assert main(["--csv", "perf-trend", "--path", str(path)]) == 0
         out = capsys.readouterr().out
         assert out.startswith("benchmark,")
+
+
+class TestServeCommand:
+    def test_scenario_stream_emits_jsonl(self, capsys):
+        assert main(["serve", "steady-baseline", "--window", "20"]) == 0
+        import json as _json
+
+        lines = [
+            _json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        updates, final = lines[:-1], lines[-1]
+        assert [u["start_epoch"] for u in updates] == [0, 20, 40]
+        assert updates[-1]["epochs"] == 41  # cumulative rolling count
+        assert final["final"] is True
+        assert final["migrations"] == updates[-1]["migrations"]
+
+    def test_max_epochs_caps_scenario_stream(self, capsys):
+        assert main(["serve", "steady-baseline", "--window", "4",
+                     "--max-epochs", "8"]) == 0
+        import json as _json
+
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3  # two windows + the final record
+        assert _json.loads(lines[1])["epochs"] == 8
+
+    def test_checkpoint_resume_skips_completed_epochs(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ck")
+        assert main(["serve", "steady-baseline", "--window", "10",
+                     "--max-epochs", "20", "--checkpoint", ckpt]) == 0
+        first = capsys.readouterr().out.strip().splitlines()
+        assert len(first) == 3
+        # Re-serving the same stream finds everything checkpointed.
+        assert main(["serve", "steady-baseline", "--window", "10",
+                     "--max-epochs", "20", "--checkpoint", ckpt]) == 0
+        second = capsys.readouterr().out.strip().splitlines()
+        assert len(second) == 1  # only the final record
+        assert second[0] == first[-1]
+
+    def test_jsonl_input_stream(self, tmp_path, capsys):
+        from repro.stream import EpochWindow
+
+        path = tmp_path / "windows.jsonl"
+        path.write_text(
+            "\n".join(
+                EpochWindow(
+                    num_epochs=4,
+                    start_epoch=4 * index,
+                    load_modulation=[1.0, 0.9, 1.1, 1.0],
+                ).to_json_line()
+                for index in range(3)
+            )
+            + "\n"
+        )
+        assert main(["serve", "--input", str(path), "-c", "A",
+                     "-s", "xy-shift", "--settled", "4"]) == 0
+        import json as _json
+
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 4
+        assert _json.loads(lines[-1])["final"] is True
+
+    def test_name_and_input_are_exclusive(self, capsys):
+        assert main(["serve", "steady-baseline", "--input", "x.jsonl"]) == 1
+        assert "not both" in capsys.readouterr().err
+
+    def test_needs_a_source(self, capsys):
+        assert main(["serve"]) == 1
+        assert "needs a scenario NAME or --input" in capsys.readouterr().err
+
+    def test_unknown_scenario_is_one_line_error(self, capsys):
+        assert main(["serve", "no-such-scenario"]) == 1
+        assert capsys.readouterr().err.strip()
+
+    def test_threshold_scheme_takes_trigger(self, tmp_path, capsys):
+        from repro.stream import EpochWindow
+
+        path = tmp_path / "windows.jsonl"
+        path.write_text(EpochWindow(num_epochs=4).to_json_line() + "\n")
+        assert main(["serve", "--input", str(path),
+                     "-s", "threshold-xy-shift", "--trigger", "90",
+                     "--settled", "4"]) == 0
+        import json as _json
+
+        out = capsys.readouterr().out.strip().splitlines()
+        assert _json.loads(out[-1])["final"] is True
+
+    def test_threshold_scheme_without_trigger_is_one_line_error(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "windows.jsonl"
+        path.write_text('{"num_epochs": 4}\n')
+        assert main(["serve", "--input", str(path),
+                     "-s", "threshold-xy-shift"]) == 1
+        assert "--trigger" in capsys.readouterr().err
