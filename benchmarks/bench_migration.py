@@ -1,0 +1,105 @@
+"""Experiment M1 — staged migrations cost (almost) nothing at the engine level.
+
+The staged migration engine's acceptance claim: unfolding every migration
+into a multi-stage fluid plan must not change the *evaluation* cost model —
+the epoch loop still assembles power rows and the thermal solver still sees
+exactly one batched steady solve per run.  The benchmark therefore pins
+
+* **bounded staging overhead** — a fluid run (``units_per_epoch=1``, the
+  maximally staged case: one permutation cycle per epoch) stays within
+  ``1.2x`` of the sudden run's wall-clock at equal epochs.  Plan lowering is
+  cached per (transform, mapping, style) and stage application is a dict
+  merge, so the overhead budget is deliberately tight.  Waived under
+  ``--smoke`` (shared runners), where only the structural guards run.
+* **solve-count invariance** — sudden and fluid runs of the same horizon
+  both cost exactly one multi-RHS steady solve (structural, smoke-proof).
+
+Recorded as ``migration.staged`` in BENCH_perf.json
+(``repro perf-trend -b migration``).
+"""
+
+import pytest
+
+import perf_utils
+from conftest import print_rows
+
+from repro.chips import get_configuration
+from repro.core.experiment import ExperimentSettings, ThermalExperiment
+from repro.core.policy import PeriodicMigrationPolicy
+
+#: Epochs per run; rotation on the 4x4 mesh lowers to eight 2-cycles, so a
+#: units_per_epoch=1 fluid plan spans 8 epochs — the horizon covers several
+#: whole plans.
+EPOCHS = 64
+#: Allowed staged-over-sudden wall-clock ratio (waived in smoke mode).
+STAGED_OVERHEAD_BUDGET = 1.2
+
+
+def _run(style, units=1):
+    chip = get_configuration("A")
+    policy = PeriodicMigrationPolicy(chip.topology, "rotation", period_us=109.0)
+    settings = ExperimentSettings(
+        num_epochs=EPOCHS,
+        settle_epochs=EPOCHS // 2,
+        migration_style=style,
+        units_per_epoch=units,
+    )
+    experiment = ThermalExperiment(chip, policy, settings=settings)
+    solver = chip.thermal_model.solver
+    solves_before = solver.steady_solve_count
+    with perf_utils.timed() as timer:
+        result = experiment.run()
+    return timer.seconds, result, solver.steady_solve_count - solves_before
+
+
+class TestStagedMigrationPerf:
+    def test_fluid_within_budget_of_sudden(self):
+        # Warm the lazy caches (chip configuration, solver factorization)
+        # so neither measured run pays one-time setup.
+        _run("sudden")
+
+        sudden_wall, sudden_result, sudden_solves = _run("sudden")
+        fluid_wall, fluid_result, fluid_solves = _run("fluid")
+        ratio = fluid_wall / max(sudden_wall, 1e-9)
+
+        print_rows(
+            "staged migration engine",
+            [
+                {
+                    "style": "sudden",
+                    "wall_s": round(sudden_wall, 4),
+                    "migrations": sudden_result.migrations_performed,
+                    "steady_solves": sudden_solves,
+                },
+                {
+                    "style": "fluid/1",
+                    "wall_s": round(fluid_wall, 4),
+                    "migrations": fluid_result.migrations_performed,
+                    "steady_solves": fluid_solves,
+                },
+            ],
+        )
+        perf_utils.record_perf(
+            "migration.staged",
+            wall_s=fluid_wall,
+            throughput=EPOCHS / max(fluid_wall, 1e-9),
+            throughput_unit="epochs/s",
+            baseline_wall_s=sudden_wall,
+            baseline="sudden style, same horizon",
+            overhead_x=round(ratio, 3),
+            units_per_epoch=1,
+        )
+
+        # Structural guards (strict in smoke mode too): the staged path
+        # keeps the batched evaluation contract and plan accounting.
+        assert sudden_solves == 1
+        assert fluid_solves == 1
+        # A fluid plan spans several epochs, so fewer plans fit the horizon
+        # than sudden's one-migration-per-epoch cadence.
+        assert 0 < fluid_result.migrations_performed < sudden_result.migrations_performed
+
+        if not perf_utils.SMOKE:
+            assert ratio <= STAGED_OVERHEAD_BUDGET, (
+                f"fluid staging cost {ratio:.2f}x the sudden wall-clock "
+                f"(budget {STAGED_OVERHEAD_BUDGET}x) over {EPOCHS} epochs"
+            )

@@ -23,6 +23,7 @@ REPORT_AXES: Tuple[str, ...] = (
     "scheme",
     "feedback_stride",
     "thermal_method",
+    "migration_style",
 )
 
 

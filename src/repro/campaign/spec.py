@@ -23,6 +23,7 @@ fresh run that produced it.
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import json
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -38,6 +39,7 @@ CAMPAIGN_AXES: Tuple[Tuple[str, str], ...] = (
     ("scheme", "scheme"),
     ("feedback_stride", "feedback_stride"),
     ("thermal_method", "thermal_method"),
+    ("migration_style", "migration_style"),
 )
 
 
@@ -53,6 +55,9 @@ class CampaignSpec:
     schemes: Optional[Tuple[str, ...]] = None
     feedback_strides: Optional[Tuple[int, ...]] = None
     thermal_methods: Optional[Tuple[str, ...]] = None
+    #: Migration styles ("sudden" / "fluid" / "batched") to sweep; ``None``
+    #: keeps each scenario's own style.
+    migration_styles: Optional[Tuple[str, ...]] = None
     #: Streaming window sizes (epochs per window) to sweep; ``None`` keeps
     #: the classic whole-horizon batch evaluation.  Window sizes are an
     #: *evaluation* axis — they do not change the derived scenario spec, so
@@ -71,6 +76,7 @@ class CampaignSpec:
             "schemes",
             "feedback_strides",
             "thermal_methods",
+            "migration_styles",
             "stream_windows",
         ):
             values = getattr(self, axis)
@@ -111,6 +117,9 @@ class CampaignSpec:
             "thermal_methods": (
                 list(self.thermal_methods) if self.thermal_methods else None
             ),
+            "migration_styles": (
+                list(self.migration_styles) if self.migration_styles else None
+            ),
             "stream_windows": (
                 list(self.stream_windows) if self.stream_windows else None
             ),
@@ -133,6 +142,7 @@ class CampaignSpec:
             "schemes",
             "feedback_strides",
             "thermal_methods",
+            "migration_styles",
             "stream_windows",
         ):
             values = params.get(axis)
@@ -158,64 +168,63 @@ class CampaignSpec:
 
     def expand(self) -> List["CampaignJob"]:
         """The deterministic job grid: scenarios x every pinned axis."""
-        axis_values: Dict[str, Sequence[object]] = {
-            "configuration": self.configurations or (None,),
-            "scheme": self.schemes or (None,),
-            "feedback_stride": self.feedback_strides or (None,),
-            "thermal_method": self.thermal_methods or (None,),
-        }
+        axis_grids: Tuple[Sequence[object], ...] = (
+            self.configurations or (None,),
+            self.schemes or (None,),
+            self.feedback_strides or (None,),
+            self.thermal_methods or (None,),
+            self.migration_styles or (None,),
+        )
         windows: Tuple[Optional[int], ...] = self.stream_windows or (None,)
         jobs: List[CampaignJob] = []
         for base in self._base_scenarios():
-            for configuration in axis_values["configuration"]:
-                for scheme in axis_values["scheme"]:
-                    for stride in axis_values["feedback_stride"]:
-                        for method in axis_values["thermal_method"]:
-                            overrides = {
-                                field: value
-                                for (axis, field), value in zip(
-                                    CAMPAIGN_AXES,
-                                    (configuration, scheme, stride, method),
-                                )
-                                if value is not None
-                            }
-                            derived = (
-                                dataclasses.replace(base, **overrides)
-                                if overrides
-                                else base
-                            )
-                            for window in windows:
-                                axes = {
-                                    "scenario": base.name,
-                                    "configuration": derived.configuration,
-                                    "scheme": derived.scheme,
-                                    "feedback_stride": derived.feedback_stride,
-                                    "thermal_method": derived.thermal_method,
-                                }
-                                job_id = (
-                                    f"{base.name}@{derived.configuration}"
-                                    f"/{derived.scheme}"
-                                    f"/fs{derived.feedback_stride}"
-                                    f"/{derived.thermal_method}"
-                                )
-                                if window is not None:
-                                    # The streaming axis only decorates ids
-                                    # and axes when actually swept, keeping
-                                    # batch campaigns' journals and cache
-                                    # keys byte-stable.
-                                    axes["stream_window"] = int(window)
-                                    job_id += f"/w{int(window)}"
-                                jobs.append(
-                                    CampaignJob(
-                                        index=len(jobs),
-                                        job_id=job_id,
-                                        spec=derived,
-                                        axes=axes,
-                                        stream_window=(
-                                            int(window) if window is not None else None
-                                        ),
-                                    )
-                                )
+            for values in itertools.product(*axis_grids):
+                overrides = {
+                    field: value
+                    for (axis, field), value in zip(CAMPAIGN_AXES, values)
+                    if value is not None
+                }
+                derived = (
+                    dataclasses.replace(base, **overrides) if overrides else base
+                )
+                style = values[-1]
+                for window in windows:
+                    axes = {
+                        "scenario": base.name,
+                        "configuration": derived.configuration,
+                        "scheme": derived.scheme,
+                        "feedback_stride": derived.feedback_stride,
+                        "thermal_method": derived.thermal_method,
+                    }
+                    job_id = (
+                        f"{base.name}@{derived.configuration}"
+                        f"/{derived.scheme}"
+                        f"/fs{derived.feedback_stride}"
+                        f"/{derived.thermal_method}"
+                    )
+                    if style is not None:
+                        # Like stream_windows, the style axis only decorates
+                        # ids and axes when actually swept, keeping existing
+                        # campaigns' journals and cache keys byte-stable.
+                        axes["migration_style"] = str(style)
+                        job_id += f"/{style}"
+                    if window is not None:
+                        # The streaming axis only decorates ids and axes when
+                        # actually swept, keeping batch campaigns' journals
+                        # and cache keys byte-stable.
+                        axes["stream_window"] = int(window)
+                        job_id += f"/w{int(window)}"
+                    jobs.append(
+                        CampaignJob(
+                            index=len(jobs),
+                            job_id=job_id,
+                            spec=derived,
+                            axes=axes,
+                            stream_window=(
+                                int(window) if window is not None else None
+                            ),
+                        )
+                    )
         return jobs
 
 

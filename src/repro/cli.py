@@ -136,6 +136,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         thermal_method=args.thermal_method,
         feedback_stride=args.feedback_stride,
         feedback_predictor=args.feedback_predictor,
+        migration_style=args.migration_style,
+        units_per_epoch=args.migration_units_per_epoch,
     )
     thermal_model = None
     if args.grid is not None:
@@ -259,6 +261,12 @@ def _load_scenario(args: argparse.Namespace) -> ScenarioSpec:
         spec = dataclasses.replace(spec, feedback_stride=args.feedback_stride)
     if args.feedback_predictor is not None:
         spec = dataclasses.replace(spec, feedback_predictor=args.feedback_predictor)
+    if getattr(args, "migration_style", None) is not None:
+        spec = dataclasses.replace(spec, migration_style=args.migration_style)
+    if getattr(args, "migration_units_per_epoch", None) is not None:
+        spec = dataclasses.replace(
+            spec, units_per_epoch=args.migration_units_per_epoch
+        )
     return spec
 
 
@@ -526,6 +534,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if args.name is not None:
             try:
                 spec = get_scenario(args.name)
+                if args.migration_style is not None:
+                    spec = dataclasses.replace(
+                        spec, migration_style=args.migration_style
+                    )
+                if args.migration_units_per_epoch is not None:
+                    spec = dataclasses.replace(
+                        spec, units_per_epoch=args.migration_units_per_epoch
+                    )
                 compiled = compile_scenario(spec)
             except ValueError as error:
                 print(error, file=sys.stderr)
@@ -558,7 +574,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 )
                 return 1
             settings = ExperimentSettings(
-                num_epochs=max(args.settled, 1), mode=args.mode
+                num_epochs=max(args.settled, 1),
+                mode=args.mode,
+                migration_style=args.migration_style or "sudden",
+                units_per_epoch=args.migration_units_per_epoch or 2,
             )
             experiment = ThermalExperiment(chip, policy, settings=settings)
             engine = StreamingExperiment(
@@ -660,6 +679,14 @@ def build_parser() -> argparse.ArgumentParser:
                           "per-step loop); ignored in steady mode")
     sub.add_argument("--no-migration-energy", action="store_true",
                      help="ignore migration energy in the power maps")
+    sub.add_argument("--migration-style", choices=("sudden", "fluid", "batched"),
+                     default="sudden",
+                     help="how migrations unfold: sudden (the paper's atomic "
+                          "swap), fluid (a few permutation cycles per epoch) "
+                          "or batched (link-disjoint groups, one per epoch)")
+    sub.add_argument("--migration-units-per-epoch", type=int, default=2,
+                     metavar="N",
+                     help="fluid style: permutation cycles moved per epoch")
     sub.add_argument("--grid", type=int, default=None, metavar="N",
                      help="use the grid thermal model at NxN cells per unit "
                           "(default: block-level model)")
@@ -709,6 +736,12 @@ def build_parser() -> argparse.ArgumentParser:
     scen.add_argument("--feedback-predictor", choices=("hold", "previous"),
                       default=None,
                       help="override the spec's between-refresh predictor")
+    scen.add_argument("--migration-style",
+                      choices=("sudden", "fluid", "batched"), default=None,
+                      help="override the spec's migration style")
+    scen.add_argument("--migration-units-per-epoch", type=int, default=None,
+                      metavar="N",
+                      help="override the spec's fluid cycles-per-epoch budget")
     scen.set_defaults(func=cmd_scenario_run)
 
     scen = scenario_subparsers.add_parser(
@@ -794,6 +827,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--trigger", type=float, default=None, metavar="CELSIUS",
                      help="trigger temperature for threshold-* schemes "
                           "(--input streams)")
+    sub.add_argument("--migration-style",
+                     choices=("sudden", "fluid", "batched"), default=None,
+                     help="stage migrations over epochs (overrides a "
+                          "scenario's style; default sudden for --input)")
+    sub.add_argument("--migration-units-per-epoch", type=int, default=None,
+                     metavar="N",
+                     help="fluid style: permutation cycles moved per epoch")
     sub.set_defaults(func=cmd_serve)
 
     sub = subparsers.add_parser(

@@ -16,22 +16,58 @@ import numpy as np
 
 from ..chips.configurations import ChipConfiguration
 from ..migration.io_interface import IoAddressTranslator
+from ..migration.plan import MigrationPlan, lower_transform, priced_stage_cycles
 from ..migration.transforms import MigrationTransform
 from ..migration.unit import MigrationCost, MigrationUnit
 from ..noc.topology import Coordinate
+from ..obs import counter as _obs_counter
+from ..obs import span as _obs_span
 from ..placement.mapping import Mapping
 from ..power.trace import vector_to_map
+
+_OBS_PLANS = _obs_counter("migration.plans")
+_OBS_STAGES = _obs_counter("migration.stages")
 
 
 @dataclass
 class MigrationEvent:
-    """Record of one applied migration."""
+    """Record of one applied migration (or one stage of a staged plan).
+
+    Legacy sudden migrations are single-stage events (``stage_index=0``,
+    ``stage_count=1``); a staged plan emits one event per executed stage.
+    Aggregators count a *migration* only at ``stage_index == 0`` while
+    cycles/energy sum over every event.
+    """
 
     epoch_index: int
     transform_name: str
     cycles: int
     energy_j: float
     moved_tasks: int
+    stage_index: int = 0
+    stage_count: int = 1
+
+
+@dataclass(frozen=True)
+class StageCost:
+    """Per-epoch cost of one executed plan stage.
+
+    Duck-typed like :class:`repro.migration.unit.MigrationCost` where the
+    epoch accounting needs it (``cycles``, ``total_energy_j``,
+    ``energy_per_unit_j``); ``cycles`` is the NoC-priced (congestion
+    inflated) transfer time of the stage.
+    """
+
+    cycles: int
+    total_energy_j: float
+    energy_per_unit_j: Dict[Coordinate, float]
+    transform_name: str
+    stage_index: int
+    stage_count: int
+
+    @property
+    def completes_plan(self) -> bool:
+        return self.stage_index + 1 == self.stage_count
 
 
 class RuntimeReconfigurationController:
@@ -99,6 +135,13 @@ class RuntimeReconfigurationController:
         self.migration_cost_computations = 0
         #: Number of migrations served from the cache.
         self.migration_cache_hits = 0
+        # Staged-plan execution state: the in-flight plan (None when idle)
+        # and the index of the next stage to execute.  Like the cost cache,
+        # lowered plans are memoized per (transform, mapping, style, units)
+        # — plans are immutable, so sharing the cached object is safe.
+        self._active_plan: Optional[MigrationPlan] = None
+        self._plan_next_stage = 0
+        self._plan_cache: Dict[Tuple, MigrationPlan] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -135,6 +178,8 @@ class RuntimeReconfigurationController:
         self._migration_count = 0
         self._migration_cycles = 0
         self._migration_energy_j = 0.0
+        self._active_plan = None
+        self._plan_next_stage = 0
 
     # ------------------------------------------------------------------
     def state_dict(self) -> Dict[str, object]:
@@ -146,7 +191,7 @@ class RuntimeReconfigurationController:
         bit-identically.  The event log is deliberately excluded (it is
         drained state, not carried state).
         """
-        return {
+        state: Dict[str, object] = {
             "mapping": self.current_mapping.to_permutation(),
             "epoch_index": self._epoch_index,
             "migrations": self._migration_count,
@@ -154,6 +199,15 @@ class RuntimeReconfigurationController:
             "migration_energy_j": self._migration_energy_j,
             "io": self.io_translator.state_dict(),
         }
+        if self._active_plan is not None:
+            # A plan straddling a window boundary carries across checkpoints:
+            # the remaining stages are self-contained (moves, cycles, energy),
+            # so a resumed stream re-executes them without re-lowering.
+            state["plan"] = {
+                "plan": self._active_plan.to_dict(self.topology),
+                "next_stage": self._plan_next_stage,
+            }
+        return state
 
     def restore_state(self, state: Dict[str, object]) -> None:
         """Inverse of :meth:`state_dict`."""
@@ -166,6 +220,15 @@ class RuntimeReconfigurationController:
         self._migration_energy_j = float(state["migration_energy_j"])  # type: ignore[arg-type]
         self.io_translator.restore_state(state["io"])  # type: ignore[arg-type]
         self.events.clear()
+        plan_state = state.get("plan")
+        if plan_state is None:
+            self._active_plan = None
+            self._plan_next_stage = 0
+        else:
+            self._active_plan = MigrationPlan.from_dict(
+                plan_state["plan"], self.topology  # type: ignore[index]
+            )
+            self._plan_next_stage = int(plan_state["next_stage"])  # type: ignore[index]
 
     # ------------------------------------------------------------------
     def _transform_key(self, transform: MigrationTransform) -> Tuple[int, ...]:
@@ -231,6 +294,137 @@ class RuntimeReconfigurationController:
         self._migration_cycles += cost.cycles
         self._migration_energy_j += energy
         return cost
+
+    # ------------------------------------------------------------------
+    # Staged-plan execution
+    # ------------------------------------------------------------------
+    @property
+    def migration_in_progress(self) -> bool:
+        """True while a staged plan still has stages to execute."""
+        return self._active_plan is not None
+
+    @property
+    def active_plan(self) -> Optional[MigrationPlan]:
+        return self._active_plan
+
+    @property
+    def plan_next_stage(self) -> int:
+        return self._plan_next_stage
+
+    def _lowered_plan(
+        self, transform: MigrationTransform, style: str, units_per_epoch: int
+    ) -> MigrationPlan:
+        key = (
+            self._transform_key(transform),
+            tuple(self.current_mapping.to_permutation()),
+            style,
+            units_per_epoch,
+        )
+        cached = self._plan_cache.get(key) if self.cache_migration_costs else None
+        if cached is not None:
+            return cached
+        nodes_per_pe = self.configuration.tanner_nodes_per_pe(self.current_mapping)
+        with _obs_span(
+            "migration.plan",
+            transform=transform.name,
+            style=style,
+            units=units_per_epoch,
+        ):
+            plan = lower_transform(
+                transform,
+                self.migration_unit,
+                nodes_per_pe,
+                style=style,
+                units_per_epoch=units_per_epoch,
+            )
+        if self.cache_migration_costs:
+            self._plan_cache[key] = plan
+        return plan
+
+    def begin_plan(
+        self,
+        transform: MigrationTransform,
+        *,
+        style: str,
+        units_per_epoch: int = 2,
+    ) -> MigrationPlan:
+        """Lower ``transform`` into a staged plan and arm it for execution.
+
+        The plan counts as ONE migration (however many stages it unfolds
+        over); call :meth:`advance_plan` once per epoch to execute stages.
+        """
+        if self._active_plan is not None:
+            raise RuntimeError(
+                "a migration plan is already in progress; "
+                "advance it to completion before beginning another"
+            )
+        plan = self._lowered_plan(transform, style, units_per_epoch)
+        self._active_plan = plan
+        self._plan_next_stage = 0
+        self._migration_count += 1
+        _OBS_PLANS.add()
+        return plan
+
+    def advance_plan(
+        self,
+        epoch_index: Optional[int] = None,
+        congestion: float = 1.0,
+    ) -> Optional[StageCost]:
+        """Execute the next stage of the in-flight plan (None when idle).
+
+        Applies the stage's partial relocation to the mapping and the I/O
+        translator, logs a per-stage :class:`MigrationEvent`, and returns
+        the stage's :class:`StageCost` with its transfer cycles inflated by
+        ``congestion`` (the epoch's NoC load factor, see
+        :func:`repro.migration.plan.congestion_factor`).
+        """
+        plan = self._active_plan
+        if plan is None:
+            return None
+        if epoch_index is None:
+            epoch_index = self._epoch_index
+        index = self._plan_next_stage
+        stage = plan.stages[index]
+        cycles = priced_stage_cycles(stage, congestion)
+        moves = stage.mapping_moves()
+        if moves:
+            self.current_mapping = Mapping(
+                self.topology,
+                {
+                    task: moves.get(coord, coord)
+                    for task, coord in self.current_mapping.physical_of_task.items()
+                },
+            )
+            self.io_translator.record_moves(
+                moves, f"{plan.transform_name}[{index + 1}/{plan.num_stages}]"
+            )
+        energy = stage.energy_j if self.include_migration_energy else 0.0
+        self.events.append(
+            MigrationEvent(
+                epoch_index=epoch_index,
+                transform_name=plan.transform_name,
+                cycles=cycles,
+                energy_j=energy,
+                moved_tasks=len(moves),
+                stage_index=index,
+                stage_count=plan.num_stages,
+            )
+        )
+        self._migration_cycles += cycles
+        self._migration_energy_j += energy
+        _OBS_STAGES.add()
+        self._plan_next_stage = index + 1
+        if self._plan_next_stage >= plan.num_stages:
+            self._active_plan = None
+            self._plan_next_stage = 0
+        return StageCost(
+            cycles=cycles,
+            total_energy_j=energy,
+            energy_per_unit_j=dict(stage.energy_per_unit_j),
+            transform_name=plan.transform_name,
+            stage_index=index,
+            stage_count=plan.num_stages,
+        )
 
     def advance_epoch(self) -> int:
         """Mark the end of an epoch; returns the new epoch index."""

@@ -49,13 +49,18 @@ from typing import Deque, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..chips.configurations import ChipConfiguration
+from ..migration.plan import MIGRATION_STYLES, congestion_factor
 from ..migration.unit import MigrationCost, MigrationUnit
+from ..obs import counter as _obs_counter
 from ..obs import span as _obs_span
 from ..power.trace import PowerTrace
 from ..thermal.model import ThermalModel
 from .controller import RuntimeReconfigurationController
 from .metrics import EpochRecord, ExperimentResult, PerformanceMetrics, ThermalMetrics
 from .policy import PolicyContext, ReconfigurationPolicy
+
+#: Policy decisions dropped because a staged migration was still unfolding.
+_OBS_STALLED = _obs_counter("migration.stalled_epochs")
 
 
 @dataclass
@@ -98,6 +103,15 @@ class ExperimentSettings:
     #: for orbit-periodic workloads when the stride is a multiple of the
     #: transform orbit).
     feedback_predictor: str = "hold"
+    #: How a migration unfolds: "sudden" applies the whole transform in the
+    #: deciding epoch (the seed behaviour, bit-identical); "fluid" moves
+    #: ~``units_per_epoch`` PEs per epoch (whole permutation cycles, so the
+    #: mid-plan mapping stays a valid permutation); "batched" executes one
+    #: link-disjoint phase group per epoch.  See :mod:`repro.migration.plan`.
+    migration_style: str = "sudden"
+    #: Per-epoch PE budget of a "fluid" plan (cycles are atomic, so a cycle
+    #: longer than the budget still runs in one epoch).
+    units_per_epoch: int = 2
 
     def __post_init__(self) -> None:
         if self.num_epochs < 1:
@@ -116,6 +130,13 @@ class ExperimentSettings:
             raise ValueError("feedback_stride must be at least 1")
         if self.feedback_predictor not in ("hold", "previous"):
             raise ValueError("feedback_predictor must be 'hold' or 'previous'")
+        if self.migration_style not in MIGRATION_STYLES:
+            raise ValueError(
+                f"migration_style must be one of {MIGRATION_STYLES}, "
+                f"got {self.migration_style!r}"
+            )
+        if self.units_per_epoch < 1:
+            raise ValueError("units_per_epoch must be at least 1")
 
     def settled_count(self, available_epochs: int) -> int:
         """Number of final epochs that form the settled regime."""
@@ -388,6 +409,9 @@ class ThermalExperiment:
         thermal_model: Optional[ThermalModel] = None,
         power_modulation: Optional[np.ndarray] = None,
         ambient_offsets_celsius: Optional[np.ndarray] = None,
+        period_scale: Optional[np.ndarray] = None,
+        noc_model=None,
+        noc_rates: Optional[np.ndarray] = None,
     ):
         self.configuration = configuration
         self.policy = policy
@@ -422,6 +446,38 @@ class ThermalExperiment:
             if not np.all(np.isfinite(offsets)):
                 raise ValueError("ambient offsets must be finite")
             self.ambient_offsets = offsets
+        #: Per-epoch migration-period multipliers (the scenario ``period``
+        #: channel): epoch ``i`` lasts ``period_us * period_scale[i]``.
+        #: Power rows, energy amortisation and the performance cycle count
+        #: all follow the scaled epoch length; None keeps the fixed period.
+        self.period_scale: Optional[np.ndarray] = None
+        if period_scale is not None:
+            scale = np.asarray(period_scale, dtype=float)
+            if scale.shape != (num_epochs,):
+                raise ValueError(
+                    f"period_scale must have {num_epochs} entries, "
+                    f"got shape {scale.shape}"
+                )
+            if not np.all(np.isfinite(scale)) or scale.min() <= 0:
+                raise ValueError("period_scale must be finite and positive")
+            self.period_scale = scale
+        #: Optional NoC pricing hooks for staged migrations: the analytic
+        #: cost model (:class:`repro.scenarios.noc_cost.NocCostModel`) and
+        #: per-epoch injection rates.  When both are present, each executed
+        #: plan stage's transfer cycles are inflated by the epoch's
+        #: congestion factor.
+        self.noc_model = noc_model
+        self.noc_rates: Optional[np.ndarray] = None
+        if noc_rates is not None:
+            rates = np.asarray(noc_rates, dtype=float)
+            if rates.shape != (num_epochs,):
+                raise ValueError(
+                    f"noc_rates must have {num_epochs} entries, "
+                    f"got shape {rates.shape}"
+                )
+            if not np.all(np.isfinite(rates)) or rates.min() < 0:
+                raise ValueError("noc_rates must be finite and non-negative")
+            self.noc_rates = rates
         #: The chunked feedback evaluator of the most recent run (None for
         #: feedback-free policies); exposes batch/row counters for tests.
         self.feedback_plan: Optional[FeedbackPlan] = None
@@ -459,6 +515,8 @@ class ThermalExperiment:
                 self.settings.num_epochs,
                 power_modulation=self.power_modulation,
                 ambient_offsets=self.ambient_offsets,
+                period_scale=self.period_scale,
+                noc_rates=self.noc_rates,
                 is_last=True,
             )
             return self.finalize()
@@ -547,6 +605,11 @@ class ThermalExperiment:
             self.policy.period_us
         )
         self._time_step = period_s / self.settings.transient_steps_per_epoch
+        # Workload cycles actually run, accumulated per epoch so a per-epoch
+        # period schedule (the scenario ``period`` channel) is accounted
+        # exactly; with a fixed period this equals the legacy
+        # ``period_cycles * epochs_run`` product to the integer.
+        self._cycles_run = 0
         plan: Optional[FeedbackPlan] = None
         if thermal_feedback:
             plan = FeedbackPlan(
@@ -565,6 +628,8 @@ class ThermalExperiment:
         power_modulation: Optional[np.ndarray] = None,
         ambient_offsets: Optional[np.ndarray] = None,
         *,
+        period_scale: Optional[np.ndarray] = None,
+        noc_rates: Optional[np.ndarray] = None,
         is_last: bool = False,
     ) -> WindowOutcome:
         """Advance the run by ``num_epochs`` epochs as one batched window.
@@ -575,10 +640,12 @@ class ThermalExperiment:
         average rides the last's) or one ``transient_sequence`` call
         (transient mode; thermal state carried across window boundaries).
         ``power_modulation`` is ``(num_epochs, num_units)`` and
-        ``ambient_offsets`` ``(num_epochs,)``, both window-local.
-        ``is_last`` folds the settled-regime evaluation into this window's
-        batch; a stream that simply stops computes it in :meth:`finalize`
-        instead (one extra solve in steady mode).
+        ``ambient_offsets``, ``period_scale`` (per-epoch migration-period
+        multipliers) and ``noc_rates`` (per-epoch NoC injection rates used
+        to congestion-price staged migrations) ``(num_epochs,)``, all
+        window-local.  ``is_last`` folds the settled-regime evaluation into
+        this window's batch; a stream that simply stops computes it in
+        :meth:`finalize` instead (one extra solve in steady mode).
         """
         if not self._active:
             raise RuntimeError("call prepare() before step_window()")
@@ -605,11 +672,33 @@ class ThermalExperiment:
                 )
             if not np.all(np.isfinite(offsets)):
                 raise ValueError("ambient offsets must be finite")
+        scale: Optional[np.ndarray] = None
+        if period_scale is not None:
+            scale = np.asarray(period_scale, dtype=float)
+            if scale.shape != (num_epochs,):
+                raise ValueError(
+                    f"window period_scale must have {num_epochs} entries, "
+                    f"got shape {scale.shape}"
+                )
+            if not np.all(np.isfinite(scale)) or scale.min() <= 0:
+                raise ValueError("period_scale must be finite and positive")
+        rates: Optional[np.ndarray] = None
+        if noc_rates is not None:
+            rates = np.asarray(noc_rates, dtype=float)
+            if rates.shape != (num_epochs,):
+                raise ValueError(
+                    f"window noc_rates must have {num_epochs} entries, "
+                    f"got shape {rates.shape}"
+                )
+            if not np.all(np.isfinite(rates)) or rates.min() < 0:
+                raise ValueError("noc_rates must be finite and non-negative")
 
         start_epoch = self._next_epoch
         if self.feedback_plan is not None:
             self.feedback_plan.add_offsets(start_epoch, offsets)
-        trace, costs, names = self._loop_window(num_epochs, modulation, offsets)
+        trace, costs, names = self._loop_window(
+            num_epochs, modulation, offsets, scale, rates
+        )
         if offsets is not None:
             self._had_offsets = True
         if self.settings.mode == "steady":
@@ -690,6 +779,8 @@ class ThermalExperiment:
         num_epochs: int,
         power_modulation: Optional[np.ndarray],
         ambient_offsets: Optional[np.ndarray],
+        period_scale: Optional[np.ndarray] = None,
+        noc_rates: Optional[np.ndarray] = None,
     ) -> Tuple[PowerTrace, List[Optional[MigrationCost]], List[Optional[str]]]:
         """Run the policy/controller loop for one window of epochs.
 
@@ -699,13 +790,27 @@ class ThermalExperiment:
         windowed.  The loop itself is dict-free: policies receive the
         previous power row as a vector (the dict view is built lazily only
         if a policy reads it).
+
+        With ``migration_style != "sudden"`` a policy decision is lowered
+        into a :class:`~repro.migration.plan.MigrationPlan` and one stage
+        executes per epoch (priced under the epoch's NoC load when
+        ``noc_rates`` is given); while the plan unfolds the policy is told
+        via ``migration_in_progress`` and any transform it still returns is
+        dropped and counted as a stalled epoch.  The sudden default takes
+        the legacy one-shot path untouched, bit for bit.  The cost list
+        then holds :class:`~repro.core.controller.StageCost` entries, which
+        expose the same ``cycles`` / ``total_energy_j`` /
+        ``energy_per_unit_j`` surface as :class:`MigrationCost`.
         """
         configuration = self.configuration
         controller = self.controller
-        period_s = self.policy.period_us * 1e-6
+        base_period_us = self.policy.period_us
+        period_s = base_period_us * 1e-6
         topology = configuration.topology
         thermal_feedback = self._thermal_feedback
         plan = self.feedback_plan
+        style = self.settings.migration_style
+        staged = style != "sudden"
 
         trace = PowerTrace(topology)
         costs: List[Optional[MigrationCost]] = []
@@ -714,6 +819,13 @@ class ThermalExperiment:
 
         for local_index in range(num_epochs):
             epoch_index = self._next_epoch + local_index
+            if period_scale is not None:
+                period_us = base_period_us * float(period_scale[local_index])
+                period_s = period_us * 1e-6
+                self._cycles_run += configuration.block_period_cycles(period_us)
+            else:
+                self._cycles_run += self._period_cycles
+            in_progress = staged and controller.migration_in_progress
             context = PolicyContext(
                 epoch_index=epoch_index,
                 current_thermal=(
@@ -721,13 +833,45 @@ class ThermalExperiment:
                 ),
                 topology=topology,
                 current_power_vector=previous_power if thermal_feedback else None,
+                migration_in_progress=in_progress,
             )
             transform = self.policy.decide(context)
+            wants = transform is not None and transform.name != "identity"
             cost: Optional[MigrationCost] = None
             name: Optional[str] = None
-            if transform is not None and transform.name != "identity":
-                cost = controller.apply_migration(transform, epoch_index)
-                name = transform.name
+            if in_progress:
+                if wants:
+                    _OBS_STALLED.add()
+                rate = (
+                    float(noc_rates[local_index])
+                    if noc_rates is not None
+                    else None
+                )
+                stage = controller.advance_plan(
+                    epoch_index, congestion_factor(self.noc_model, rate)
+                )
+                if stage is not None:
+                    cost = stage
+                    name = stage.transform_name
+            elif wants:
+                if staged:
+                    controller.begin_plan(
+                        transform,
+                        style=style,
+                        units_per_epoch=self.settings.units_per_epoch,
+                    )
+                    rate = (
+                        float(noc_rates[local_index])
+                        if noc_rates is not None
+                        else None
+                    )
+                    cost = controller.advance_plan(
+                        epoch_index, congestion_factor(self.noc_model, rate)
+                    )
+                    name = transform.name
+                else:
+                    cost = controller.apply_migration(transform, epoch_index)
+                    name = transform.name
             power = controller.epoch_power_vector(period_s, cost)
             if power_modulation is not None:
                 # Scenario hook: scale this epoch's row as it is emitted, so
@@ -766,7 +910,11 @@ class ThermalExperiment:
         if self.feedback_plan is not None:
             self.feedback_plan.add_offsets(0, self.ambient_offsets)
         return self._loop_window(
-            self.settings.num_epochs, self.power_modulation, self.ambient_offsets
+            self.settings.num_epochs,
+            self.power_modulation,
+            self.ambient_offsets,
+            self.period_scale,
+            self.noc_rates,
         )
 
     def _needs_thermal_feedback(self) -> bool:
@@ -780,7 +928,10 @@ class ThermalExperiment:
 
     # ------------------------------------------------------------------
     def _performance(self, epochs_run: int) -> PerformanceMetrics:
-        total_cycles = self._period_cycles * epochs_run
+        # Cycles are accumulated per epoch so a scenario ``period`` schedule
+        # is accounted exactly; with the fixed default period the accumulator
+        # equals the legacy ``period_cycles * epochs_run`` product.
+        total_cycles = self._cycles_run
         return PerformanceMetrics(
             total_cycles=total_cycles,
             migration_cycles=min(self.controller.total_migration_cycles, total_cycles),
@@ -1005,6 +1156,7 @@ class ThermalExperiment:
             raise RuntimeError("state_dict() needs an active prepared run")
         return {
             "next_epoch": self._next_epoch,
+            "cycles_run": self._cycles_run,
             "previous_power": self._previous_power.tolist(),
             "baseline_peak": self._baseline_peak,
             "baseline_mean": self._baseline_mean,
@@ -1036,6 +1188,11 @@ class ThermalExperiment:
         capacity = int(state["settled_capacity"])  # type: ignore[arg-type]
         self._settled_capacity = capacity
         self._next_epoch = int(state["next_epoch"])  # type: ignore[arg-type]
+        # Old checkpoints (pre period-schedule) lack the accumulator; the
+        # legacy product is exact for them because their period was fixed.
+        self._cycles_run = int(
+            state.get("cycles_run", self._period_cycles * self._next_epoch)  # type: ignore[arg-type]
+        )
         self._previous_power = np.asarray(state["previous_power"], dtype=float)
         self._baseline_peak = state["baseline_peak"]  # type: ignore[assignment]
         self._baseline_mean = state["baseline_mean"]  # type: ignore[assignment]

@@ -44,6 +44,7 @@ class PolicyContext:
         current_power_map: Optional[Dict[Coordinate, float]] = None,
         topology: Optional[MeshTopology] = None,
         current_power_vector: Optional[np.ndarray] = None,
+        migration_in_progress: bool = False,
     ):
         if topology is None:
             raise TypeError("PolicyContext requires a topology")
@@ -51,6 +52,11 @@ class PolicyContext:
         self.current_thermal = current_thermal
         self.topology = topology
         self.current_power_vector = current_power_vector
+        #: True while a staged migration plan is still unfolding — the
+        #: controller will not start a new migration this epoch, so policies
+        #: may skip their decision work (any transform returned is dropped
+        #: and counted as a stalled epoch).
+        self.migration_in_progress = migration_in_progress
         self._power_map: Optional[Dict[Coordinate, float]] = (
             dict(current_power_map) if current_power_map is not None else None
         )

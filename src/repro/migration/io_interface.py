@@ -54,6 +54,30 @@ class IoAddressTranslator:
         self._history.append(transform.name)
         self._applied += 1
 
+    def record_moves(
+        self, moves: Dict[Coordinate, Coordinate], label: str
+    ) -> None:
+        """Compose a *partial* relocation onto the cumulative map.
+
+        ``moves`` maps source -> destination for the coordinates one
+        migration stage relocates; everything else stays put.  Staged plans
+        (:mod:`repro.migration.plan`) call this once per executed stage so
+        the I/O interface follows the mixed mid-plan mapping.  The source
+        set must equal the destination set (stages are unions of whole
+        permutation cycles), keeping the cumulative map a bijection.
+        """
+        if set(moves) != set(moves.values()):
+            raise ValueError(
+                "stage moves must be a closed relocation "
+                "(source set must equal destination set)"
+            )
+        self._current_of_original = {
+            original: moves.get(current, current)
+            for original, current in self._current_of_original.items()
+        }
+        self._history.append(label)
+        self._applied += 1
+
     def compact_history(self) -> None:
         """Drop the per-migration name log, keeping the cumulative map.
 

@@ -157,21 +157,31 @@ class MigrationScheduler:
         return self.schedule(self.moves_for_transform(transform, tanner_nodes_per_pe))
 
     # ------------------------------------------------------------------
+    def move_cycles(self, move: PeMove) -> int:
+        """Congestion-free duration of one move in cycles.
+
+        This is THE per-move cycle cost: (serialization of the payload
+        through the conversion unit) + (hops x per-hop router pipeline
+        latency).  Every cycle account — phased schedules, the serialised
+        baseline, and staged :mod:`repro.migration.plan` stages — routes
+        through this one function so they cannot drift.
+        """
+        serialization = (
+            move.payload_flits * self.state_model.serialization_cycles_per_flit
+        )
+        traversal = move.hops * self.router_pipeline_cycles
+        return serialization + traversal
+
+    # ------------------------------------------------------------------
     def _phase_cycles(self, phase: Sequence[PeMove]) -> int:
         """Duration of one phase.
 
         Within a phase no two packets share a link, so each move completes in
-        (serialization of its payload) + (hops x per-hop pipeline latency)
-        cycles; the phase lasts as long as its slowest move.
+        :meth:`move_cycles`; the phase lasts as long as its slowest move.
         """
         if not phase:
             return 0
-        worst = 0
-        for move in phase:
-            serialization = move.payload_flits * self.state_model.serialization_cycles_per_flit
-            traversal = move.hops * self.router_pipeline_cycles
-            worst = max(worst, serialization + traversal)
-        return worst
+        return max(self.move_cycles(move) for move in phase)
 
     # ------------------------------------------------------------------
     def naive_cycles(self, moves: Sequence[PeMove]) -> int:
@@ -180,11 +190,6 @@ class MigrationScheduler:
         The ablation benchmark compares this against the phased schedule to
         quantify the benefit of congestion-free grouping.
         """
-        total = 0
-        for move in moves:
-            if move.is_local:
-                continue
-            serialization = move.payload_flits * self.state_model.serialization_cycles_per_flit
-            traversal = move.hops * self.router_pipeline_cycles
-            total += serialization + traversal
-        return total
+        return sum(
+            self.move_cycles(move) for move in moves if not move.is_local
+        )

@@ -46,6 +46,7 @@ from .patterns import (
     RampPattern,
     StepPattern,
     SumPattern,
+    WallClockPattern,
     pattern_from_dict,
 )
 from .registry import all_scenarios, get_scenario, scenario_names
@@ -72,6 +73,7 @@ __all__ = [
     "ScenarioSpec",
     "StepPattern",
     "SumPattern",
+    "WallClockPattern",
     "all_scenarios",
     "compile_scenario",
     "get_scenario",

@@ -71,6 +71,8 @@ class CompiledScenario:
     noc_model: Optional[NocCostModel] = None
     #: ``(num_epochs,)`` absolute per-node injection rates, or None.
     noc_rates: Optional[np.ndarray] = None
+    #: ``(num_epochs,)`` migration-period multipliers, or None.
+    period_schedule: Optional[np.ndarray] = None
 
     def experiment(self, thermal_model: Optional[ThermalModel] = None) -> ThermalExperiment:
         """The fully-wired experiment this scenario compiles to."""
@@ -81,6 +83,9 @@ class CompiledScenario:
             thermal_model=thermal_model,
             power_modulation=self.load_modulation,
             ambient_offsets_celsius=self.ambient_offsets,
+            period_scale=self.period_schedule,
+            noc_model=self.noc_model,
+            noc_rates=self.noc_rates,
         )
 
     @property
@@ -188,11 +193,17 @@ class ScenarioResult:
 # ----------------------------------------------------------------------
 # Compilation
 # ----------------------------------------------------------------------
+def _epoch_duration_s(spec: ScenarioSpec) -> float:
+    """Wall-clock seconds per epoch — what binds wall-clock pattern axes."""
+    return spec.period_us * 1e-6
+
+
 def _temporal_schedule(spec: ScenarioSpec, channel: str) -> Optional[np.ndarray]:
     """Evaluate a chip-global channel's pattern to a ``(num_epochs,)`` array."""
     pattern = getattr(spec, channel)
     if pattern is None:
         return None
+    pattern = pattern.bind_time(_epoch_duration_s(spec))
     values = np.asarray(pattern.evaluate(spec.num_epochs), dtype=float)
     if values.shape != (spec.num_epochs,):
         raise ValueError(
@@ -201,6 +212,8 @@ def _temporal_schedule(spec: ScenarioSpec, channel: str) -> Optional[np.ndarray]
         )
     if not np.all(np.isfinite(values)):
         raise ValueError(f"{channel} pattern produced non-finite values")
+    if channel == "period" and values.min() <= 0:
+        raise ValueError("period multipliers must be positive")
     return values
 
 
@@ -222,12 +235,16 @@ def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
         thermal_method=spec.thermal_method,
         feedback_stride=spec.feedback_stride,
         feedback_predictor=spec.feedback_predictor,
+        migration_style=spec.migration_style,
+        units_per_epoch=spec.units_per_epoch,
     )
 
     modulation: Optional[np.ndarray] = None
     if spec.load is not None:
+        load_pattern = spec.load.bind_time(_epoch_duration_s(spec))
         values = np.asarray(
-            spec.load.evaluate(spec.num_epochs, configuration.topology), dtype=float
+            load_pattern.evaluate(spec.num_epochs, configuration.topology),
+            dtype=float,
         )
         if values.ndim == 1:
             values = np.broadcast_to(
@@ -259,8 +276,9 @@ def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
             pattern_kwargs=dict(channel.traffic_kwargs or {}),
         )
         if channel.rate_pattern is not None:
+            rate_pattern = channel.rate_pattern.bind_time(_epoch_duration_s(spec))
             factors = np.asarray(
-                channel.rate_pattern.evaluate(spec.num_epochs), dtype=float
+                rate_pattern.evaluate(spec.num_epochs), dtype=float
             )
             if factors.shape != (spec.num_epochs,):
                 raise ValueError(
@@ -287,6 +305,7 @@ def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
         snr_schedule=_temporal_schedule(spec, "snr_db"),
         noc_model=noc_model,
         noc_rates=noc_rates,
+        period_schedule=_temporal_schedule(spec, "period"),
     )
 
 
@@ -297,26 +316,29 @@ def compile_window(
     Optional[np.ndarray],
     Optional[np.ndarray],
     Optional[np.ndarray],
+    Optional[np.ndarray],
 ]:
     """Evaluate a compiled scenario's patterns over ``[start_epoch, end_epoch)``.
 
-    Returns ``(load_modulation, ambient_offsets, snr_schedule, noc_rates)``
-    window arrays (each None when the scenario does not drive that channel).
-    The patterns are evaluated lazily via their window cursors, so a stream
-    can walk epochs far beyond ``spec.num_epochs`` without ever materialising
-    a whole-horizon array — and inside the horizon the values are exactly the
-    slices :func:`compile_scenario` would have produced.
+    Returns ``(load_modulation, ambient_offsets, snr_schedule, noc_rates,
+    period_scale)`` window arrays (each None when the scenario does not
+    drive that channel).  The patterns are evaluated lazily via their window
+    cursors, so a stream can walk epochs far beyond ``spec.num_epochs``
+    without ever materialising a whole-horizon array — and inside the
+    horizon the values are exactly the slices :func:`compile_scenario` would
+    have produced.
     """
     if end_epoch <= start_epoch:
         raise ValueError("compile_window needs a non-empty [start, end) window")
     spec = compiled.spec
     configuration = compiled.configuration
+    duration_s = _epoch_duration_s(spec)
     num = end_epoch - start_epoch
 
     modulation: Optional[np.ndarray] = None
     if spec.load is not None:
         values = np.asarray(
-            spec.load.evaluate_window(
+            spec.load.bind_time(duration_s).evaluate_window(
                 start_epoch, end_epoch, configuration.topology
             ),
             dtype=float,
@@ -339,12 +361,26 @@ def compile_window(
     ambient: Optional[np.ndarray] = None
     if spec.ambient_celsius is not None:
         ambient = np.asarray(
-            spec.ambient_celsius.evaluate_window(start_epoch, end_epoch), dtype=float
+            spec.ambient_celsius.bind_time(duration_s).evaluate_window(
+                start_epoch, end_epoch
+            ),
+            dtype=float,
         )
     snr: Optional[np.ndarray] = None
     if spec.snr_db is not None:
         snr = np.asarray(
-            spec.snr_db.evaluate_window(start_epoch, end_epoch), dtype=float
+            spec.snr_db.bind_time(duration_s).evaluate_window(
+                start_epoch, end_epoch
+            ),
+            dtype=float,
+        )
+    period: Optional[np.ndarray] = None
+    if spec.period is not None:
+        period = np.asarray(
+            spec.period.bind_time(duration_s).evaluate_window(
+                start_epoch, end_epoch
+            ),
+            dtype=float,
         )
 
     noc_rates: Optional[np.ndarray] = None
@@ -352,7 +388,9 @@ def compile_window(
         channel = spec.noc
         if channel.rate_pattern is not None:
             factors = np.asarray(
-                channel.rate_pattern.evaluate_window(start_epoch, end_epoch),
+                channel.rate_pattern.bind_time(duration_s).evaluate_window(
+                    start_epoch, end_epoch
+                ),
                 dtype=float,
             )
         elif modulation is not None:
@@ -361,7 +399,12 @@ def compile_window(
             factors = np.ones(num, dtype=float)
         noc_rates = np.clip(factors, 0.0, None) * channel.injection_rate
 
-    for name, values in (("ambient", ambient), ("snr", snr), ("noc rate", noc_rates)):
+    for name, values in (
+        ("ambient", ambient),
+        ("snr", snr),
+        ("noc rate", noc_rates),
+        ("period", period),
+    ):
         if values is None:
             continue
         if values.shape != (num,):
@@ -370,8 +413,10 @@ def compile_window(
             )
         if not np.all(np.isfinite(values)):
             raise ValueError(f"{name} pattern produced non-finite values")
+    if period is not None and period.min() <= 0:
+        raise ValueError("period multipliers must be positive")
 
-    return modulation, ambient, snr, noc_rates
+    return modulation, ambient, snr, noc_rates, period
 
 
 # ----------------------------------------------------------------------

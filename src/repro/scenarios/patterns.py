@@ -109,6 +109,17 @@ class Pattern(ABC):
         """Whether :meth:`evaluate` produces a per-unit matrix."""
         return False
 
+    def bind_time(self, epoch_duration_s: float) -> "Pattern":
+        """Bind any wall-clock axes to a concrete epoch duration.
+
+        Compiling a scenario calls this on every channel pattern with the
+        scenario's migration period in seconds, so a
+        :class:`WallClockPattern` authored against a seconds axis resolves
+        to epochs without the spec hard-coding the period.  Patterns with
+        no wall-clock axis (everything else) return themselves.
+        """
+        return self
+
     # ------------------------------------------------------------------
     # Composition
     # ------------------------------------------------------------------
@@ -201,6 +212,12 @@ class SumPattern(Pattern):
             total = total + part
         return total if self.is_spatial else total[:, 0]
 
+    def bind_time(self, epoch_duration_s: float) -> "Pattern":
+        bound = tuple(term.bind_time(epoch_duration_s) for term in self.terms)
+        if all(new is old for new, old in zip(bound, self.terms)):
+            return self
+        return SumPattern(terms=bound)
+
     def to_dict(self) -> Dict[str, object]:
         return {"kind": self.kind, "terms": [term.to_dict() for term in self.terms]}
 
@@ -238,6 +255,14 @@ class ProductPattern(Pattern):
         for part in parts[1:]:
             total = total * part
         return total if self.is_spatial else total[:, 0]
+
+    def bind_time(self, epoch_duration_s: float) -> "Pattern":
+        bound = tuple(
+            factor.bind_time(epoch_duration_s) for factor in self.factors
+        )
+        if all(new is old for new, old in zip(bound, self.factors)):
+            return self
+        return ProductPattern(factors=bound)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -425,6 +450,81 @@ class DutyCyclePattern(Pattern):
         # BurstPattern's treatment of its start epoch.
         on = (epochs < self.start_epoch) | (phase < self.on_epochs)
         return np.where(on, float(self.on_value), float(self.off_value))
+
+
+@dataclass(frozen=True)
+class WallClockPattern(Pattern):
+    """Evaluate ``inner`` on a wall-clock seconds axis instead of epochs.
+
+    The inner pattern's epoch axis is reinterpreted as ticks of
+    ``inner_step_s`` seconds of wall-clock time: epoch ``e`` samples the
+    inner pattern at tick ``floor(e * epoch_duration_s / inner_step_s)``.
+    A spec normally leaves ``epoch_duration_s`` unset (``None``) and the
+    scenario compiler binds it to the migration period via
+    :meth:`Pattern.bind_time`, so one wall-clock schedule (say a diurnal
+    day measured in seconds) stays correct under any period sweep instead
+    of silently stretching with the epoch length.
+    """
+
+    inner: Pattern
+    inner_step_s: float = 1.0
+    epoch_duration_s: Optional[float] = None
+    kind: ClassVar[str] = "wall-clock"
+
+    def __post_init__(self) -> None:
+        if self.inner_step_s <= 0:
+            raise ValueError("wall-clock inner_step_s must be positive")
+        if self.epoch_duration_s is not None and self.epoch_duration_s <= 0:
+            raise ValueError("wall-clock epoch_duration_s must be positive")
+
+    @property
+    def is_spatial(self) -> bool:
+        return self.inner.is_spatial
+
+    def bind_time(self, epoch_duration_s: float) -> "Pattern":
+        # An explicit spec-level binding wins over the compiler's.
+        if self.epoch_duration_s is not None:
+            return self
+        if epoch_duration_s <= 0:
+            raise ValueError("epoch_duration_s must be positive")
+        return WallClockPattern(
+            inner=self.inner,
+            inner_step_s=self.inner_step_s,
+            epoch_duration_s=float(epoch_duration_s),
+        )
+
+    def _values(
+        self,
+        epochs: np.ndarray,
+        topology: Optional[MeshTopology],
+        horizon: Optional[int],
+    ) -> np.ndarray:
+        if self.epoch_duration_s is None:
+            raise ValueError(
+                "WallClockPattern has no epoch_duration_s binding; compile "
+                "it through a ScenarioSpec (bind_time) or set it explicitly"
+            )
+        ticks = np.floor(
+            np.asarray(epochs, dtype=float)
+            * (self.epoch_duration_s / self.inner_step_s)
+        ).astype(np.int64)
+        # The inner horizon is unknowable on a rescaled axis: pass None, so
+        # horizon-dependent inners (open-ended ramps) ask for explicit ends.
+        return self.inner._values(ticks, topology, None)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "inner": self.inner.to_dict(),
+            "inner_step_s": self.inner_step_s,
+            "epoch_duration_s": self.epoch_duration_s,
+        }
+
+    @classmethod
+    def _from_params(cls, params: Dict[str, object]) -> "WallClockPattern":
+        params = dict(params)
+        params["inner"] = pattern_from_dict(params["inner"])  # type: ignore[arg-type]
+        return cls(**params)  # type: ignore[arg-type]
 
 
 # ----------------------------------------------------------------------

@@ -1,7 +1,7 @@
 """The built-in named scenarios behind ``python -m repro scenario``.
 
-Thirteen scenarios spanning the five chip configurations, both experiment
-modes and every pattern family.  Eleven use feedback-free policies
+Fifteen scenarios spanning the five chip configurations, both experiment
+modes and every pattern family.  Thirteen use feedback-free policies
 (periodic or static), so each compiles to exactly one batched steady solve
 or one ``transient_sequence`` call; ``threshold-under-burst`` and
 ``adaptive-diurnal`` exercise the chunked feedback loop — thermal-feedback
@@ -11,7 +11,11 @@ both properties; ``ambient-swing-transient`` additionally pins the exact
 time-varying-ambient boundary term riding the whole-trace spectral jump,
 and ``noc-congestion-burst`` exercises the first-class ``noc`` channel —
 per-epoch network pricing through the cached analytic wormhole model at
-zero extra thermal solves.
+zero extra thermal solves.  ``fluid-under-burst`` runs the staged
+migration engine (fluid plans congestion-priced by the ``noc`` channel)
+and ``period-schedule-diurnal`` drives the ``period`` channel through a
+wall-clock diurnal schedule — both still one batched evaluation per
+window.
 
 ``steady-baseline`` is deliberately the degenerate scenario (constant load
 1.0, no ambient or SNR drift): the test suite pins it to the plain
@@ -31,6 +35,7 @@ from .patterns import (
     FaultPattern,
     HotspotPattern,
     RampPattern,
+    WallClockPattern,
 )
 from .spec import NocChannel, ScenarioSpec
 
@@ -239,6 +244,57 @@ def _noc_congestion_burst() -> ScenarioSpec:
     )
 
 
+def _fluid_under_burst() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fluid-under-burst",
+        configuration="A",
+        scheme="xy-shift",
+        mode="steady",
+        num_epochs=48,
+        settle_epochs=20,
+        migration_style="fluid",
+        units_per_epoch=2,
+        load=BurstPattern(base=1.0, peak=1.4, start_epoch=8, length=6, every=16),
+        noc=NocChannel(
+            traffic="uniform",
+            injection_rate=0.01,
+            rate_pattern=BurstPattern(
+                base=1.0, peak=2.5, start_epoch=8, length=6, every=16
+            ),
+        ),
+        description="Staged fluid migration (a 2-PE epoch budget, so each "
+        "4-PE xy-shift cycle occupies its own stage and a plan spans four "
+        "epochs) under recurring 1.4x compute bursts; each stage's "
+        "transfer cycles are congestion-priced by the epoch's NoC "
+        "load, so migrating into a burst costs more",
+    )
+
+
+def _period_schedule_diurnal() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="period-schedule-diurnal",
+        configuration="A",
+        scheme="xy-shift",
+        mode="steady",
+        num_epochs=48,
+        settle_epochs=20,
+        load=DiurnalPattern(mean=1.0, amplitude=0.2, period_epochs=24.0),
+        # The period schedule is authored on a wall-clock seconds axis (a
+        # 24-"hour" day of 109 us hours) and bound to epochs at compile
+        # time from period_us, so sweeping the period keeps the day a day.
+        period=WallClockPattern(
+            inner=DiurnalPattern(
+                mean=1.0, amplitude=0.5, period_epochs=24.0
+            ),
+            inner_step_s=109e-6,
+        ),
+        description="Migration period breathes +-50% over a wall-clock "
+        "diurnal day while load swings +-20%: epochs stretch at "
+        "night (fewer, cheaper migrations) and shrink under the "
+        "daytime peak",
+    )
+
+
 def _snr_fade() -> ScenarioSpec:
     return ScenarioSpec(
         name="snr-fade",
@@ -268,6 +324,8 @@ _REGISTRY: Dict[str, Callable[[], ScenarioSpec]] = {
     "threshold-under-burst": _threshold_under_burst,
     "adaptive-diurnal": _adaptive_diurnal,
     "noc-congestion-burst": _noc_congestion_burst,
+    "fluid-under-burst": _fluid_under_burst,
+    "period-schedule-diurnal": _period_schedule_diurnal,
     "snr-fade": _snr_fade,
 }
 

@@ -8,7 +8,7 @@ the horizon.  Specs are plain frozen dataclasses that round-trip through JSON
 suites can live in version-controlled files and be fanned out across worker
 processes untouched.
 
-The three pattern channels:
+The four pattern channels:
 
 ``load``
     Multiplies the controller's per-epoch power rows (temporal patterns apply
@@ -25,8 +25,15 @@ The three pattern channels:
 ``snr_db``
     Per-epoch channel quality (absolute Eb/N0 in dB) seen by the LDPC
     workload; drives the decoder-effort estimate in the scenario report.
+``period``
+    Per-epoch **multipliers** of the nominal migration period
+    ``period_us`` — a time-varying reconfiguration cadence (e.g. migrate
+    less often at night).  Wrap the pattern in a
+    :class:`~repro.scenarios.patterns.WallClockPattern` to author the
+    schedule on a wall-clock seconds axis; the compiler binds the epoch
+    duration from ``period_us``.  Values must be positive.
 
-A fourth, structured channel prices the on-chip network:
+A structured fifth channel prices the on-chip network:
 
 ``noc``
     A :class:`NocChannel` — which traffic pattern the workload offers the
@@ -44,14 +51,17 @@ import json
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from ..migration.plan import MIGRATION_STYLES
 from .patterns import Pattern, pattern_from_dict
 
 #: Channels a spec may bind a pattern to, with whether spatial patterns are
-#: permitted there (ambient and SNR are chip-global scalars).
+#: permitted there (ambient, SNR and the period schedule are chip-global
+#: scalars).
 PATTERN_CHANNELS: Dict[str, bool] = {
     "load": True,
     "ambient_celsius": False,
     "snr_db": False,
+    "period": False,
 }
 
 
@@ -153,9 +163,18 @@ class ScenarioSpec:
     feedback_stride: int = 1
     #: Zero-solve stand-in between feedback refreshes: "hold" or "previous".
     feedback_predictor: str = "hold"
+    #: How migrations unfold over epochs: ``"sudden"`` (the paper's atomic
+    #: swap), ``"fluid"`` (a few permutation cycles per epoch) or
+    #: ``"batched"`` (link-disjoint phase groups, one per epoch).
+    migration_style: str = "sudden"
+    #: Fluid-style budget: permutation cycles relocated per epoch.
+    units_per_epoch: int = 2
     load: Optional[Pattern] = None
     ambient_celsius: Optional[Pattern] = None
     snr_db: Optional[Pattern] = None
+    #: Per-epoch multipliers of ``period_us`` (the migration-period
+    #: schedule channel).
+    period: Optional[Pattern] = None
     #: Offered NoC load (traffic pattern + injection-rate schedule), priced
     #: per epoch by the cached analytic wormhole model.
     noc: Optional[NocChannel] = None
@@ -176,6 +195,13 @@ class ScenarioSpec:
             raise ValueError("feedback_predictor must be 'hold' or 'previous'")
         if self.policy_params is not None and not isinstance(self.policy_params, dict):
             raise TypeError("policy_params must be a dict of keyword arguments")
+        if self.migration_style not in MIGRATION_STYLES:
+            raise ValueError(
+                f"unknown migration_style {self.migration_style!r}; "
+                f"choose from {', '.join(MIGRATION_STYLES)}"
+            )
+        if self.units_per_epoch < 1:
+            raise ValueError("units_per_epoch must be at least 1")
         for channel, allow_spatial in PATTERN_CHANNELS.items():
             pattern = getattr(self, channel)
             if pattern is None:
@@ -210,6 +236,8 @@ class ScenarioSpec:
             ),
             "feedback_stride": self.feedback_stride,
             "feedback_predictor": self.feedback_predictor,
+            "migration_style": self.migration_style,
+            "units_per_epoch": self.units_per_epoch,
             "description": self.description,
         }
         for channel in PATTERN_CHANNELS:

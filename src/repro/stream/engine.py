@@ -157,16 +157,23 @@ class StreamingExperiment:
     def _build_identity(self, source_tag: str) -> str:
         """Checkpoint-compatibility key: what must match to restore state."""
         experiment = self.experiment
-        return "/".join(
-            [
-                experiment.configuration.name,
-                experiment.policy.name,
-                experiment.settings.mode,
-                f"stride{experiment.settings.feedback_stride}",
-                type(experiment.thermal_model).__name__,
-                source_tag,
-            ]
-        )
+        parts = [
+            experiment.configuration.name,
+            experiment.policy.name,
+            experiment.settings.mode,
+            f"stride{experiment.settings.feedback_stride}",
+            type(experiment.thermal_model).__name__,
+        ]
+        # Staged styles change the carried controller state (a mid-plan
+        # checkpoint is meaningless under another style); the sudden default
+        # adds nothing so existing journals keep their identity.
+        if experiment.settings.migration_style != "sudden":
+            parts.append(
+                f"mig:{experiment.settings.migration_style}"
+                f"x{experiment.settings.units_per_epoch}"
+            )
+        parts.append(source_tag)
+        return "/".join(parts)
 
     def prepare(self) -> int:
         """Arm the experiment, restoring the newest checkpoint if present.
@@ -256,6 +263,8 @@ class StreamingExperiment:
                     experiment.configuration.topology.num_nodes
                 ),
                 ambient_offsets=window.ambient_offsets,
+                period_scale=window.period_scale,
+                noc_rates=window.noc_rates,
                 is_last=is_last,
             )
             events = experiment.controller.drain_events()

@@ -45,7 +45,9 @@ def scenario_windows(
         end = cursor + window_epochs
         if max_epochs is not None:
             end = min(end, max_epochs)
-        modulation, ambient, snr, noc_rates = compile_window(compiled, cursor, end)
+        modulation, ambient, snr, noc_rates, period = compile_window(
+            compiled, cursor, end
+        )
         yield EpochWindow(
             num_epochs=end - cursor,
             start_epoch=cursor,
@@ -53,6 +55,7 @@ def scenario_windows(
             ambient_offsets=ambient,
             snr_schedule=snr,
             noc_rates=noc_rates,
+            period_scale=period,
         )
         cursor = end
 

@@ -88,12 +88,16 @@ class RollingSummary:
         self.last_mean_celsius = float(outcome.mean_by_epoch[-1])
         self._mean_sum += float(outcome.mean_by_epoch.sum())
         for event in events:
-            self.migrations += 1
+            # A staged plan emits one event per stage; the plan counts as a
+            # single migration (its opening stage) while cycles and energy
+            # sum over every stage.
+            if getattr(event, "stage_index", 0) == 0:
+                self.migrations += 1
+                self.transform_counts[event.transform_name] = (
+                    self.transform_counts.get(event.transform_name, 0) + 1
+                )
             self.migration_cycles += event.cycles
             self.migration_energy_j += event.energy_j
-            self.transform_counts[event.transform_name] = (
-                self.transform_counts.get(event.transform_name, 0) + 1
-            )
 
     def observe_decoder(
         self, num_epochs: int, mean_iterations: float, success_rate: float,

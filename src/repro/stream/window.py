@@ -2,8 +2,9 @@
 
 An :class:`EpochWindow` carries everything the experiment driver needs to
 advance by ``num_epochs`` epochs: the optional load modulation (per-unit or
-chip-global), the ambient-offset schedule and the channel SNR schedule, plus
-the optional NoC injection rates for the pricing model.  Windows are the
+chip-global), the ambient-offset schedule and the channel SNR schedule,
+plus the optional NoC injection rates for the pricing model and the
+per-epoch migration-period multipliers.  Windows are the
 wire format of ``repro serve`` — one JSON object per line — so a producer
 can feed an unbounded co-simulation over a pipe, and the scenario source
 (:mod:`repro.stream.source`) emits the same records from pattern cursors.
@@ -48,6 +49,7 @@ class EpochWindow:
     ambient_offsets: Optional[np.ndarray] = None
     snr_schedule: Optional[np.ndarray] = None
     noc_rates: Optional[np.ndarray] = None
+    period_scale: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         if self.num_epochs < 1:
@@ -73,6 +75,11 @@ class EpochWindow:
         self.noc_rates = _as_schedule(self.noc_rates, "noc_rates", self.num_epochs)
         if self.noc_rates is not None and self.noc_rates.min() < 0:
             raise ValueError("noc_rates must be non-negative")
+        self.period_scale = _as_schedule(
+            self.period_scale, "period_scale", self.num_epochs
+        )
+        if self.period_scale is not None and self.period_scale.min() <= 0:
+            raise ValueError("period_scale must be positive")
 
     # ------------------------------------------------------------------
     def modulation_matrix(self, num_units: int) -> Optional[np.ndarray]:
@@ -117,6 +124,11 @@ class EpochWindow:
             noc_rates=(
                 self.noc_rates[:num_epochs] if self.noc_rates is not None else None
             ),
+            period_scale=(
+                self.period_scale[:num_epochs]
+                if self.period_scale is not None
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -134,6 +146,8 @@ class EpochWindow:
             record["snr_schedule"] = self.snr_schedule.tolist()
         if self.noc_rates is not None:
             record["noc_rates"] = self.noc_rates.tolist()
+        if self.period_scale is not None:
+            record["period_scale"] = self.period_scale.tolist()
         return record
 
     @classmethod
@@ -145,6 +159,7 @@ class EpochWindow:
             "ambient_offsets",
             "snr_schedule",
             "noc_rates",
+            "period_scale",
         }
         if unknown:
             raise ValueError(f"unknown EpochWindow fields: {sorted(unknown)}")
@@ -158,6 +173,7 @@ class EpochWindow:
             ambient_offsets=record.get("ambient_offsets"),
             snr_schedule=record.get("snr_schedule"),
             noc_rates=record.get("noc_rates"),
+            period_scale=record.get("period_scale"),
         )
 
     def to_json_line(self) -> str:

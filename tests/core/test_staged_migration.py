@@ -1,0 +1,318 @@
+"""Staged-migration equivalence suite.
+
+Two pins: the ``sudden`` default rides the unchanged legacy path (the
+existing parity suite covers its numbers), and the staged execution
+machinery — ``begin_plan``/``advance_plan`` driven from the epoch loop —
+reproduces the legacy trajectory to <1e-9 when every plan collapses to one
+stage (fluid with an over-sized budget).  The rest of the suite covers the
+genuinely-staged behaviours: plan accounting, stall semantics, the
+``migration_in_progress`` policy flag and the solve-count guarantee.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.chips import get_configuration
+from repro.core.experiment import ExperimentSettings, ThermalExperiment
+from repro.core.policy import (
+    AdaptiveMigrationPolicy,
+    PeriodicMigrationPolicy,
+    PolicyContext,
+    ThresholdMigrationPolicy,
+)
+from repro.thermal.grid import GridThermalModel
+
+STEADY = dict(num_epochs=13, mode="steady", settle_epochs=10)
+TRANSIENT = dict(
+    num_epochs=9, mode="transient", settle_epochs=6, transient_steps_per_epoch=4
+)
+
+
+def _policy(kind, topology):
+    if kind == "threshold":
+        return ThresholdMigrationPolicy(
+            topology, "xy-shift", trigger_celsius=70.0, period_us=109.0
+        )
+    return AdaptiveMigrationPolicy(topology, period_us=109.0)
+
+
+def _run(chip, policy_kind, mode_kwargs, thermal_model=None, **setting_overrides):
+    settings = ExperimentSettings(**{**mode_kwargs, **setting_overrides})
+    experiment = ThermalExperiment(
+        chip,
+        _policy(policy_kind, chip.topology),
+        settings=settings,
+        thermal_model=thermal_model,
+    )
+    return experiment, experiment.run()
+
+
+def _assert_trajectories_match(result, reference, abs_tol=1e-9):
+    assert result.migrations_performed == reference.migrations_performed
+    assert result.throughput_penalty == pytest.approx(
+        reference.throughput_penalty, abs=abs_tol
+    )
+    assert result.settled_peak_celsius == pytest.approx(
+        reference.settled_peak_celsius, abs=abs_tol
+    )
+    assert result.settled_mean_celsius == pytest.approx(
+        reference.settled_mean_celsius, abs=abs_tol
+    )
+    assert len(result.epochs) == len(reference.epochs)
+    for record, expected in zip(result.epochs, reference.epochs):
+        assert record.transform_applied == expected.transform_applied
+        assert record.mapping_permutation == expected.mapping_permutation
+        assert record.thermal.peak_celsius == pytest.approx(
+            expected.thermal.peak_celsius, abs=abs_tol
+        )
+        assert record.thermal.mean_celsius == pytest.approx(
+            expected.thermal.mean_celsius, abs=abs_tol
+        )
+
+
+@pytest.mark.parametrize("config_name", ["A", "E"])
+@pytest.mark.parametrize("policy_kind", ["threshold", "adaptive"])
+class TestSingleStageParity:
+    """Fluid with a one-stage budget must match the legacy sudden path."""
+
+    @pytest.mark.parametrize("mode_kwargs", [STEADY, TRANSIENT], ids=["steady", "transient"])
+    def test_hotspot_model_parity(self, config_name, policy_kind, mode_kwargs):
+        chip = get_configuration(config_name)
+        _, sudden = _run(chip, policy_kind, mode_kwargs)
+        _, staged = _run(
+            chip,
+            policy_kind,
+            mode_kwargs,
+            migration_style="fluid",
+            units_per_epoch=chip.topology.num_nodes,
+        )
+        _assert_trajectories_match(staged, sudden)
+
+    def test_grid_model_parity(self, config_name, policy_kind):
+        chip = get_configuration(config_name)
+        model = GridThermalModel(chip.topology, resolution=2)
+        _, sudden = _run(chip, policy_kind, STEADY, thermal_model=model)
+        _, staged = _run(
+            chip,
+            policy_kind,
+            STEADY,
+            thermal_model=model,
+            migration_style="fluid",
+            units_per_epoch=chip.topology.num_nodes,
+        )
+        _assert_trajectories_match(staged, sudden)
+
+
+class TestSuddenDefault:
+    def test_default_style_is_sudden(self):
+        assert ExperimentSettings().migration_style == "sudden"
+        assert ExperimentSettings().units_per_epoch == 2
+
+    def test_settings_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentSettings(migration_style="teleport")
+        with pytest.raises(ValueError):
+            ExperimentSettings(units_per_epoch=0)
+
+    def test_explicit_sudden_is_bit_identical_to_default(self, chip_a):
+        _, default = _run(chip_a, "threshold", STEADY)
+        _, explicit = _run(chip_a, "threshold", STEADY, migration_style="sudden")
+        for record, expected in zip(explicit.epochs, default.epochs):
+            assert record.thermal.peak_celsius == expected.thermal.peak_celsius
+            assert record.migration_cycles == expected.migration_cycles
+            assert record.migration_energy_j == expected.migration_energy_j
+
+
+class TestStagedExecution:
+    def test_plan_counts_as_one_migration(self, chip_a):
+        """A fluid plan spanning several epochs is still ONE migration."""
+        policy = PeriodicMigrationPolicy(chip_a.topology, "xy-shift", period_us=109.0)
+        settings = ExperimentSettings(
+            num_epochs=13,
+            settle_epochs=10,
+            migration_style="fluid",
+            units_per_epoch=1,
+        )
+        experiment = ThermalExperiment(chip_a, policy, settings=settings)
+        result = experiment.run()
+        events = experiment.controller.events
+        stage_counts = {event.stage_count for event in events}
+        assert max(stage_counts) > 1  # genuinely staged
+        plans = sum(1 for event in events if event.stage_index == 0)
+        assert result.migrations_performed == plans
+        # Per-event cycle/energy accounting folds back to the totals.
+        assert sum(event.cycles for event in events) == sum(
+            record.migration_cycles for record in result.epochs
+        )
+
+    def test_staged_final_mapping_matches_sudden(self, chip_a):
+        """However a single plan unfolds, it composes to the same mapping."""
+        def final_mapping(style, units):
+            policy = PeriodicMigrationPolicy(
+                chip_a.topology, "rotation", period_us=109.0
+            )
+            settings = ExperimentSettings(
+                num_epochs=2,
+                settle_epochs=1,
+                migration_style=style,
+                units_per_epoch=units,
+            )
+            experiment = ThermalExperiment(chip_a, policy, settings=settings)
+            experiment.run()
+            # Drain the in-flight plan so every style completes its one plan.
+            while experiment.controller.migration_in_progress:
+                experiment.controller.advance_plan()
+            return experiment.controller.current_mapping.to_permutation()
+
+        sudden = final_mapping("sudden", 2)
+        assert final_mapping("fluid", 1) == sudden
+        assert final_mapping("batched", 2) == sudden
+
+    def test_policy_sees_migration_in_progress(self, chip_a):
+        seen = []
+
+        class RecordingPolicy(PeriodicMigrationPolicy):
+            def decide(self, context: PolicyContext):
+                seen.append(context.migration_in_progress)
+                return super().decide(context)
+
+        policy = RecordingPolicy(chip_a.topology, "rotation", period_us=109.0)
+        settings = ExperimentSettings(
+            num_epochs=8,
+            settle_epochs=4,
+            migration_style="fluid",
+            units_per_epoch=1,
+        )
+        ThermalExperiment(chip_a, policy, settings=settings).run()
+        assert any(seen)  # mid-plan epochs advertise the in-flight plan
+        assert not seen[0]  # nothing in flight before the first decision
+
+    def test_stalled_epochs_counted(self, chip_a):
+        """Decisions that wanted a migration while a plan is in flight bump
+        the ``migration.stalled_epochs`` counter."""
+        registry = obs.get_registry()
+        stalled = registry.counter("migration.stalled_epochs")
+        obs.enable()
+        try:
+            before = stalled.value
+            policy = PeriodicMigrationPolicy(
+                chip_a.topology, "rotation", period_us=109.0
+            )
+            settings = ExperimentSettings(
+                num_epochs=10,
+                settle_epochs=5,
+                migration_style="fluid",
+                units_per_epoch=1,
+            )
+            ThermalExperiment(chip_a, policy, settings=settings).run()
+            assert stalled.value > before
+        finally:
+            obs.disable()
+
+    def test_staged_steady_run_is_one_batched_solve(self, chip_a):
+        solver = chip_a.thermal_model.solver
+        policy = PeriodicMigrationPolicy(chip_a.topology, "xy-shift", period_us=109.0)
+        settings = ExperimentSettings(
+            num_epochs=13,
+            settle_epochs=10,
+            migration_style="fluid",
+            units_per_epoch=2,
+        )
+        experiment = ThermalExperiment(chip_a, policy, settings=settings)
+        before = solver.steady_solve_count
+        experiment.run()
+        assert solver.steady_solve_count - before == 1
+
+
+class TestCyclesRunCheckpoint:
+    def test_state_dict_round_trips_cycles_run(self, chip_a):
+        policy = PeriodicMigrationPolicy(chip_a.topology, "xy-shift", period_us=109.0)
+        settings = ExperimentSettings(num_epochs=12, settle_epochs=6)
+        experiment = ThermalExperiment(chip_a, policy, settings=settings)
+        experiment.prepare(collect_records=False)
+        experiment.step_window(6)
+        state = experiment.state_dict()
+        assert state["cycles_run"] == experiment._cycles_run
+        assert state["cycles_run"] > 0
+
+        resumed = ThermalExperiment(
+            chip_a,
+            PeriodicMigrationPolicy(chip_a.topology, "xy-shift", period_us=109.0),
+            settings=settings,
+        )
+        resumed.prepare(collect_records=False)
+        resumed.restore_state(state)
+        assert resumed._cycles_run == experiment._cycles_run
+
+    def test_old_checkpoints_without_cycles_run_reconstruct(self, chip_a):
+        policy = PeriodicMigrationPolicy(chip_a.topology, "xy-shift", period_us=109.0)
+        settings = ExperimentSettings(num_epochs=12, settle_epochs=6)
+        experiment = ThermalExperiment(chip_a, policy, settings=settings)
+        experiment.prepare(collect_records=False)
+        experiment.step_window(6)
+        state = experiment.state_dict()
+        del state["cycles_run"]
+
+        resumed = ThermalExperiment(
+            chip_a,
+            PeriodicMigrationPolicy(chip_a.topology, "xy-shift", period_us=109.0),
+            settings=settings,
+        )
+        resumed.prepare(collect_records=False)
+        resumed.restore_state(state)
+        # No period schedule ran, so the legacy product reconstructs exactly.
+        assert resumed._cycles_run == experiment._cycles_run
+
+
+class TestPeriodSchedule:
+    def test_period_scale_shapes_validated(self, chip_a):
+        settings = ExperimentSettings(num_epochs=4, settle_epochs=2)
+        with pytest.raises(ValueError):
+            ThermalExperiment(
+                chip_a,
+                PeriodicMigrationPolicy(chip_a.topology, "xy-shift", period_us=109.0),
+                settings=settings,
+                period_scale=np.ones(3),
+            )
+        with pytest.raises(ValueError):
+            ThermalExperiment(
+                chip_a,
+                PeriodicMigrationPolicy(chip_a.topology, "xy-shift", period_us=109.0),
+                settings=settings,
+                period_scale=np.array([1.0, 0.0, 1.0, 1.0]),
+            )
+
+    def test_unit_schedule_matches_unscheduled_run(self, chip_a):
+        policy = PeriodicMigrationPolicy(chip_a.topology, "xy-shift", period_us=109.0)
+        settings = ExperimentSettings(num_epochs=8, settle_epochs=4)
+        plain = ThermalExperiment(
+            chip_a,
+            PeriodicMigrationPolicy(chip_a.topology, "xy-shift", period_us=109.0),
+            settings=settings,
+        )
+        scheduled = ThermalExperiment(
+            chip_a, policy, settings=settings, period_scale=np.ones(8)
+        )
+        plain_result = plain.run()
+        scheduled_result = scheduled.run()
+        assert scheduled._cycles_run == plain._cycles_run
+        assert scheduled_result.settled_peak_celsius == pytest.approx(
+            plain_result.settled_peak_celsius, abs=1e-9
+        )
+
+    def test_longer_periods_lower_throughput_penalty(self, chip_a):
+        """Stretching the epochs amortises the same migration downtime over
+        more workload cycles, so the penalty must drop."""
+        def penalty(scale):
+            policy = PeriodicMigrationPolicy(
+                chip_a.topology, "xy-shift", period_us=109.0
+            )
+            settings = ExperimentSettings(num_epochs=8, settle_epochs=4)
+            experiment = ThermalExperiment(
+                chip_a, policy, settings=settings,
+                period_scale=np.full(8, scale),
+            )
+            return experiment.run().throughput_penalty
+
+        assert penalty(4.0) < penalty(1.0)

@@ -1,0 +1,352 @@
+"""Tests for staged migration plans (lowering, invariants, pricing)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.migration.plan import (
+    MIGRATION_STYLES,
+    MigrationPlan,
+    congestion_factor,
+    lower_transform,
+    priced_stage_cycles,
+)
+from repro.migration.scheduler import PeMove, _links_of_route
+from repro.migration.transforms import (
+    IdentityTransform,
+    MigrationTransform,
+    RotationTransform,
+    XYShiftTransform,
+    make_transform,
+)
+from repro.migration.unit import MigrationUnit
+from repro.noc.topology import MeshTopology
+from repro.placement.mapping import Mapping
+from repro.scenarios.noc_cost import NocCostModel
+
+
+@pytest.fixture
+def unit4(mesh4):
+    return MigrationUnit(mesh4)
+
+
+@pytest.fixture
+def unit5(mesh5):
+    return MigrationUnit(mesh5)
+
+
+def _move_key(move):
+    return (move.source, move.destination, move.payload_flits)
+
+
+class PermutationTransform(MigrationTransform):
+    """An arbitrary permutation, for property tests beyond the named schemes."""
+
+    name = "perm"
+
+    def __init__(self, topology, permutation):
+        super().__init__(topology)
+        self._permutation = permutation
+
+    def apply(self, coord):
+        return self._permutation[coord]
+
+
+class TestSuddenLowering:
+    """A sudden plan is the legacy whole-transform cost, restaged as 1 stage."""
+
+    def test_single_stage(self, unit4, mesh4):
+        plan = lower_transform(XYShiftTransform(mesh4), unit4, style="sudden")
+        assert plan.num_stages == 1
+        assert plan.style == "sudden"
+        assert plan.units_per_epoch is None
+
+    @pytest.mark.parametrize("scheme", ["xy-shift", "rotation", "x-mirror"])
+    def test_bit_identical_to_legacy_cost(self, unit4, mesh4, scheme):
+        """Same schedule, same float accumulation order — bit equality, not
+        approx (the satellite regression for the shared move_cycles path)."""
+        transform = make_transform(scheme, mesh4)
+        nodes = {coord: 7 for coord in mesh4.coordinates()}
+        legacy = unit4.migration_cost(transform, nodes)
+        plan = lower_transform(transform, unit4, nodes, style="sudden")
+        stage = plan.stages[0]
+        assert stage.cycles == legacy.cycles
+        assert stage.energy_j == legacy.total_energy_j
+        assert dict(stage.energy_per_unit_j) == legacy.energy_per_unit_j
+
+    def test_identity_transform_is_cost_only(self, unit4, mesh4):
+        plan = lower_transform(IdentityTransform(mesh4), unit4, style="sudden")
+        assert plan.num_stages == 1
+        assert plan.total_cycles == 0
+        assert plan.total_moved == 0
+        assert plan.total_energy_j > 0  # fixed per-PE overhead still charged
+
+    def test_rejects_unknown_style(self, unit4, mesh4):
+        with pytest.raises(ValueError):
+            lower_transform(XYShiftTransform(mesh4), unit4, style="teleport")
+        with pytest.raises(ValueError):
+            lower_transform(
+                XYShiftTransform(mesh4), unit4, style="fluid", units_per_epoch=0
+            )
+
+
+class TestStagePartition:
+    """Every style's stages partition the transform's move set exactly."""
+
+    @pytest.mark.parametrize("style", MIGRATION_STYLES)
+    @pytest.mark.parametrize("scheme", ["xy-shift", "rotation", "right-shift"])
+    def test_moves_partition(self, unit5, mesh5, style, scheme):
+        transform = make_transform(scheme, mesh5)
+        reference = unit5.scheduler.moves_for_transform(transform)
+        plan = lower_transform(
+            transform, unit5, style=style, units_per_epoch=3
+        )
+        staged = [move for stage in plan.stages for move in stage.moves]
+        assert sorted(map(_move_key, staged)) == sorted(
+            map(_move_key, reference)
+        )
+        # No move appears in two stages.
+        assert len(staged) == len({_move_key(move) for move in staged})
+
+    @pytest.mark.parametrize("style", MIGRATION_STYLES)
+    def test_composed_permutation_matches_transform(self, unit5, mesh5, style):
+        transform = RotationTransform(mesh5)
+        plan = lower_transform(transform, unit5, style=style, units_per_epoch=2)
+        composed = plan.mapping_moves()
+        expected = {
+            coord: image
+            for coord, image in transform.as_permutation().items()
+            if coord != image
+        }
+        assert composed == expected
+
+
+class TestFluidLowering:
+    def test_budget_respected(self, unit5, mesh5):
+        plan = lower_transform(
+            XYShiftTransform(mesh5), unit5, style="fluid", units_per_epoch=4
+        )
+        assert plan.num_stages > 1
+        longest_cycle = max(
+            len(cycle)
+            for cycle in _cycles_of(unit5, XYShiftTransform(mesh5))
+        )
+        for stage in plan.stages:
+            assert stage.moved <= max(4, longest_cycle)
+
+    def test_large_budget_collapses_to_one_stage(self, unit4, mesh4):
+        plan = lower_transform(
+            XYShiftTransform(mesh4), unit4, style="fluid", units_per_epoch=999
+        )
+        assert plan.num_stages == 1
+
+    def test_mid_plan_mapping_stays_bijective(self, unit5, mesh5):
+        plan = lower_transform(
+            RotationTransform(mesh5), unit5, style="fluid", units_per_epoch=2
+        )
+        mapping = Mapping.identity(mesh5)
+        for stage in plan.stages:
+            moves = stage.mapping_moves()
+            # Closed relocation: sources and destinations are the same set.
+            assert set(moves) == set(moves.values()) or not moves
+            mapping = Mapping(
+                mesh5,
+                {
+                    task: moves.get(coord, coord)
+                    for task, coord in mapping.physical_of_task.items()
+                },
+            )  # Mapping.__post_init__ validates bijectivity
+        final = RotationTransform(mesh5).as_permutation()
+        assert {
+            task: final[coord]
+            for task, coord in Mapping.identity(mesh5).physical_of_task.items()
+        } == mapping.physical_of_task
+
+
+def _stage_cycle_links(unit, stage):
+    """Per permutation cycle of the stage, the union of its route links."""
+    remote = [move for move in stage.moves if not move.is_local]
+    link_sets = []
+    for cycle in _permutation_cycle_groups(remote):
+        links = set()
+        for move in cycle:
+            links |= _links_of_route(
+                unit.routing.path(move.source, move.destination)
+            )
+        link_sets.append(links)
+    return link_sets
+
+
+def _permutation_cycle_groups(remote_moves):
+    from repro.migration.plan import _permutation_cycles
+
+    return _permutation_cycles(list(remote_moves))
+
+
+def _assert_cycles_disjoint(unit, plan):
+    """Batched invariant: the cycles grouped into one stage never share a
+    link (moves *within* a cycle may — cycles are atomic and the stage's
+    internal schedule phases them)."""
+    for stage in plan.stages:
+        link_sets = _stage_cycle_links(unit, stage)
+        for i, links in enumerate(link_sets):
+            for other in link_sets[i + 1:]:
+                assert not (links & other)
+
+
+class TestBatchedLowering:
+    def test_cycles_within_stage_are_link_disjoint(self, unit5, mesh5):
+        plan = lower_transform(RotationTransform(mesh5), unit5, style="batched")
+        _assert_cycles_disjoint(unit5, plan)
+
+    def test_stage_cycles_bounded_by_move_account(self, unit5, mesh5):
+        """Each stage's duration sits between its slowest move and the fully
+        serialised baseline (the shared move_cycles account both ways)."""
+        plan = lower_transform(RotationTransform(mesh5), unit5, style="batched")
+        scheduler = unit5.scheduler
+        for stage in plan.stages:
+            remote = [move for move in stage.moves if not move.is_local]
+            if remote:
+                slowest = max(scheduler.move_cycles(move) for move in remote)
+                assert slowest <= stage.cycles <= scheduler.naive_cycles(remote)
+
+
+class TestMoveCyclesAccount:
+    """Satellite regression: one shared per-move cycle function."""
+
+    def test_phase_cycles_routes_through_move_cycles(self, unit4, mesh4):
+        scheduler = unit4.scheduler
+        moves = scheduler.moves_for_transform(XYShiftTransform(mesh4))
+        remote = [move for move in moves if not move.is_local]
+        for move in remote:
+            assert scheduler._phase_cycles([move]) == scheduler.move_cycles(move)
+
+    def test_naive_cycles_is_sum_of_move_cycles(self, unit4, mesh4):
+        scheduler = unit4.scheduler
+        moves = scheduler.moves_for_transform(RotationTransform(mesh4))
+        assert scheduler.naive_cycles(moves) == sum(
+            scheduler.move_cycles(move) for move in moves if not move.is_local
+        )
+
+    def test_move_cycles_components(self, unit4):
+        scheduler = unit4.scheduler
+        move = PeMove(source=(0, 0), destination=(3, 2), payload_flits=10)
+        expected = (
+            10 * scheduler.state_model.serialization_cycles_per_flit
+            + 5 * scheduler.router_pipeline_cycles
+        )
+        assert scheduler.move_cycles(move) == expected
+
+
+class TestPlanCodec:
+    @pytest.mark.parametrize("style", MIGRATION_STYLES)
+    def test_round_trip(self, unit5, mesh5, style):
+        nodes = {coord: 5 for coord in mesh5.coordinates()}
+        plan = lower_transform(
+            RotationTransform(mesh5), unit5, nodes, style=style, units_per_epoch=3
+        )
+        restored = MigrationPlan.from_dict(plan.to_dict(mesh5), mesh5)
+        assert restored == plan
+
+
+class TestCongestionPricing:
+    def test_unpriced_is_unity(self):
+        assert congestion_factor(None, 0.5) == 1.0
+        model = NocCostModel(width=4, height=4)
+        assert congestion_factor(model, None) == 1.0
+        assert congestion_factor(model, 0.0) == 1.0
+        assert congestion_factor(model, float("nan")) == 1.0
+
+    def test_monotone_and_at_least_one(self):
+        model = NocCostModel(width=4, height=4)
+        low = congestion_factor(model, 0.01)
+        high = congestion_factor(model, model.saturation_rate * 0.9)
+        assert 1.0 <= low <= high
+        assert high > 1.0
+
+    def test_saturated_rate_caps(self):
+        model = NocCostModel(width=4, height=4)
+        at_cap = congestion_factor(model, model.saturation_rate)
+        beyond = congestion_factor(model, model.saturation_rate * 10)
+        assert math.isfinite(at_cap)
+        assert beyond == at_cap
+
+    def test_priced_stage_cycles_ceils(self, unit4, mesh4):
+        plan = lower_transform(XYShiftTransform(mesh4), unit4, style="sudden")
+        stage = plan.stages[0]
+        assert priced_stage_cycles(stage, 1.0) == stage.cycles
+        assert priced_stage_cycles(stage, 0.5) == stage.cycles
+        assert priced_stage_cycles(stage, 1.5) == math.ceil(stage.cycles * 1.5)
+
+
+def _cycles_of(unit, transform):
+    from repro.migration.plan import _permutation_cycles
+
+    moves = unit.scheduler.moves_for_transform(transform)
+    return _permutation_cycles([move for move in moves if not move.is_local])
+
+
+# ----------------------------------------------------------------------
+# Property tests: arbitrary permutations, arbitrary budgets
+# ----------------------------------------------------------------------
+@st.composite
+def permutations(draw):
+    width = draw(st.integers(2, 5))
+    height = draw(st.integers(2, 5))
+    topology = MeshTopology(width, height)
+    coords = list(topology.coordinates())
+    images = draw(st.permutations(coords))
+    return topology, dict(zip(coords, images))
+
+
+class TestPlanProperties:
+    @given(data=permutations(), units=st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_fluid_partitions_and_stays_bijective(self, data, units):
+        topology, permutation = data
+        unit = MigrationUnit(topology)
+        transform = PermutationTransform(topology, permutation)
+        plan = lower_transform(
+            transform, unit, style="fluid", units_per_epoch=units
+        )
+        reference = unit.scheduler.moves_for_transform(transform)
+        staged = [move for stage in plan.stages for move in stage.moves]
+        assert sorted(map(_move_key, staged)) == sorted(
+            map(_move_key, reference)
+        )
+        mapping = Mapping.identity(topology)
+        for stage in plan.stages:
+            moves = stage.mapping_moves()
+            mapping = Mapping(
+                topology,
+                {
+                    task: moves.get(coord, coord)
+                    for task, coord in mapping.physical_of_task.items()
+                },
+            )
+        assert {
+            task: permutation[coord]
+            for task, coord in Mapping.identity(topology).physical_of_task.items()
+        } == mapping.physical_of_task
+
+    @given(data=permutations())
+    @settings(max_examples=25, deadline=None)
+    def test_batched_stages_link_disjoint(self, data):
+        topology, permutation = data
+        unit = MigrationUnit(topology)
+        plan = lower_transform(
+            PermutationTransform(topology, permutation), unit, style="batched"
+        )
+        _assert_cycles_disjoint(unit, plan)
+
+    @given(data=permutations())
+    @settings(max_examples=25, deadline=None)
+    def test_sudden_equals_legacy_cost(self, data):
+        topology, permutation = data
+        unit = MigrationUnit(topology)
+        transform = PermutationTransform(topology, permutation)
+        legacy = unit.migration_cost(transform)
+        plan = lower_transform(transform, unit, style="sudden")
+        assert plan.stages[0].cycles == legacy.cycles
+        assert plan.stages[0].energy_j == legacy.total_energy_j
